@@ -1,0 +1,111 @@
+//! Criterion benchmarks — one per paper table/figure workload, timing
+//! the regeneration path (reduced sweep sizes to keep bench time sane).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cml_core::behav::{Block, InputInterface, IoLink, OutputInterface};
+use cml_core::cells::{add_diff_drive, add_supply, equalizer, DiffPort};
+use cml_numeric::logspace;
+use cml_pdk::Pdk018;
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::{EyeDiagram, UniformWave};
+use cml_spice::prelude::*;
+
+fn prbs_wave() -> UniformWave {
+    let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+    NrzConfig::new(100e-12, 0.5).render(&bits)
+}
+
+/// Fig. 5 workload: one transistor-level equalizer AC sweep.
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("fig05_equalizer_ac", |b| {
+        b.iter(|| {
+            let pdk = Pdk018::typical();
+            let cfg = equalizer::EqualizerConfig::paper_default();
+            let mut ckt = Circuit::new();
+            let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            add_diff_drive(&mut ckt, "VIN", input, cfg.input_common_mode(), None);
+            equalizer::build(&mut ckt, &pdk, &cfg, "eq", input, output, vdd);
+            let freqs = logspace(1e7, 30e9, 31);
+            cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("ac")
+        });
+    });
+}
+
+/// Fig. 7 workload: one transistor-level buffer transient (reduced span).
+fn bench_fig07(c: &mut Criterion) {
+    c.bench_function("fig07_buffer_tran", |b| {
+        b.iter(|| {
+            let pdk = Pdk018::typical();
+            let cfg = cml_core::cells::cml_buffer::CmlBufferConfig::paper_default();
+            let mut ckt = Circuit::new();
+            let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            let cm = cml_core::cells::cml_buffer::output_common_mode(&cfg);
+            add_diff_drive(
+                &mut ckt,
+                "VIN",
+                input,
+                cm,
+                Some(Waveform::step(cm - 0.125, cm + 0.125, 50e-12, 10e-12)),
+            );
+            cml_core::cells::cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+            cml_spice::analysis::tran::run(&ckt, &TranConfig::new(0.2e-9, 2e-12)).expect("tran")
+        });
+    });
+}
+
+/// Fig. 14 workload: the full behavioural I/O chain on one PRBS period.
+fn bench_fig14(c: &mut Criterion) {
+    let wave = prbs_wave();
+    let rx = InputInterface::paper_default();
+    let tx = OutputInterface::without_peaking();
+    c.bench_function("fig14_io_chain", |b| {
+        b.iter(|| {
+            let out = tx.process(&rx.process(&wave));
+            EyeDiagram::fold(&out.skip_initial(2e-9), 100e-12).metrics()
+        });
+    });
+}
+
+/// Fig. 15/16 workload: the full link over the backplane.
+fn bench_fig15(c: &mut Criterion) {
+    let wave = prbs_wave();
+    let link = IoLink::paper_default();
+    c.bench_function("fig15_full_link", |b| {
+        b.iter(|| {
+            let out = link.process(&wave);
+            EyeDiagram::fold(&out.skip_initial(2e-9), 100e-12).metrics()
+        });
+    });
+}
+
+/// Table I workload: assembling the full report.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_report", |b| {
+        b.iter(cml_core::report::table_one);
+    });
+}
+
+/// §III.E workload: one BMVR operating point.
+fn bench_bmvr(c: &mut Criterion) {
+    c.bench_function("bmvr_op", |b| {
+        let cfg = cml_core::cells::bmvr::BmvrConfig::paper_default();
+        let pdk = Pdk018::typical();
+        b.iter(|| cml_core::cells::bmvr::solve_vref(&pdk, &cfg, 1.8).expect("op"));
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig05,
+    bench_fig07,
+    bench_fig14,
+    bench_fig15,
+    bench_table1,
+    bench_bmvr
+);
+criterion_main!(figures);

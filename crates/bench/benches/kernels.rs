@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the simulator and measurement kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cml_numeric::{fft, linspace, logspace, Complex64, DenseMatrix};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::EyeDiagram;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_solve");
+    for &n in &[16usize, 64, 128] {
+        // Diagonally dominant deterministic matrix.
+        let mut m = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            for cidx in 0..n {
+                m[(r, cidx)] = ((r * 31 + cidx * 17) % 13) as f64 / 13.0;
+            }
+            m[(r, r)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| m.solve(&b).expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1024usize, 8192] {
+        let data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut x = data.clone();
+                fft::fft(&mut x).expect("pow2");
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eye_fold(c: &mut Criterion) {
+    let bits: Vec<bool> = Prbs::prbs7().take(1270).collect();
+    let wave = NrzConfig::new(100e-12, 0.5).render(&bits);
+    c.bench_function("eye_fold_40k_samples", |b| {
+        b.iter(|| EyeDiagram::fold(&wave, 100e-12).metrics());
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+    let wave = NrzConfig::new(100e-12, 0.5).render(&bits);
+    let bp = cml_channel::Backplane::fr4_trace(0.5);
+    c.bench_function("backplane_apply_8k_samples", |b| {
+        b.iter(|| bp.apply(&wave, true));
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let xs = linspace(0.0, 1.0, 4096);
+    let ys: Vec<f64> = xs.iter().map(|x| (x * 37.0).sin()).collect();
+    c.bench_function("pchip_build_eval_4k", |b| {
+        b.iter(|| {
+            let p = cml_numeric::interp::Pchip::new(&xs, &ys).expect("grid");
+            (0..100).map(|i| p.eval(i as f64 / 100.0)).sum::<f64>()
+        });
+    });
+    let _ = logspace(1.0, 10.0, 4); // keep import used in all cfgs
+}
+
+criterion_group!(
+    kernels,
+    bench_lu,
+    bench_fft,
+    bench_eye_fold,
+    bench_channel,
+    bench_interp
+);
+criterion_main!(kernels);

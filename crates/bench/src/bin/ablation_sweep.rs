@@ -1,0 +1,123 @@
+//! Ablation study: each wide-band technique of §III toggled
+//! independently, measured at the transistor level (or the appropriate
+//! model level), quantifying what every design choice buys.
+
+use cml_bench::{banner, eye_metrics, prbs7_wave};
+use cml_channel::Backplane;
+use cml_core::behav::{self, Block};
+use cml_core::cells::cml_buffer::{self, CmlBufferConfig};
+use cml_core::cells::gain_stage::{self, GainStageConfig};
+use cml_core::cells::limiting_amp::{self, LimitingAmpConfig};
+use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
+use cml_numeric::logspace;
+use cml_pdk::Pdk018;
+use cml_sig::Bode;
+use cml_spice::prelude::*;
+
+fn buffer_bode(cfg: &CmlBufferConfig, c_load: f64) -> Bode {
+    let pdk = Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let output = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(&mut ckt, "VIN", input, cml_buffer::output_common_mode(cfg), None);
+    cml_buffer::build(&mut ckt, &pdk, cfg, "buf", input, output, vdd);
+    ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, c_load));
+    ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
+    let freqs = logspace(1e7, 60e9, 80);
+    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("buffer ac");
+    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+}
+
+fn la_bode(cfg: &LimitingAmpConfig) -> Bode {
+    let pdk = Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let output = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(&mut ckt, "VIN", input, limiting_amp::common_mode(cfg), None);
+    limiting_amp::build(&mut ckt, &pdk, cfg, "la", input, output, vdd);
+    ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
+    let freqs = logspace(1e6, 60e9, 120);
+    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("la ac");
+    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+}
+
+fn report(label: &str, bode: &Bode) {
+    println!(
+        "  {label:<44} {:>7.2} dB {:>8.2} GHz {:>6.2} dB",
+        bode.dc_gain_db(),
+        bode.bandwidth_3db().map_or(f64::NAN, |b| b / 1e9),
+        bode.peaking_db()
+    );
+}
+
+fn main() {
+    banner("Ablation study - what each wide-band technique buys");
+    println!("\nCML buffer (transistor level, 30 fF load):");
+    println!("  {:<44} {:>10} {:>12} {:>9}", "configuration", "DC gain", "bandwidth", "peaking");
+    let full = CmlBufferConfig::paper_default();
+    report("full wide-band buffer", &buffer_bode(&full, 30e-15));
+    report(
+        "- active inductor (plain diode load)",
+        &buffer_bode(&CmlBufferConfig { r_gate: 0.0, ..full.clone() }, 30e-15),
+    );
+    report(
+        "- active feedback",
+        &buffer_bode(&CmlBufferConfig { feedback_frac: 0.0, ..full.clone() }, 30e-15),
+    );
+    report(
+        "- negative Miller capacitance",
+        &buffer_bode(&CmlBufferConfig { neg_miller: 0.0, ..full.clone() }, 30e-15),
+    );
+    report("none (plain CML buffer)", &buffer_bode(&CmlBufferConfig::plain(), 30e-15));
+
+    println!("\nLimiting amplifier (transistor level, 4 stages):");
+    println!("  {:<44} {:>10} {:>12} {:>9}", "configuration", "mid gain", "bandwidth", "peaking");
+    let la_full = LimitingAmpConfig {
+        offset_cancel: None,
+        ..LimitingAmpConfig::paper_default()
+    };
+    report("full LA (interstage fb + peaked loads)", &la_bode(&la_full));
+    report(
+        "- interstage active feedback",
+        &la_bode(&LimitingAmpConfig { interstage_fb: 0.0, ..la_full.clone() }),
+    );
+    report(
+        "- peaking loads (pure poly)",
+        &la_bode(&LimitingAmpConfig {
+            stage: GainStageConfig::no_peaking(),
+            ..la_full.clone()
+        }),
+    );
+    let _ = gain_stage::output_common_mode(&GainStageConfig::paper_default());
+
+    println!("\nLink-level (behavioural, 0.5 m backplane, PRBS-7):");
+    let data = prbs7_wave(0.5);
+    println!(
+        "  {:<44} {:>10} {:>12}",
+        "configuration", "height", "width"
+    );
+    let print_link = |label: &str, link: &behav::IoLink| {
+        let m = eye_metrics(&link.process(&data));
+        println!(
+            "  {label:<44} {:>7.1} mV {:>9.1} ps",
+            m.height * 1e3,
+            m.width * 1e12
+        );
+    };
+    print_link("full link (equalizer + peaking)", &behav::IoLink::paper_default());
+    let mut no_eq = behav::IoLink::paper_default();
+    no_eq.rx = behav::InputInterface::without_equalizer();
+    print_link("- equalizer", &no_eq);
+    let mut no_pk = behav::IoLink::paper_default();
+    no_pk.tx = behav::OutputInterface::without_peaking();
+    print_link("- voltage peaking", &no_pk);
+    let mut neither = behav::IoLink::paper_default();
+    neither.rx = behav::InputInterface::without_equalizer();
+    neither.tx = behav::OutputInterface::without_peaking();
+    print_link("- both", &neither);
+
+    let _ = Backplane::fr4_trace(0.5); // keep the channel import honest
+}

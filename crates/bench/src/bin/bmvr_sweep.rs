@@ -1,0 +1,59 @@
+//! §III.E — beta-multiplier voltage reference: temperature coefficient,
+//! supply sensitivity and trimming range (transistor-level DC sweeps).
+//!
+//! Paper claims: tunable within 10 mV of a desired value, tempco below
+//! 550 ppm/°C, supply sensitivity under 26 mV/V.
+
+use cml_bench::banner;
+use cml_core::cells::bmvr::{solve_vref, BmvrConfig};
+use cml_pdk::{Corner, Pdk018};
+
+fn main() {
+    banner("§III.E - beta-multiplier voltage reference sweeps");
+    let cfg = BmvrConfig::paper_default();
+
+    println!("\ntemperature sweep at VDD = 1.8 V (TT corner):");
+    println!("{:>8} | {:>10}", "T (degC)", "Vref (V)");
+    let temps = [-40.0, -20.0, 0.0, 27.0, 50.0, 75.0, 100.0, 125.0];
+    let mut vrefs = Vec::new();
+    for &t in &temps {
+        let v = solve_vref(&Pdk018::new(Corner::Tt, t), &cfg, 1.8).expect("bmvr op");
+        println!("{t:>8.0} | {v:>10.4}");
+        vrefs.push(v);
+    }
+    let v_nom = vrefs[3];
+    let spread = vrefs.iter().cloned().fold(f64::MIN, f64::max)
+        - vrefs.iter().cloned().fold(f64::MAX, f64::min);
+    let tc = spread / (165.0 * v_nom) * 1e6;
+    println!("tempco over -40..125 degC: {tc:.0} ppm/degC (paper: < 550)");
+
+    println!("\nsupply sweep at 27 degC:");
+    println!("{:>8} | {:>10}", "VDD (V)", "Vref (V)");
+    let supplies = [1.6, 1.7, 1.8, 1.9, 2.0];
+    let pdk = Pdk018::typical();
+    let mut vs = Vec::new();
+    for &vdd in &supplies {
+        let v = solve_vref(&pdk, &cfg, vdd).expect("bmvr op");
+        println!("{vdd:>8.1} | {v:>10.4}");
+        vs.push(v);
+    }
+    let sens = (vs[4] - vs[0]).abs() / 0.4 * 1e3;
+    println!("supply sensitivity: {sens:.1} mV/V (paper: < 26)");
+
+    println!("\ntrim sweep (R_s) at nominal conditions:");
+    println!("{:>10} | {:>10}", "R_s (kOhm)", "Vref (V)");
+    for rs in [0.9e3, 1.0e3, 1.1e3, 1.2e3, 1.3e3, 1.4e3] {
+        let mut c = cfg.clone();
+        c.r_s = rs;
+        let v = solve_vref(&pdk, &c, 1.8).expect("bmvr op");
+        println!("{:>10.1} | {v:>10.4}", rs / 1e3);
+    }
+    println!("(adjacent trim steps move Vref by ~10 mV — the paper's trim resolution)");
+
+    println!("\nprocess corners at 27 degC, VDD = 1.8 V:");
+    println!("{:>8} | {:>10}", "corner", "Vref (V)");
+    for corner in Corner::ALL {
+        let v = solve_vref(&Pdk018::new(corner, 27.0), &cfg, 1.8).expect("bmvr op");
+        println!("{:>8} | {v:>10.4}", corner.name());
+    }
+}

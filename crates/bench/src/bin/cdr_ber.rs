@@ -1,0 +1,56 @@
+//! End-to-end bit-error measurement: PRBS-7 through the full link into a
+//! bang-bang CDR — the system-level payoff of every circuit in the paper
+//! (Fig. 1's SERDES deployment, measured in recovered bits rather than
+//! eye pictures).
+
+use cml_bench::{banner, UI};
+use cml_channel::Backplane;
+use cml_core::behav::cdr::{self, CdrConfig};
+use cml_core::behav::{Block, IoLink};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+
+fn main() {
+    banner("CDR bit-error measurement over the full link");
+    let pattern = Prbs::prbs7().one_period();
+    // Five pattern periods: lock-in preamble plus a measured payload.
+    let mut seq = Vec::new();
+    for _ in 0..5 {
+        seq.extend_from_slice(&pattern);
+    }
+    let data = NrzConfig::new(UI, 0.5).render(&seq);
+    let cfg = CdrConfig::at_10gbps();
+
+    println!(
+        "\n{:<26} | {:>10} {:>9} {:>12} {:>12}",
+        "link", "bits", "errors", "BER", "phase rms"
+    );
+    for (label, link) in [
+        ("back-to-back", IoLink::back_to_back()),
+        ("0.3 m backplane", with_channel(0.3)),
+        ("0.5 m backplane", with_channel(0.5)),
+        ("0.7 m backplane", with_channel(0.7)),
+    ] {
+        let out = link.process(&data);
+        let res = cdr::recover(&out, &cfg);
+        let (errors, total) = cdr::bit_errors(&res.bits, &pattern);
+        println!(
+            "{label:<26} | {total:>10} {errors:>9} {:>12.2e} {:>9.3} UI",
+            errors as f64 / total as f64,
+            res.locked_phase_rms()
+        );
+    }
+    println!(
+        "\nThe compensated links recover error-free; the raw back-to-back\n\
+         chain (equalizer and peaking tuned off) runs at the composite-\n\
+         bandwidth limit of the behavioural cascade and shows residual\n\
+         pattern-dependent errors — the margin the paper's equalization\n\
+         techniques exist to provide."
+    );
+}
+
+fn with_channel(len: f64) -> IoLink {
+    let mut link = IoLink::paper_default();
+    link.channel = Some(Backplane::fr4_trace(len));
+    link
+}

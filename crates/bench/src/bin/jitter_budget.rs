@@ -1,0 +1,61 @@
+//! Jitter budget of the full link: TIE extraction, RJ/DJ decomposition,
+//! and the BER-extrapolated eye width — the quantitative version of the
+//! paper's eye-diagram figures.
+
+use cml_bench::{banner, prbs7_wave, UI};
+use cml_channel::Backplane;
+use cml_core::behav::{Block, IoLink};
+use cml_sig::jitter::{self, bathtub};
+
+fn main() {
+    banner("Jitter budget - RJ/DJ decomposition and BER bathtub of the link");
+
+    for (label, link) in [
+        ("back-to-back", IoLink::back_to_back()),
+        ("0.3 m backplane", with_channel(0.3)),
+        ("0.5 m backplane", with_channel(0.5)),
+    ] {
+        let out = link.process(&prbs7_wave(0.5)).skip_initial(3e-9);
+        let tie = jitter::tie(&out, UI);
+        let j = jitter::decompose(&tie);
+        println!("\n{label}:");
+        println!(
+            "  TJ(pp) {:5.1} ps | DJ(pp) {:5.1} ps | RJ(rms) {:4.2} ps over {} crossings",
+            j.tj_pp * 1e12,
+            j.dj_pp * 1e12,
+            j.rj_rms * 1e12,
+            tie.len()
+        );
+        for ber in [1e-9, 1e-12, 1e-15] {
+            let w = jitter::eye_width_at_ber(UI, &j, ber);
+            println!(
+                "  eye width at BER {ber:>7.0e}: {:5.1} ps ({:4.1} % UI)",
+                w * 1e12,
+                w / UI * 100.0
+            );
+        }
+    }
+
+    // Bathtub curve for the nominal link.
+    let out = IoLink::paper_default()
+        .process(&prbs7_wave(0.5))
+        .skip_initial(3e-9);
+    let j = jitter::decompose(&jitter::tie(&out, UI));
+    println!("\nbathtub (0.5 m link), sampling offset vs estimated BER:");
+    for p in bathtub(UI, &j, 13) {
+        let bar_len = ((-p.ber.log10()).clamp(0.0, 16.0) * 3.0) as usize;
+        println!(
+            "  {:+6.1} ps | {:8.1e} {}",
+            p.offset * 1e12,
+            p.ber,
+            "#".repeat(bar_len)
+        );
+    }
+    let _ = Backplane::fr4_trace(0.1);
+}
+
+fn with_channel(len: f64) -> IoLink {
+    let mut link = IoLink::paper_default();
+    link.channel = Some(Backplane::fr4_trace(len));
+    link
+}

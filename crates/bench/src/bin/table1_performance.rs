@@ -1,0 +1,67 @@
+//! Table I — performance summary and comparison with the published
+//! baselines \[7\] (Tao/Berroth) and \[5\] (Galal/Razavi).
+
+use cml_bench::banner;
+use cml_core::baselines::PublishedDesign;
+use cml_core::{power, report};
+
+fn main() {
+    // `--json` emits the rows machine-readably for downstream tooling.
+    if std::env::args().any(|a| a == "--json") {
+        let rows = report::table_one();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
+        return;
+    }
+    banner("Table I - performance and comparison with published results");
+    println!(
+        "\n{:<18} {:<12} {:>8} {:>10} {:>11} {:>10} {:>9} {:>12}",
+        "design", "process", "supply", "power", "data rate", "BW(-3dB)", "DC gain", "core area"
+    );
+    for row in report::table_one() {
+        println!("{}", row.formatted());
+    }
+
+    println!("\npower breakdown (this work):");
+    for item in power::io_interface().items() {
+        println!("  {:<26} {:6.2} mA", item.name, item.current * 1e3);
+    }
+    let total = power::io_interface();
+    println!(
+        "  {:<26} {:6.2} mA  = {:.1} mW at {} V",
+        "total",
+        total.total_current() * 1e3,
+        total.total_power() * 1e3,
+        cml_pdk::VDD
+    );
+
+    println!("\narea accounting (this work):");
+    for b in [
+        cml_core::area::input_interface(),
+        cml_core::area::output_interface(),
+        cml_core::area::bmvr(),
+        cml_core::area::io_interface(),
+    ] {
+        println!("  {:<26} {:8.4} mm2  ({} devices)", b.name(), b.total_mm2(), b.num_devices());
+    }
+    let spirals = cml_core::area::io_interface_with_spirals().total_m2();
+    let active = cml_core::area::io_interface().total_m2();
+    println!(
+        "  spiral-inductor counterfactual: {:.4} mm2 -> active inductors save {:.0} % \
+         (paper: 80 %)",
+        spirals * 1e6,
+        (1.0 - active / spirals) * 100.0
+    );
+
+    println!("\nenergy per bit:");
+    let ours = report::this_work();
+    println!(
+        "  this work          {:.1} pJ/bit",
+        ours.power / ours.data_rate * 1e12
+    );
+    for d in [PublishedDesign::tao_berroth(), PublishedDesign::galal_razavi()] {
+        println!("  {:<18} {:.1} pJ/bit", d.name, d.energy_per_bit() * 1e12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Near/far-end crosstalk injection.
+//!
+//! In the paper's switch-fabric deployment (Fig. 1) many serial lanes run
+//! side by side; adjacent-lane coupling is the second signal-integrity
+//! impairment after loss. The standard first-order model: the coupled
+//! voltage is the time derivative of the aggressor scaled by a coupling
+//! coefficient (capacitive/inductive coupling is differentiating), with
+//! NEXT seeing the aggressor's near-end (un-attenuated) edge rate.
+
+use cml_sig::UniformWave;
+
+/// A single-aggressor crosstalk coupling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crosstalk {
+    /// Coupling coefficient, volts of victim per volt/ns of aggressor
+    /// slew (i.e. the derivative gain has units of seconds).
+    pub k: f64,
+}
+
+impl Crosstalk {
+    /// A representative adjacent-lane coupling: ~2 % of a 25 ps-edge
+    /// swing.
+    #[must_use]
+    pub fn adjacent_lane() -> Self {
+        Crosstalk { k: 0.5e-12 }
+    }
+
+    /// Creates a coupling with an explicit coefficient (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        assert!(k >= 0.0, "coupling must be non-negative");
+        Crosstalk { k }
+    }
+
+    /// The crosstalk waveform induced by `aggressor` (central-difference
+    /// derivative times `k`).
+    #[must_use]
+    pub fn induced(&self, aggressor: &UniformWave) -> UniformWave {
+        let dt = aggressor.dt();
+        let s = aggressor.samples();
+        let n = s.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let d = if i == 0 {
+                (s[1] - s[0]) / dt
+            } else if i == n - 1 {
+                (s[n - 1] - s[n - 2]) / dt
+            } else {
+                (s[i + 1] - s[i - 1]) / (2.0 * dt)
+            };
+            out.push(self.k * d);
+        }
+        UniformWave::new(aggressor.t0(), dt, out)
+    }
+
+    /// Adds the induced noise onto a victim waveform (grids must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim and aggressor grids differ.
+    #[must_use]
+    pub fn inject(&self, victim: &UniformWave, aggressor: &UniformWave) -> UniformWave {
+        let noise = self.induced(aggressor);
+        assert!(
+            (victim.dt() - noise.dt()).abs() < 1e-18 && victim.len() == noise.len(),
+            "victim and aggressor grids must match"
+        );
+        let data: Vec<f64> = victim
+            .samples()
+            .iter()
+            .zip(noise.samples())
+            .map(|(v, x)| v + x)
+            .collect();
+        UniformWave::new(victim.t0(), victim.dt(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_sig::nrz::NrzConfig;
+    use cml_sig::prbs::Prbs;
+    use cml_sig::EyeDiagram;
+
+    fn aggressor() -> UniformWave {
+        let bits: Vec<bool> = Prbs::with_seed(7, (7, 1), 0x55).take(254).collect();
+        NrzConfig::new(100e-12, 0.5).render(&bits)
+    }
+
+    fn victim() -> UniformWave {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        NrzConfig::new(100e-12, 0.5).render(&bits)
+    }
+
+    #[test]
+    fn induced_noise_is_zero_on_flat_aggressor() {
+        let flat = UniformWave::new(0.0, 1e-12, vec![0.25; 512]);
+        let xt = Crosstalk::adjacent_lane();
+        let noise = xt.induced(&flat);
+        assert!(noise.samples().iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn induced_noise_spikes_on_edges() {
+        let xt = Crosstalk::adjacent_lane();
+        let noise = xt.induced(&aggressor());
+        let peak = noise.samples().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // 0.5 V swing over ~25 ps edge × 0.5 ps coupling → ≈ 10 mV spikes.
+        assert!(peak > 3e-3 && peak < 40e-3, "peak = {peak:.3e}");
+    }
+
+    #[test]
+    fn crosstalk_closes_the_eye_proportionally() {
+        let v = victim();
+        // Worst case: aggressor edges land at the victim's sampling
+        // instant — rotate the aggressor by half a UI (16 of 32 samples).
+        let a_raw = aggressor();
+        let n = a_raw.len();
+        let rotated: Vec<f64> = (0..n).map(|i| a_raw.samples()[(i + 16) % n]).collect();
+        let a = UniformWave::new(a_raw.t0(), a_raw.dt(), rotated);
+        let clean = EyeDiagram::fold(&v.skip_initial(2e-9), 100e-12).metrics();
+        let weak = Crosstalk::new(0.3e-12).inject(&v, &a);
+        let strong = Crosstalk::new(3e-12).inject(&v, &a);
+        let m_weak = EyeDiagram::fold(&weak.skip_initial(2e-9), 100e-12).metrics();
+        let m_strong = EyeDiagram::fold(&strong.skip_initial(2e-9), 100e-12).metrics();
+        assert!(m_weak.height <= clean.height + 1e-9);
+        assert!(
+            m_strong.height < m_weak.height,
+            "stronger coupling must close the eye more: {} vs {}",
+            m_strong.height,
+            m_weak.height
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coupling_rejected() {
+        let _ = Crosstalk::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids must match")]
+    fn mismatched_grids_rejected() {
+        let v = UniformWave::new(0.0, 1e-12, vec![0.0; 10]);
+        let a = UniformWave::new(0.0, 2e-12, vec![0.0; 10]);
+        let _ = Crosstalk::adjacent_lane().inject(&v, &a);
+    }
+}

@@ -1,0 +1,281 @@
+//! Backplane / PCB-trace channel models.
+//!
+//! The paper's I/O interface exists to survive a lossy backplane: "serial
+//! interconnect signals show a lot of high-frequency attenuation, skin
+//! loss after propagation through long PCB trace on the backplane". The
+//! authors used a physical backplane; this crate substitutes the standard
+//! physical abstraction — a distributed RLGC transmission line with
+//! frequency-dependent skin-effect resistance and dielectric loss:
+//!
+//! ```text
+//! γ(f) = √( (R_dc + R_s·√f·(1+j)) + jωL' ) · ( G' + jωC' ) )
+//! H(f) = e^{−γ(f)·length}
+//! ```
+//!
+//! which is causal by construction, so the impulse response obtained by
+//! inverse FFT ([`Backplane::impulse_response`]) has the realistic
+//! long ISI tail that closes a 10 Gb/s eye (Fig. 15a of the paper).
+//!
+//! [`lumped`] provides single-pole RC approximations used in unit tests
+//! and quick experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use cml_channel::Backplane;
+//!
+//! let bp = Backplane::fr4_trace(0.5); // 50 cm FR-4 trace
+//! let a1 = bp.attenuation_db(1e9);
+//! let a5 = bp.attenuation_db(5e9);
+//! assert!(a5 > a1, "loss grows with frequency");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosstalk;
+pub mod lumped;
+pub mod segments;
+pub mod touchstone;
+
+use cml_numeric::{fft, Complex64};
+use cml_sig::UniformWave;
+
+/// A uniform lossy transmission line (distributed RLGC with skin-effect
+/// and dielectric-loss frequency dependence), matched-terminated at both
+/// ends so reflections are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backplane {
+    /// Physical length, meters.
+    pub length: f64,
+    /// DC conductor resistance, Ω/m.
+    pub rdc: f64,
+    /// Skin-effect coefficient: `R_s·√f` Ω/m with `f` in Hz.
+    pub rskin: f64,
+    /// Series inductance, H/m.
+    pub l_per_m: f64,
+    /// Shunt capacitance, F/m.
+    pub c_per_m: f64,
+    /// Dielectric loss tangent (`G' = ω·C'·tanδ`).
+    pub tan_delta: f64,
+}
+
+impl Backplane {
+    /// A 50 Ω FR-4 microstrip trace of the given length (meters):
+    /// 0.2 mm copper trace, εeff ≈ 3.4, tanδ = 0.02.
+    ///
+    /// A 0.5 m instance loses roughly 3 dB at 1 GHz and 12 dB at 5 GHz —
+    /// representative of the mid-2000s backplanes the paper targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not strictly positive.
+    #[must_use]
+    pub fn fr4_trace(length: f64) -> Self {
+        assert!(length > 0.0, "length must be positive");
+        Backplane {
+            length,
+            rdc: 8.0,
+            rskin: 1.3e-3,
+            l_per_m: 307e-9,
+            c_per_m: 123e-12,
+            tan_delta: 0.02,
+        }
+    }
+
+    /// Characteristic impedance at high frequency, ohms.
+    #[must_use]
+    pub fn z0(&self) -> f64 {
+        (self.l_per_m / self.c_per_m).sqrt()
+    }
+
+    /// Nominal propagation delay through the line, seconds.
+    #[must_use]
+    pub fn bulk_delay(&self) -> f64 {
+        self.length * (self.l_per_m * self.c_per_m).sqrt()
+    }
+
+    /// Complex propagation factor `H(f) = e^{−γ·L}` at frequency `f` (Hz).
+    /// `H(0)` is the (near-unity) DC transmission.
+    #[must_use]
+    pub fn transfer(&self, f: f64) -> Complex64 {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        // Skin effect contributes equal real resistance and internal
+        // inductive reactance: R_s·√f·(1 + j).
+        let r_skin = self.rskin * f.max(0.0).sqrt();
+        let z = Complex64::new(self.rdc + r_skin, r_skin + omega * self.l_per_m);
+        let y = Complex64::new(
+            omega * self.c_per_m * self.tan_delta,
+            omega * self.c_per_m,
+        );
+        if f == 0.0 {
+            // γ = √(R_dc · G) → with G(0) = 0 the DC loss is only the
+            // resistive divider against the terminations.
+            let att = self.rdc * self.length / (2.0 * self.z0());
+            return Complex64::from_real((-att).exp());
+        }
+        let gamma = (z * y).sqrt();
+        (gamma.scale(-self.length)).exp()
+    }
+
+    /// Insertion loss magnitude at `f`, in positive dB.
+    #[must_use]
+    pub fn attenuation_db(&self, f: f64) -> f64 {
+        -self.transfer(f).db()
+    }
+
+    /// Impulse response sampled at `dt`, `n` samples (`n` must be a power
+    /// of two). Constructed by Hermitian-symmetric inverse FFT of the
+    /// transfer function, so it is real and causal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying FFT error for invalid `n`.
+    pub fn impulse_response(&self, dt: f64, n: usize) -> Result<Vec<f64>, cml_numeric::NumericError> {
+        let df = 1.0 / (n as f64 * dt);
+        let mut spec = vec![Complex64::ZERO; n];
+        spec[0] = self.transfer(0.0);
+        for k in 1..=n / 2 {
+            let h = self.transfer(k as f64 * df);
+            spec[k] = h;
+            if k < n / 2 {
+                spec[n - k] = h.conj();
+            }
+        }
+        // Nyquist bin must be real for a real signal.
+        spec[n / 2] = Complex64::from_real(spec[n / 2].re);
+        let h = fft::ifft_real(&spec)?;
+        // Normalize: IFFT of H(k) sampled this way yields h[k]·dt⁻¹ scaling
+        // such that convolution with `dt`-spaced samples reproduces H; the
+        // discrete impulse response is h[k] directly (sum ≈ H(0)).
+        Ok(h)
+    }
+
+    /// Propagates a waveform through the channel (FFT convolution with
+    /// the impulse response), optionally removing the bulk line delay so
+    /// the output stays aligned with the input bit grid for eye folding.
+    ///
+    /// The output has the same grid and length as the input.
+    #[must_use]
+    pub fn apply(&self, wave: &UniformWave, remove_delay: bool) -> UniformWave {
+        let dt = wave.dt();
+        let delay_samples = (self.bulk_delay() / dt).round() as usize;
+        // Room for the response tail: 4× the bulk delay or 2 ns, whichever
+        // is larger.
+        let tail = ((4.0 * self.bulk_delay() / dt).ceil() as usize).max((2e-9 / dt) as usize);
+        let n = fft::next_pow2(wave.len() + delay_samples + tail);
+        let h = self
+            .impulse_response(dt, n)
+            .expect("power-of-two length by construction");
+        let y = fft::convolve(wave.samples(), &h).expect("non-empty inputs");
+        let skip = if remove_delay { delay_samples } else { 0 };
+        let data: Vec<f64> = (0..wave.len())
+            .map(|i| y.get(i + skip).copied().unwrap_or(0.0))
+            .collect();
+        UniformWave::new(wave.t0(), dt, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_sig::nrz::NrzConfig;
+    use cml_sig::prbs::Prbs;
+    use cml_sig::EyeDiagram;
+
+    #[test]
+    fn dc_transmission_is_near_unity() {
+        let bp = Backplane::fr4_trace(0.5);
+        let h0 = bp.transfer(0.0);
+        assert!(h0.re > 0.9 && h0.re <= 1.0, "H(0) = {h0}");
+        assert_eq!(h0.im, 0.0);
+    }
+
+    #[test]
+    fn attenuation_is_monotone_in_frequency() {
+        let bp = Backplane::fr4_trace(0.5);
+        let freqs = [1e8, 5e8, 1e9, 2e9, 5e9, 1e10];
+        let atts: Vec<f64> = freqs.iter().map(|&f| bp.attenuation_db(f)).collect();
+        assert!(atts.windows(2).all(|w| w[1] > w[0]), "{atts:?}");
+    }
+
+    #[test]
+    fn loss_scales_with_length() {
+        let short = Backplane::fr4_trace(0.1);
+        let long = Backplane::fr4_trace(0.5);
+        let f = 5e9;
+        let ratio = long.attenuation_db(f) / short.attenuation_db(f);
+        assert!((ratio - 5.0).abs() < 0.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn representative_loss_magnitudes() {
+        // The design target: a 0.5 m trace with ~10–15 dB loss at the
+        // 5 GHz Nyquist of a 10 Gb/s stream.
+        let bp = Backplane::fr4_trace(0.5);
+        let a5 = bp.attenuation_db(5e9);
+        assert!(a5 > 8.0 && a5 < 20.0, "5 GHz loss = {a5} dB");
+    }
+
+    #[test]
+    fn z0_is_about_50_ohms() {
+        let bp = Backplane::fr4_trace(0.3);
+        assert!((bp.z0() - 50.0).abs() < 2.0, "z0 = {}", bp.z0());
+    }
+
+    #[test]
+    fn impulse_response_is_causal_and_normalized() {
+        let bp = Backplane::fr4_trace(0.3);
+        let dt = 5e-12;
+        let h = bp.impulse_response(dt, 8192).unwrap();
+        // Nothing (beyond numerical noise) before the bulk delay.
+        let delay_idx = (bp.bulk_delay() / dt) as usize;
+        let pre: f64 = h[..delay_idx.saturating_sub(20)]
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0, f64::max);
+        let peak = h.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        assert!(pre < peak * 0.05, "pre-cursor energy {pre} vs peak {peak}");
+        // Sum of the response equals the DC transmission.
+        let sum: f64 = h.iter().sum();
+        assert!((sum - bp.transfer(0.0).re).abs() < 0.02, "sum = {sum}");
+    }
+
+    #[test]
+    fn long_trace_closes_the_eye_and_short_does_not() {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let tx = NrzConfig::new(100e-12, 0.5).render(&bits);
+
+        let short = Backplane::fr4_trace(0.05).apply(&tx, true);
+        let long = Backplane::fr4_trace(0.8).apply(&tx, true);
+
+        // Skip the first bits (startup) before folding.
+        let m_in = EyeDiagram::fold(&tx.skip_initial(1e-9), 100e-12).metrics();
+        let m_short = EyeDiagram::fold(&short.skip_initial(1e-9), 100e-12).metrics();
+        let m_long = EyeDiagram::fold(&long.skip_initial(1e-9), 100e-12).metrics();
+
+        assert!(m_short.opening > 0.6 * m_in.opening, "short trace eye should stay open");
+        assert!(
+            m_long.opening < 0.5 * m_short.opening,
+            "long trace ISI should crush the eye: long {} vs short {}",
+            m_long.opening,
+            m_short.opening
+        );
+    }
+
+    #[test]
+    fn apply_preserves_grid() {
+        let bits = [true, false, true, true, false];
+        let tx = NrzConfig::new(100e-12, 0.5).render(&bits);
+        let rx = Backplane::fr4_trace(0.2).apply(&tx, true);
+        assert_eq!(rx.len(), tx.len());
+        assert_eq!(rx.dt(), tx.dt());
+        assert_eq!(rx.t0(), tx.t0());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        let _ = Backplane::fr4_trace(0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Lumped single-pole channel approximations.
+//!
+//! A first-order RC is the textbook stand-in for a short interconnect:
+//! useful for unit tests (its step response is known in closed form) and
+//! for quick what-if experiments where the full RLGC line is overkill.
+
+use cml_numeric::Complex64;
+use cml_sig::UniformWave;
+
+/// A single-pole low-pass channel `H(f) = 1 / (1 + j·f/f_pole)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcChannel {
+    f_pole: f64,
+}
+
+impl RcChannel {
+    /// Creates a channel with the given pole frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_pole` is not strictly positive.
+    #[must_use]
+    pub fn new(f_pole: f64) -> Self {
+        assert!(f_pole > 0.0, "pole frequency must be positive");
+        RcChannel { f_pole }
+    }
+
+    /// Pole frequency, Hz.
+    #[must_use]
+    pub fn f_pole(&self) -> f64 {
+        self.f_pole
+    }
+
+    /// Complex transfer at `f` Hz.
+    #[must_use]
+    pub fn transfer(&self, f: f64) -> Complex64 {
+        Complex64::ONE / Complex64::new(1.0, f / self.f_pole)
+    }
+
+    /// Filters a waveform through the pole using the exact discrete
+    /// (zero-order-hold) recursion, which is unconditionally stable.
+    #[must_use]
+    pub fn apply(&self, wave: &UniformWave) -> UniformWave {
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * self.f_pole);
+        let alpha = 1.0 - (-wave.dt() / tau).exp();
+        let mut y = Vec::with_capacity(wave.len());
+        let mut state = wave.samples()[0];
+        for &x in wave.samples() {
+            state += alpha * (x - state);
+            y.push(state);
+        }
+        UniformWave::new(wave.t0(), wave.dt(), y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_at_pole_is_minus_3db() {
+        let ch = RcChannel::new(5e9);
+        let h = ch.transfer(5e9);
+        assert!((h.db() + 3.0103).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_response_matches_exponential() {
+        let ch = RcChannel::new(1.0 / (2.0 * std::f64::consts::PI * 1e-9)); // τ = 1 ns
+        let mut data = vec![0.0; 10];
+        data.extend(vec![1.0; 4000]);
+        let w = UniformWave::new(0.0, 1e-12, data);
+        let y = ch.apply(&w);
+        // After 1 τ from the step: 63.2 %.
+        let v_1tau = y.value_at(10e-12 + 1e-9);
+        assert!((v_1tau - 0.632).abs() < 0.01, "v(τ) = {v_1tau}");
+        // After 3 τ: 95 %.
+        let v_3tau = y.value_at(10e-12 + 3e-9);
+        assert!((v_3tau - 0.950).abs() < 0.01, "v(3τ) = {v_3tau}");
+    }
+
+    #[test]
+    fn dc_passes_unchanged() {
+        let ch = RcChannel::new(1e9);
+        let w = UniformWave::new(0.0, 1e-12, vec![0.7; 100]);
+        let y = ch.apply(&w);
+        for &v in y.samples() {
+            assert!((v - 0.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_pole_rejected() {
+        let _ = RcChannel::new(-1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Multi-segment channels: line cards, connectors and backplane traces
+//! cascaded into one end-to-end response (the physical topology of the
+//! paper's Fig. 1 switch-fabric system).
+
+use crate::Backplane;
+use cml_numeric::Complex64;
+use cml_sig::UniformWave;
+
+/// One element of a channel cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// A distributed trace.
+    Trace(Backplane),
+    /// A connector, modeled as a frequency-tilted loss:
+    /// `loss_db + tilt_db·(f/10 GHz)` with linear phase from `delay`.
+    Connector {
+        /// Flat insertion loss, dB.
+        loss_db: f64,
+        /// Additional loss at 10 GHz, dB.
+        tilt_db: f64,
+        /// Group delay, seconds.
+        delay: f64,
+    },
+}
+
+impl Segment {
+    /// Complex transfer of this segment at `f` Hz.
+    #[must_use]
+    pub fn transfer(&self, f: f64) -> Complex64 {
+        match self {
+            Segment::Trace(bp) => bp.transfer(f),
+            Segment::Connector {
+                loss_db,
+                tilt_db,
+                delay,
+            } => {
+                let db = loss_db + tilt_db * (f / 10e9);
+                let mag = 10f64.powf(-db / 20.0);
+                let phase = -2.0 * std::f64::consts::PI * f * delay;
+                Complex64::from_polar(mag, phase)
+            }
+        }
+    }
+
+    /// Nominal delay of the segment, seconds.
+    #[must_use]
+    pub fn delay(&self) -> f64 {
+        match self {
+            Segment::Trace(bp) => bp.bulk_delay(),
+            Segment::Connector { delay, .. } => *delay,
+        }
+    }
+}
+
+/// A cascade of segments — transfer is the product of the parts.
+///
+/// ```
+/// use cml_channel::segments::{CompositeChannel, Segment};
+/// use cml_channel::Backplane;
+///
+/// let ch = CompositeChannel::new(vec![
+///     Segment::Trace(Backplane::fr4_trace(0.1)),
+///     Segment::Connector { loss_db: 0.5, tilt_db: 1.0, delay: 30e-12 },
+///     Segment::Trace(Backplane::fr4_trace(0.4)),
+/// ]);
+/// assert!(ch.attenuation_db(5e9) > Backplane::fr4_trace(0.5).attenuation_db(5e9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeChannel {
+    segments: Vec<Segment>,
+}
+
+impl CompositeChannel {
+    /// Creates a cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    #[must_use]
+    pub fn new(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "cascade needs at least one segment");
+        CompositeChannel { segments }
+    }
+
+    /// The paper's Fig. 1 path: line card trace → connector → backplane
+    /// trace → connector → line card trace.
+    #[must_use]
+    pub fn switch_fabric_path(backplane_m: f64) -> Self {
+        let connector = Segment::Connector {
+            loss_db: 0.4,
+            tilt_db: 1.2,
+            delay: 35e-12,
+        };
+        CompositeChannel::new(vec![
+            Segment::Trace(Backplane::fr4_trace(0.08)),
+            connector.clone(),
+            Segment::Trace(Backplane::fr4_trace(backplane_m)),
+            connector,
+            Segment::Trace(Backplane::fr4_trace(0.08)),
+        ])
+    }
+
+    /// The segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// End-to-end complex transfer at `f` Hz.
+    #[must_use]
+    pub fn transfer(&self, f: f64) -> Complex64 {
+        self.segments
+            .iter()
+            .fold(Complex64::ONE, |acc, s| acc * s.transfer(f))
+    }
+
+    /// End-to-end insertion loss at `f`, positive dB.
+    #[must_use]
+    pub fn attenuation_db(&self, f: f64) -> f64 {
+        -self.transfer(f).db()
+    }
+
+    /// Total nominal delay, seconds.
+    #[must_use]
+    pub fn total_delay(&self) -> f64 {
+        self.segments.iter().map(Segment::delay).sum()
+    }
+
+    /// Propagates a waveform through the cascade (frequency-domain
+    /// filtering, optionally removing the bulk delay).
+    #[must_use]
+    pub fn apply(&self, wave: &UniformWave, remove_delay: bool) -> UniformWave {
+        use cml_numeric::fft;
+        let dt = wave.dt();
+        let delay_samples = (self.total_delay() / dt).round() as usize;
+        let tail = ((4.0 * self.total_delay() / dt).ceil() as usize).max((2e-9 / dt) as usize);
+        let n = fft::next_pow2(wave.len() + delay_samples + tail);
+        // Impulse response via Hermitian IFFT of the cascade transfer.
+        let df = 1.0 / (n as f64 * dt);
+        let mut spec = vec![Complex64::ZERO; n];
+        spec[0] = self.transfer(0.0);
+        for k in 1..=n / 2 {
+            let h = self.transfer(k as f64 * df);
+            spec[k] = h;
+            if k < n / 2 {
+                spec[n - k] = h.conj();
+            }
+        }
+        spec[n / 2] = Complex64::from_real(spec[n / 2].re);
+        let h = fft::ifft_real(&spec).expect("power-of-two by construction");
+        let y = fft::convolve(wave.samples(), &h).expect("non-empty");
+        let skip = if remove_delay { delay_samples } else { 0 };
+        let data: Vec<f64> = (0..wave.len())
+            .map(|i| y.get(i + skip).copied().unwrap_or(0.0))
+            .collect();
+        UniformWave::new(wave.t0(), dt, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_sig::nrz::NrzConfig;
+    use cml_sig::prbs::Prbs;
+    use cml_sig::EyeDiagram;
+
+    #[test]
+    fn cascade_loss_is_sum_of_parts() {
+        let a = Backplane::fr4_trace(0.2);
+        let b = Backplane::fr4_trace(0.3);
+        let ch = CompositeChannel::new(vec![
+            Segment::Trace(a.clone()),
+            Segment::Trace(b.clone()),
+        ]);
+        let f = 5e9;
+        let want = a.attenuation_db(f) + b.attenuation_db(f);
+        assert!((ch.attenuation_db(f) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connector_tilt_grows_with_frequency() {
+        let c = Segment::Connector {
+            loss_db: 0.5,
+            tilt_db: 2.0,
+            delay: 30e-12,
+        };
+        let lo = -c.transfer(1e9).db();
+        let hi = -c.transfer(10e9).db();
+        assert!((lo - 0.7).abs() < 0.01);
+        assert!((hi - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn switch_fabric_path_is_lossier_than_bare_trace() {
+        let path = CompositeChannel::switch_fabric_path(0.4);
+        let bare = Backplane::fr4_trace(0.4);
+        assert!(path.attenuation_db(5e9) > bare.attenuation_db(5e9) + 1.0);
+        assert!(path.total_delay() > bare.bulk_delay());
+    }
+
+    #[test]
+    fn apply_degrades_the_eye_like_its_loss_says() {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let tx = NrzConfig::new(100e-12, 0.5).render(&bits);
+        let path = CompositeChannel::switch_fabric_path(0.3);
+        let rx = path.apply(&tx, true);
+        let m_in = EyeDiagram::fold(&tx.skip_initial(2e-9), 100e-12).metrics();
+        let m_out = EyeDiagram::fold(&rx.skip_initial(2e-9), 100e-12).metrics();
+        assert!(m_out.height < m_in.height);
+        assert!(m_out.height > 0.0, "moderate path keeps some eye");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_cascade_rejected() {
+        let _ = CompositeChannel::new(vec![]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Layout-area inventory (Table I's 0.028 mm² row and the 80 % claim).
+//!
+//! Mirrors the device lists of the netlist generators in [`crate::cells`]
+//! into [`cml_pdk::area::AreaBudget`]s. The paper's headline numbers:
+//! input interface 0.02 mm², output interface 0.008 mm², total core
+//! 0.028 mm² — "almost equal to an on-chip spiral inductor" — and the
+//! 80 % saving of active inductors over spirals.
+
+use cml_pdk::area::AreaBudget;
+
+const LDIFF: f64 = 0.48e-6;
+const LMIN: f64 = 0.18e-6;
+
+/// Area of one wide-band CML buffer (input pair, PMOS loads with gate
+/// resistors, feedback pair, Miller varactors).
+#[must_use]
+pub fn cml_buffer() -> AreaBudget {
+    let mut b = AreaBudget::new("cml buffer");
+    for w in [17e-6, 17e-6, 48e-6, 48e-6, 4e-6, 4e-6, 3e-6, 3e-6] {
+        b.add_mosfet(w, LMIN, LDIFF);
+    }
+    b.add_resistor(6e3);
+    b.add_resistor(6e3);
+    b.add_capacitor(4e-15);
+    b.add_capacitor(4e-15);
+    // Tail mirror device.
+    b.add_mosfet(10e-6, 0.36e-6, LDIFF);
+    b
+}
+
+/// Area of the Cherry-Hooper equalizer.
+#[must_use]
+pub fn equalizer() -> AreaBudget {
+    let mut b = AreaBudget::new("equalizer");
+    for w in [20e-6, 20e-6, 20e-6, 20e-6, 6e-6, 6e-6, 4e-6] {
+        b.add_mosfet(w, LMIN, LDIFF);
+    }
+    for r in [50.0, 50.0, 250.0, 250.0, 250.0, 250.0, 400.0, 400.0] {
+        b.add_resistor(r);
+    }
+    b.add_capacitor(400e-15); // degeneration MOS cap
+    for _ in 0..4 {
+        b.add_mosfet(12e-6, 0.36e-6, LDIFF); // tail mirrors
+    }
+    b
+}
+
+/// Area of one LA gain stage (input pair, peaking PMOS + gate R, poly
+/// loads, Miller varactors, tail).
+#[must_use]
+pub fn gain_stage() -> AreaBudget {
+    let mut b = AreaBudget::new("gain stage");
+    for w in [34e-6, 34e-6, 40e-6, 40e-6, 3e-6, 3e-6] {
+        b.add_mosfet(w, LMIN, LDIFF);
+    }
+    for r in [245.0, 245.0, 400.0, 400.0] {
+        b.add_resistor(r);
+    }
+    b.add_mosfet(20e-6, 0.36e-6, LDIFF);
+    b
+}
+
+/// Area of the limiting amplifier (4 gain stages + 2 feedback pairs +
+/// offset-cancel correction pair and sense resistors; the smoothing
+/// capacitors are off-chip by design).
+#[must_use]
+pub fn limiting_amp() -> AreaBudget {
+    let mut b = AreaBudget::new("limiting amplifier");
+    for _ in 0..4 {
+        b.merge(&gain_stage());
+    }
+    for _ in 0..2 {
+        // Feedback pair + tail.
+        b.add_mosfet(5e-6, LMIN, LDIFF);
+        b.add_mosfet(5e-6, LMIN, LDIFF);
+        b.add_mosfet(5e-6, 0.36e-6, LDIFF);
+    }
+    b.add_mosfet(5e-6, LMIN, LDIFF);
+    b.add_mosfet(5e-6, LMIN, LDIFF);
+    b.add_resistor(20e3);
+    b.add_resistor(20e3);
+    b
+}
+
+/// Area of the BMVR.
+#[must_use]
+pub fn bmvr() -> AreaBudget {
+    let mut b = AreaBudget::new("bmvr");
+    b.add_mosfet(20e-6, 1e-6, LDIFF);
+    b.add_mosfet(80e-6, 1e-6, LDIFF);
+    b.add_mosfet(30e-6, 1e-6, LDIFF);
+    b.add_mosfet(30e-6, 1e-6, LDIFF);
+    b.add_resistor(1.2e3);
+    b.add_resistor(2e6 / 100.0); // startup drawn as a long-L device, 1 % footprint
+    b
+}
+
+/// Area of the full input interface (Fig. 2).
+#[must_use]
+pub fn input_interface() -> AreaBudget {
+    let mut b = AreaBudget::new("input interface");
+    b.merge(&equalizer());
+    b.merge(&cml_buffer());
+    b.merge(&limiting_amp());
+    b.merge(&cml_buffer());
+    b
+}
+
+/// Area of the output interface (Fig. 3): level shift, three tapered
+/// driver stages, voltage peaking (delay buffer + differentiator).
+#[must_use]
+pub fn output_interface() -> AreaBudget {
+    let mut b = AreaBudget::new("output interface");
+    // Level shift followers.
+    b.add_mosfet(10e-6, LMIN, LDIFF);
+    b.add_mosfet(10e-6, LMIN, LDIFF);
+    // Tapered stages: widths scale with drive current (1, 2.7, 8 mA).
+    for w_scale in [1.0, 2.7, 8.0] {
+        let w = 8e-6 * w_scale;
+        b.add_mosfet(w, LMIN, LDIFF);
+        b.add_mosfet(w, LMIN, LDIFF);
+        b.add_resistor(250.0 / w_scale);
+        b.add_resistor(250.0 / w_scale);
+        b.add_mosfet(6e-6 * w_scale, 0.36e-6, LDIFF);
+    }
+    // Delay buffer (a small CML buffer) + differentiator (Gilbert quad).
+    for w in [8e-6, 8e-6, 6e-6, 6e-6, 6e-6, 6e-6, 8e-6, 8e-6] {
+        b.add_mosfet(w, LMIN, LDIFF);
+    }
+    b.add_resistor(300.0);
+    b.add_resistor(300.0);
+    b
+}
+
+/// Total core area of the I/O interface — the paper's 0.028 mm².
+#[must_use]
+pub fn io_interface() -> AreaBudget {
+    let mut b = AreaBudget::new("io interface");
+    b.merge(&input_interface());
+    b.merge(&output_interface());
+    b.merge(&bmvr());
+    b
+}
+
+/// The same interface with every active inductor replaced by a 2 nH
+/// on-chip spiral (two per buffer/gain stage) — the counterfactual
+/// behind the paper's "reduce 80 % of the circuit area" claim.
+#[must_use]
+pub fn io_interface_with_spirals() -> AreaBudget {
+    let mut b = io_interface();
+    // 2 spirals per CML buffer (×2), per gain stage (×4), per driver
+    // stage that would need peaking (×2).
+    for _ in 0..16 {
+        b.add_spiral(2e-9);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_areas_match_paper_order_of_magnitude() {
+        let input = input_interface().total_mm2();
+        let output = output_interface().total_mm2();
+        // Paper: 0.02 and 0.008 mm². Same order, input larger.
+        assert!(input > 0.005 && input < 0.06, "input = {input} mm²");
+        assert!(output > 0.0015 && output < 0.03, "output = {output} mm²");
+        assert!(input > output, "input interface is the bigger block");
+    }
+
+    #[test]
+    fn total_core_is_comparable_to_one_spiral() {
+        // "The total core area ... is almost equal to an on-chip spiral
+        // inductor" — within a small factor of a 2 nH spiral footprint.
+        let core = io_interface().total_m2();
+        let spiral = cml_pdk::area::spiral_inductor(2e-9);
+        let ratio = core / spiral;
+        assert!(ratio > 0.4 && ratio < 4.0, "core/spiral = {ratio}");
+    }
+
+    #[test]
+    fn active_inductors_save_at_least_60_percent() {
+        // The paper claims 80 %; our accounting should show the same
+        // direction with at least a strong majority saved.
+        let with_active = io_interface().total_m2();
+        let with_spirals = io_interface_with_spirals().total_m2();
+        let saving = 1.0 - with_active / with_spirals;
+        assert!(saving > 0.6, "area saving = {:.0} %", saving * 100.0);
+    }
+
+    #[test]
+    fn budgets_count_devices() {
+        assert!(cml_buffer().num_devices() >= 9);
+        assert!(limiting_amp().num_devices() >= 40);
+        assert!(io_interface().num_devices() > 70);
+    }
+}

@@ -1,0 +1,239 @@
+//! Discrete-time filters derived from analog prototypes.
+//!
+//! All behavioural frequency shaping is done with bilinear-transformed
+//! first- and second-order sections, so a block's analog transfer
+//! function (poles/zeros in Hz) maps directly onto the sampled waveform
+//! grid regardless of the sample rate chosen by the caller.
+
+use cml_sig::UniformWave;
+
+/// A first-order section `H(s) = (b0 + b1·s/ω0) / (1 + s/ω0)` sampled by
+/// the bilinear transform at the waveform's rate.
+///
+/// `b0 = 1, b1 = 0` is a low-pass; `b0 = 0, b1 = 1` a high-pass;
+/// `b0 = 1, b1 = 1` an all-pass-like shelf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirstOrder {
+    /// Corner frequency, Hz.
+    pub f0: f64,
+    /// Numerator constant term.
+    pub b0: f64,
+    /// Numerator `s/ω0` coefficient.
+    pub b1: f64,
+}
+
+impl FirstOrder {
+    /// Unity-DC-gain low-pass with the given corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f0` is not strictly positive.
+    #[must_use]
+    pub fn lowpass(f0: f64) -> Self {
+        assert!(f0 > 0.0, "corner must be positive");
+        FirstOrder { f0, b0: 1.0, b1: 0.0 }
+    }
+
+    /// Unity-high-frequency-gain high-pass with the given corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f0` is not strictly positive.
+    #[must_use]
+    pub fn highpass(f0: f64) -> Self {
+        assert!(f0 > 0.0, "corner must be positive");
+        FirstOrder { f0, b0: 0.0, b1: 1.0 }
+    }
+
+    /// Filters a waveform.
+    #[must_use]
+    pub fn apply(&self, wave: &UniformWave) -> UniformWave {
+        // Bilinear transform with prewarping at f0.
+        let t = wave.dt();
+        let wc = 2.0 * std::f64::consts::PI * self.f0;
+        let k = 2.0 / t * (wc * t / 2.0).tan() / wc; // prewarp correction
+        let c = 2.0 * k / t / wc; // s/ω0 → c·(1−z⁻¹)/(1+z⁻¹)
+        // H(z) = (b0(1+z⁻¹) + b1·c(1−z⁻¹)) / ((1+z⁻¹) + c(1−z⁻¹))
+        let a0 = 1.0 + c;
+        let a1 = 1.0 - c;
+        let n0 = self.b0 + self.b1 * c;
+        let n1 = self.b0 - self.b1 * c;
+        let mut y_prev = if self.b1 == 0.0 {
+            // Low-pass style: settle at the first sample's level.
+            wave.samples()[0] * self.b0
+        } else {
+            wave.samples()[0] * self.b0
+        };
+        let mut x_prev = wave.samples()[0];
+        let mut out = Vec::with_capacity(wave.len());
+        // Start in steady state for the first sample.
+        out.push(y_prev);
+        for &x in &wave.samples()[1..] {
+            let y = (n0 * x + n1 * x_prev - a1 * y_prev) / a0;
+            out.push(y);
+            x_prev = x;
+            y_prev = y;
+        }
+        UniformWave::new(wave.t0(), wave.dt(), out)
+    }
+}
+
+/// A second-order section `H(s) = g / (1 + s/(Q·ω0) + s²/ω0²)` (unity-DC
+/// low-pass scaled by `g`), bilinear-transformed at the waveform rate.
+///
+/// `Q > 1/√2` produces the gain peaking characteristic of inductive
+/// loads — the behavioural face of the active inductor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Natural frequency, Hz.
+    pub f0: f64,
+    /// Quality factor.
+    pub q: f64,
+    /// DC gain.
+    pub gain: f64,
+}
+
+impl Biquad {
+    /// Creates a peaked low-pass section.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f0`, `q` and `gain` are strictly positive.
+    #[must_use]
+    pub fn lowpass(f0: f64, q: f64, gain: f64) -> Self {
+        assert!(f0 > 0.0 && q > 0.0 && gain > 0.0, "parameters must be positive");
+        Biquad { f0, q, gain }
+    }
+
+    /// The −3 dB bandwidth of the analog prototype (relative to DC).
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        // |H(jw)|² = 1/((1−u²)² + u²/Q²), u = ω/ω0: solve for 1/2.
+        let q2 = self.q * self.q;
+        let a = 1.0 - 1.0 / (2.0 * q2);
+        let u2 = a + (a * a + 1.0).sqrt();
+        self.f0 * u2.sqrt()
+    }
+
+    /// Filters a waveform.
+    #[must_use]
+    pub fn apply(&self, wave: &UniformWave) -> UniformWave {
+        let t = wave.dt();
+        let w0 = 2.0 * std::f64::consts::PI * self.f0;
+        // Prewarped bilinear: K = ω0 / tan(ω0·T/2).
+        let k = w0 / (w0 * t / 2.0).tan();
+        let k2 = k * k;
+        let w02 = w0 * w0;
+        let a0 = k2 + k * w0 / self.q + w02;
+        let a1 = 2.0 * (w02 - k2);
+        let a2 = k2 - k * w0 / self.q + w02;
+        let b = self.gain * w02;
+        // H(z) = b(1+z⁻¹)²/(a0 + a1 z⁻¹ + a2 z⁻²)
+        let x0 = wave.samples()[0];
+        let y_ss = self.gain * x0;
+        let mut x1 = x0;
+        let mut x2 = x0;
+        let mut y1 = y_ss;
+        let mut y2 = y_ss;
+        let mut out = Vec::with_capacity(wave.len());
+        for &x in wave.samples() {
+            let y = (b * (x + 2.0 * x1 + x2) - a1 * y1 - a2 * y2) / a0;
+            out.push(y);
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+        }
+        UniformWave::new(wave.t0(), wave.dt(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, dt: f64, n: usize) -> UniformWave {
+        UniformWave::new(
+            0.0,
+            dt,
+            (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 * dt).sin())
+                .collect(),
+        )
+    }
+
+    fn steady_amplitude(w: &UniformWave) -> f64 {
+        let tail = &w.samples()[w.len() / 2..];
+        tail.iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    #[test]
+    fn lowpass_passes_dc_and_attenuates_high() {
+        let f = FirstOrder::lowpass(1e9);
+        let dc = UniformWave::new(0.0, 1e-12, vec![0.7; 512]);
+        let out = f.apply(&dc);
+        assert!((out.samples()[511] - 0.7).abs() < 1e-9);
+        // Tone a decade above the corner: ~−20 dB.
+        let tone = sine(1e10, 1e-12, 4000);
+        let amp = steady_amplitude(&f.apply(&tone));
+        assert!((amp - 0.0995).abs() < 0.02, "amp = {amp}");
+    }
+
+    #[test]
+    fn lowpass_minus_3db_at_corner() {
+        let f = FirstOrder::lowpass(1e9);
+        let tone = sine(1e9, 0.5e-12, 8000);
+        let amp = steady_amplitude(&f.apply(&tone));
+        assert!((amp - 0.7071).abs() < 0.02, "amp = {amp}");
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let f = FirstOrder::highpass(1e6);
+        let step = UniformWave::new(0.0, 1e-9, vec![1.0; 20000]);
+        let out = f.apply(&step);
+        // Initialized at steady state → stays ~0 for constant input.
+        assert!(out.samples()[19999].abs() < 1e-6);
+        // Fast tone passes.
+        let tone = sine(1e9, 1e-11, 4000);
+        let amp = steady_amplitude(&f.apply(&tone));
+        assert!((amp - 1.0).abs() < 0.02, "amp = {amp}");
+    }
+
+    #[test]
+    fn biquad_dc_gain_and_peaking() {
+        let b = Biquad::lowpass(5e9, 1.5, 2.0);
+        let dc = UniformWave::new(0.0, 1e-12, vec![0.5; 1024]);
+        let out = b.apply(&dc);
+        assert!((out.samples()[1023] - 1.0).abs() < 1e-6);
+        // Near f0, Q = 1.5 gives gain ≈ Q·g (for high Q): amplitude > g.
+        let tone = sine(5e9, 0.25e-12, 16000);
+        let amp = steady_amplitude(&b.apply(&tone));
+        assert!(amp > 2.5, "peak amp = {amp}");
+    }
+
+    #[test]
+    fn biquad_bandwidth_formula() {
+        // Butterworth Q = 0.7071: bandwidth = f0.
+        let b = Biquad::lowpass(3e9, std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        assert!((b.bandwidth() - 3e9).abs() / 3e9 < 1e-6);
+        // Q = 0.5 (two coincident poles): bandwidth = f0·0.644.
+        let b2 = Biquad::lowpass(3e9, 0.5, 1.0);
+        assert!((b2.bandwidth() / 3e9 - 0.6436).abs() < 1e-3);
+    }
+
+    #[test]
+    fn biquad_attenuates_two_decades_up() {
+        let b = Biquad::lowpass(1e9, 0.7071, 1.0);
+        // 40 dB/decade: at 10 GHz ≈ −40 dB.
+        let tone = sine(1e10, 1e-13, 40000);
+        let amp = steady_amplitude(&b.apply(&tone));
+        assert!(amp < 0.02, "amp = {amp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_corner_rejected() {
+        let _ = FirstOrder::lowpass(0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Behavioural (waveform-level) models of the paper's blocks.
+//!
+//! Transistor-level simulation of the full TX → backplane → RX path at
+//! 10 Gb/s PRBS-7 is possible with `cml-spice` but slow; the paper's
+//! system-level figures (14–16) are regenerated with these calibrated
+//! behavioural models instead: each block is a static CML nonlinearity
+//! (the differential pair's tanh) composed with the small-signal transfer
+//! function measured from the corresponding transistor cell.
+//!
+//! Every model implements [`Block`] (waveform in → waveform out) so
+//! chains compose naturally:
+//!
+//! ```
+//! use cml_core::behav::{Block, Chain, CmlBuffer, Equalizer};
+//!
+//! let rx = Chain::new()
+//!     .then(Equalizer::paper_default())
+//!     .then(CmlBuffer::paper_default());
+//! assert_eq!(rx.len(), 2);
+//! ```
+
+mod blocks;
+pub mod cdr;
+mod filter;
+mod interfaces;
+
+pub use blocks::{
+    CmlBuffer, DelayBuffer, Equalizer, LevelShift, LimitingAmp, TaperedDriver, VoltagePeaking,
+};
+pub use filter::{Biquad, FirstOrder};
+pub use interfaces::{ChannelBlock, InputInterface, IoLink, OutputInterface};
+
+use cml_sig::UniformWave;
+
+/// A waveform-processing block: the behavioural counterpart of one
+/// circuit cell.
+pub trait Block {
+    /// Processes an input waveform into the block's output waveform
+    /// (same time grid).
+    fn process(&self, input: &UniformWave) -> UniformWave;
+}
+
+/// A sequential chain of blocks.
+#[derive(Default)]
+pub struct Chain {
+    blocks: Vec<Box<dyn Block + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Chain({} blocks)", self.blocks.len())
+    }
+}
+
+impl Chain {
+    /// Creates an empty chain (identity).
+    #[must_use]
+    pub fn new() -> Self {
+        Chain { blocks: Vec::new() }
+    }
+
+    /// Appends a block to the chain.
+    #[must_use]
+    pub fn then(mut self, block: impl Block + Send + Sync + 'static) -> Self {
+        self.blocks.push(Box::new(block));
+        self
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl Block for Chain {
+    fn process(&self, input: &UniformWave) -> UniformWave {
+        let mut wave = input.clone();
+        for b in &self.blocks {
+            wave = b.process(&wave);
+        }
+        wave
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let w = UniformWave::new(0.0, 1e-12, vec![0.1, -0.2, 0.3]);
+        let c = Chain::new();
+        assert_eq!(c.process(&w), w);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn chain_composes_in_order() {
+        struct AddOne;
+        impl Block for AddOne {
+            fn process(&self, w: &UniformWave) -> UniformWave {
+                w.map(|v| v + 1.0)
+            }
+        }
+        struct Double;
+        impl Block for Double {
+            fn process(&self, w: &UniformWave) -> UniformWave {
+                w.map(|v| v * 2.0)
+            }
+        }
+        let w = UniformWave::new(0.0, 1.0, vec![1.0]);
+        let c = Chain::new().then(AddOne).then(Double);
+        assert_eq!(c.process(&w).samples(), &[4.0]); // (1+1)*2
+        let c2 = Chain::new().then(Double).then(AddOne);
+        assert_eq!(c2.process(&w).samples(), &[3.0]); // 1*2+1
+    }
+}

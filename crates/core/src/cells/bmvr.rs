@@ -1,0 +1,225 @@
+//! Beta-multiplier voltage reference (paper Fig. 12, §III.E).
+//!
+//! The BMVR [Liu & Baker 1998] generates a supply-insensitive bias for
+//! every tail-current source in the I/O interface. Two matched branches
+//! force equal currents through an NMOS pair sized 1 : K; the width
+//! mismatch leaves a ΔV_GS that drops across the source resistor `R_s`,
+//! setting `I = 2/(kp·(W/L)·R_s²)·(1 − 1/√K)²` independent of `V_DD` to
+//! first order. The reference output is the gate voltage of the unit
+//! device, `V_ref = V_GS1 = V_TH + V_ov1`.
+//!
+//! Temperature behaviour: mobility falls with T (raising `V_ov`), `V_TH`
+//! falls with T — the two partially cancel, which is what lets the paper
+//! quote < 550 ppm/°C. Supply sensitivity comes only through channel-
+//! length modulation (< 26 mV/V in the paper).
+//!
+//! A start-up resistor from `V_DD` to the mirror gate keeps the solver
+//! (and the real circuit) off the degenerate zero-current state.
+
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+/// Configuration of the beta-multiplier reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BmvrConfig {
+    /// Unit NMOS width, meters.
+    pub w_n: f64,
+    /// NMOS channel length, meters (longer than minimum for matching and
+    /// low λ).
+    pub l_n: f64,
+    /// Width multiplier K of the second NMOS.
+    pub k: f64,
+    /// Source resistor, ohms — the trim knob ("tuned to within 10 mV").
+    pub r_s: f64,
+    /// PMOS mirror width, meters.
+    pub w_p: f64,
+    /// Start-up resistor, ohms.
+    pub r_startup: f64,
+}
+
+impl BmvrConfig {
+    /// The nominal design: K = 4, branch current ≈ 100 µA,
+    /// `V_ref ≈ 0.75 V`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        BmvrConfig {
+            w_n: 20e-6,
+            l_n: 1.0e-6,
+            k: 4.0,
+            r_s: 1.2e3,
+            w_p: 30e-6,
+            r_startup: 2e6,
+        }
+    }
+
+    /// Predicted branch current from the hand equation, amps.
+    #[must_use]
+    pub fn predicted_current(&self, pdk: &Pdk018) -> f64 {
+        let card = pdk.nmos(self.w_n, self.l_n);
+        let beta = card.kp * self.w_n / self.l_n;
+        let k_term = 1.0 - 1.0 / self.k.sqrt();
+        2.0 / (beta * self.r_s * self.r_s) * k_term * k_term
+    }
+
+    /// Predicted reference voltage, volts.
+    #[must_use]
+    pub fn predicted_vref(&self, pdk: &Pdk018) -> f64 {
+        let card = pdk.nmos(self.w_n, self.l_n);
+        let beta = card.kp * self.w_n / self.l_n;
+        let i = self.predicted_current(pdk);
+        card.vth0 + (2.0 * i / beta).sqrt()
+    }
+}
+
+/// Builds the BMVR into `ckt` and returns the reference-voltage node.
+pub fn build(
+    ckt: &mut Circuit,
+    pdk: &Pdk018,
+    cfg: &BmvrConfig,
+    prefix: &str,
+    vdd: NodeId,
+) -> NodeId {
+    let vref = ckt.node(&format!("{prefix}_vref")); // gate of M1, the output
+    let vpg = ckt.internal_node(&format!("{prefix}_pg")); // PMOS mirror gate
+    let d1 = vref; // M1 is diode-connected: drain = gate = vref
+    let d2 = vpg; // M2's drain diode-connects the PMOS mirror
+    let s2 = ckt.internal_node(&format!("{prefix}_s2"));
+
+    // NMOS pair: M1 unit device (diode-connected), M2 = K× wider with
+    // source resistor.
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_MN1"),
+        d1,
+        vref,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_n, cfg.l_n),
+    ));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_MN2"),
+        d2,
+        vref,
+        s2,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_n * cfg.k, cfg.l_n),
+    ));
+    ckt.add(Resistor::new(&format!("{prefix}_RS"), s2, Circuit::GROUND, cfg.r_s));
+
+    // PMOS mirror forcing equal branch currents (diode device on M2's
+    // branch).
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_MP1"),
+        d1,
+        vpg,
+        vdd,
+        vdd,
+        pdk.pmos(cfg.w_p, cfg.l_n),
+    ));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_MP2"),
+        d2,
+        vpg,
+        vdd,
+        vdd,
+        pdk.pmos(cfg.w_p, cfg.l_n),
+    ));
+
+    // Start-up: leak current into the NMOS gate so the zero state is not
+    // an equilibrium.
+    ckt.add(Resistor::new(
+        &format!("{prefix}_RST"),
+        vdd,
+        vref,
+        cfg.r_startup,
+    ));
+
+    vref
+}
+
+/// Solves the reference voltage at one supply/corner/temperature point.
+///
+/// # Errors
+///
+/// Propagates operating-point failures.
+pub fn solve_vref(pdk: &Pdk018, cfg: &BmvrConfig, vdd_volts: f64) -> Result<f64, cml_spice::SpiceError> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, vdd_volts));
+    let vref = build(&mut ckt, pdk, cfg, "bmvr", vdd);
+    let op = cml_spice::analysis::op::solve(&ckt)?;
+    Ok(op.voltage(vref))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_pdk::Corner;
+
+    #[test]
+    fn vref_close_to_hand_prediction() {
+        let pdk = Pdk018::typical();
+        let cfg = BmvrConfig::paper_default();
+        let vref = solve_vref(&pdk, &cfg, 1.8).unwrap();
+        let predicted = cfg.predicted_vref(&pdk);
+        assert!(
+            (vref - predicted).abs() < 0.1,
+            "vref {vref:.3} vs predicted {predicted:.3}"
+        );
+        assert!(vref > 0.5 && vref < 1.0, "vref = {vref}");
+    }
+
+    #[test]
+    fn supply_sensitivity_below_spec() {
+        // Paper: < 26 mV/V.
+        let pdk = Pdk018::typical();
+        let cfg = BmvrConfig::paper_default();
+        let v_lo = solve_vref(&pdk, &cfg, 1.6).unwrap();
+        let v_hi = solve_vref(&pdk, &cfg, 2.0).unwrap();
+        let sens = (v_hi - v_lo).abs() / 0.4;
+        assert!(sens < 26e-3, "supply sensitivity = {:.1} mV/V", sens * 1e3);
+    }
+
+    #[test]
+    fn temperature_coefficient_below_spec() {
+        // Paper: < 550 ppm/°C over the qualified range.
+        let cfg = BmvrConfig::paper_default();
+        let v_cold = solve_vref(&Pdk018::new(Corner::Tt, -40.0), &cfg, 1.8).unwrap();
+        let v_hot = solve_vref(&Pdk018::new(Corner::Tt, 125.0), &cfg, 1.8).unwrap();
+        let v_nom = solve_vref(&Pdk018::new(Corner::Tt, 27.0), &cfg, 1.8).unwrap();
+        let tc = ((v_hot - v_cold) / (165.0 * v_nom)).abs() * 1e6;
+        assert!(tc < 550.0, "tempco = {tc:.0} ppm/°C");
+    }
+
+    #[test]
+    fn rs_trims_the_reference() {
+        // "can be tuned to within 10 mV of a desired value": R_s moves
+        // V_ref monotonically.
+        let pdk = Pdk018::typical();
+        let mut cfg = BmvrConfig::paper_default();
+        let v_nom = solve_vref(&pdk, &cfg, 1.8).unwrap();
+        cfg.r_s = 1.0e3;
+        let v_small_rs = solve_vref(&pdk, &cfg, 1.8).unwrap();
+        assert!(
+            v_small_rs > v_nom + 5e-3,
+            "smaller R_s must raise V_ref: {v_small_rs} vs {v_nom}"
+        );
+    }
+
+    #[test]
+    fn branch_current_near_prediction() {
+        let pdk = Pdk018::typical();
+        let cfg = BmvrConfig::paper_default();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
+        build(&mut ckt, &pdk, &cfg, "bmvr", vdd);
+        let op = cml_spice::analysis::op::solve(&ckt).unwrap();
+        let i_vdd = -op.current("VDD").unwrap(); // total delivered
+        let i_pred = cfg.predicted_current(&pdk);
+        // Two branches plus startup leakage.
+        assert!(
+            i_vdd > 1.5 * i_pred && i_vdd < 3.5 * i_pred,
+            "i_vdd {i_vdd:.3e} vs 2×{i_pred:.3e}"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's wide-band CML buffer cell (Fig. 6).
+//!
+//! A differential pair with three bandwidth tricks layered on top:
+//!
+//! 1. **PMOS active-inductor load** — each load is a diode-connected
+//!    PMOS whose gate reaches its drain *through* a resistor `R_g`. At
+//!    low frequency the device is the familiar `1/gm` diode resistor; at
+//!    high frequency `R_g·Cgs` decouples the gate, the device turns into
+//!    a current source and the impedance rises toward `r_o` — an
+//!    inductive peaking load (`L_eff ≈ R_g·Cgs/gm`) at a fraction of a
+//!    spiral inductor's area (the paper's headline 80 % area saving).
+//! 2. **Active feedback** — a weak cross-coupled pair (M5/M6 driven
+//!    through the M3/M4 current buffers in the paper; collapsed here to
+//!    the equivalent cross-coupled negative-gm load) that boosts gain
+//!    without adding input capacitance.
+//! 3. **Negative Miller capacitance** — accumulation-mode varactors
+//!    (M7/M8) cross-coupled from each input to the non-inverted output,
+//!    cancelling the input pair's Cgd Miller multiplication.
+
+use super::DiffPort;
+use crate::design::CmlStage;
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+/// Configuration of one CML buffer instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmlBufferConfig {
+    /// Electrical design point (tail current, load, overdrive).
+    pub stage: CmlStage,
+    /// Multiplier on the nominal PMOS load width. Larger PMOS = higher
+    /// load gm = lower gain / higher bandwidth — the Fig. 7 sweep knob.
+    pub pmos_scale: f64,
+    /// Active-inductor gate resistance, ohms. 0 disables the resistor
+    /// (gate tied straight to drain: plain diode load, no peaking).
+    pub r_gate: f64,
+    /// Cross-coupled feedback pair tail current as a fraction of the main
+    /// tail (0 disables active feedback). Must stay below the stability
+    /// limit `1/(gm_fb·R_on) > 1`.
+    pub feedback_frac: f64,
+    /// Cross-coupled negative-Miller capacitance, farads (0 disables).
+    pub neg_miller: f64,
+}
+
+impl CmlBufferConfig {
+    /// The paper's nominal internal buffer: 1 mA / 250 Ω / 250 mV swing,
+    /// active inductor, feedback and Miller cancellation enabled.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CmlBufferConfig {
+            stage: crate::design::paper::internal_stage(),
+            pmos_scale: 1.0,
+            r_gate: 400.0,
+            feedback_frac: 0.25,
+            neg_miller: 4e-15,
+        }
+    }
+
+    /// Same design point with every wide-band technique disabled — the
+    /// ablation baseline.
+    #[must_use]
+    pub fn plain() -> Self {
+        CmlBufferConfig {
+            stage: crate::design::paper::internal_stage(),
+            pmos_scale: 1.0,
+            r_gate: 0.0,
+            feedback_frac: 0.0,
+            neg_miller: 0.0,
+        }
+    }
+
+    /// Static current drawn from the supply, amps.
+    #[must_use]
+    pub fn supply_current(&self) -> f64 {
+        self.stage.i_tail * (1.0 + self.feedback_frac)
+    }
+}
+
+/// Builds one CML buffer into `ckt`.
+///
+/// `prefix` namespaces all element and internal node names; `input` and
+/// `output` are the differential ports; `vdd` the supply node. Input
+/// common mode should sit near `VDD − swing/2` (a previous stage's
+/// output level).
+pub fn build(
+    ckt: &mut Circuit,
+    pdk: &Pdk018,
+    cfg: &CmlBufferConfig,
+    prefix: &str,
+    input: DiffPort,
+    output: DiffPort,
+    vdd: NodeId,
+) {
+    let stage = &cfg.stage;
+    let w_in = stage.input_width(pdk);
+    let w_p =
+        crate::design::pmos_load_width(stage.r_load, stage.i_tail, pdk) * cfg.pmos_scale;
+    let tail = ckt.internal_node(&format!("{prefix}_tail"));
+
+    // Input differential pair: in_p steers current into out_n.
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M1"),
+        output.n,
+        input.p,
+        tail,
+        Circuit::GROUND,
+        pdk.nmos(w_in, cml_pdk::L_MIN),
+    ));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M2"),
+        output.p,
+        input.n,
+        tail,
+        Circuit::GROUND,
+        pdk.nmos(w_in, cml_pdk::L_MIN),
+    ));
+    // Tail current (BMVR-derived bias in the full chip).
+    ckt.add(Isource::dc(
+        &format!("{prefix}_IT"),
+        tail,
+        Circuit::GROUND,
+        stage.i_tail,
+    ));
+
+    // PMOS active-inductor loads: diode-connected through R_g.
+    for (leg, out) in [("a", output.n), ("b", output.p)] {
+        let gate = if cfg.r_gate > 0.0 {
+            let g = ckt.internal_node(&format!("{prefix}_g{leg}"));
+            ckt.add(Resistor::new(
+                &format!("{prefix}_RG{leg}"),
+                g,
+                out,
+                cfg.r_gate,
+            ));
+            g
+        } else {
+            out // plain diode connection
+        };
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_MP{leg}"),
+            out,
+            gate,
+            vdd,
+            vdd,
+            pdk.pmos(w_p, cml_pdk::L_MIN),
+        ));
+    }
+
+    // Active feedback: cross-coupled pair on its own (smaller) tail.
+    if cfg.feedback_frac > 0.0 {
+        let fb_tail = ckt.internal_node(&format!("{prefix}_fbt"));
+        let w_fb = w_in * cfg.feedback_frac;
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_M5"),
+            output.n,
+            output.p,
+            fb_tail,
+            Circuit::GROUND,
+            pdk.nmos(w_fb, cml_pdk::L_MIN),
+        ));
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_M6"),
+            output.p,
+            output.n,
+            fb_tail,
+            Circuit::GROUND,
+            pdk.nmos(w_fb, cml_pdk::L_MIN),
+        ));
+        ckt.add(Isource::dc(
+            &format!("{prefix}_IFB"),
+            fb_tail,
+            Circuit::GROUND,
+            stage.i_tail * cfg.feedback_frac,
+        ));
+    }
+
+    // Negative Miller capacitance: input to same-phase output.
+    if cfg.neg_miller > 0.0 {
+        ckt.add(Capacitor::new(
+            &format!("{prefix}_CM1"),
+            input.p,
+            output.p,
+            cfg.neg_miller,
+        ));
+        ckt.add(Capacitor::new(
+            &format!("{prefix}_CM2"),
+            input.n,
+            output.n,
+            cfg.neg_miller,
+        ));
+    }
+}
+
+/// Output common-mode voltage this buffer settles to (next stage's input
+/// common mode): `VDD − |V_TH,p| − V_ov,p` with the diode load's
+/// overdrive `V_ov,p = R_on·I_tail / √pmos_scale`.
+#[must_use]
+pub fn output_common_mode(cfg: &CmlBufferConfig) -> f64 {
+    let vov = cfg.stage.r_load * cfg.stage.i_tail / cfg.pmos_scale.sqrt();
+    cml_pdk::VDD - 0.45 - vov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{add_diff_drive, add_supply};
+    use cml_numeric::logspace;
+    use cml_sig::Bode;
+
+    fn buffer_bode(cfg: &CmlBufferConfig, c_load: f64) -> Bode {
+        let pdk = Pdk018::typical();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(&mut ckt, "VIN", input, output_common_mode(cfg), None);
+        build(&mut ckt, &pdk, cfg, "buf", input, output, vdd);
+        if c_load > 0.0 {
+            ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, c_load));
+            ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
+        }
+        let freqs = logspace(1e7, 60e9, 120);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
+        let diff = ac.differential_trace(output.p, output.n);
+        Bode::new(freqs, diff)
+    }
+
+    #[test]
+    fn balanced_op_point() {
+        let pdk = Pdk018::typical();
+        let cfg = CmlBufferConfig::paper_default();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(&mut ckt, "VIN", input, output_common_mode(&cfg), None);
+        build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+        let op = cml_spice::analysis::op::solve(&ckt).unwrap();
+        let vp = op.voltage(output.p);
+        let vn = op.voltage(output.n);
+        // Symmetric circuit, symmetric drive: outputs match.
+        assert!((vp - vn).abs() < 1e-3, "outputs differ: {vp} vs {vn}");
+        // Output CM within the expected window below VDD.
+        assert!(vp < 1.4 && vp > 0.9, "vout cm = {vp}");
+    }
+
+    #[test]
+    fn has_gain_and_bandwidth_at_10gbps() {
+        let bode = buffer_bode(&CmlBufferConfig::paper_default(), 20e-15);
+        let dc = bode.dc_gain_db();
+        assert!(dc > -1.0, "buffer should be ~unity or better, got {dc} dB");
+        let bw = bode.bandwidth_3db().expect("must roll off in sweep");
+        assert!(bw > 5e9, "bw = {bw:.3e} must support 10 Gb/s");
+    }
+
+    #[test]
+    fn active_inductor_extends_bandwidth() {
+        let mut with = CmlBufferConfig::paper_default();
+        with.feedback_frac = 0.0;
+        with.neg_miller = 0.0;
+        let mut without = with.clone();
+        without.r_gate = 0.0;
+        let c_load = 60e-15;
+        let bw_with = buffer_bode(&with, c_load).bandwidth_3db().unwrap();
+        let bw_without = buffer_bode(&without, c_load).bandwidth_3db().unwrap();
+        assert!(
+            bw_with > 1.2 * bw_without,
+            "active inductor should extend bandwidth: {bw_with:.3e} vs {bw_without:.3e}"
+        );
+    }
+
+    #[test]
+    fn feedback_raises_gain() {
+        let mut with = CmlBufferConfig::paper_default();
+        with.neg_miller = 0.0;
+        let mut without = with.clone();
+        without.feedback_frac = 0.0;
+        let g_with = buffer_bode(&with, 20e-15).dc_gain_db();
+        let g_without = buffer_bode(&without, 20e-15).dc_gain_db();
+        assert!(
+            g_with > g_without + 0.5,
+            "feedback should add gain: {g_with} vs {g_without} dB"
+        );
+    }
+
+    #[test]
+    fn larger_pmos_lowers_gain_raises_bandwidth() {
+        let mut small = CmlBufferConfig::paper_default();
+        small.feedback_frac = 0.0;
+        small.neg_miller = 0.0;
+        small.r_gate = 0.0;
+        let mut large = small.clone();
+        large.pmos_scale = 3.0;
+        // External load dominating the loads' self-capacitance, so the
+        // higher load gm shows up as bandwidth.
+        let b_small = buffer_bode(&small, 250e-15);
+        let b_large = buffer_bode(&large, 250e-15);
+        assert!(b_large.dc_gain_db() < b_small.dc_gain_db());
+        assert!(b_large.bandwidth_3db().unwrap() > b_small.bandwidth_3db().unwrap());
+    }
+
+    #[test]
+    fn supply_current_counts_feedback() {
+        let cfg = CmlBufferConfig::paper_default();
+        assert!((cfg.supply_current() - 1.25e-3).abs() < 1e-9);
+        assert!((CmlBufferConfig::plain().supply_current() - 1e-3).abs() < 1e-9);
+    }
+}

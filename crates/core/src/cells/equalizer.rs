@@ -1,0 +1,329 @@
+//! Cherry-Hooper input equalizer with tunable zero (paper Fig. 4).
+//!
+//! Two-stage Cherry-Hooper amplifier:
+//!
+//! * **Stage 1** — transconductance pair with a *split tail* and an NMOS
+//!   triode degeneration resistor bridging the two source nodes, shunted
+//!   by a degeneration capacitor. The R·C degeneration creates the
+//!   equalizer's zero: at low frequency the gain is reduced by
+//!   `1 + gm·R_s/2`, above `1/(2π·R_s·C_s)` the capacitor shorts the
+//!   degeneration and the full gm returns. The NMOS gate voltage `V1`
+//!   tunes `R_s` and therefore the low-frequency attenuation — the
+//!   paper's Fig. 5 control knob.
+//! * **Stage 2** — transimpedance stage: a second differential pair with
+//!   feedback resistors `R_f` from its outputs back to its inputs, which
+//!   presents a low-impedance load to stage 1 (the Cherry-Hooper trick
+//!   that pushes the interstage pole out).
+//! * **Active feedback** — a weak differential pair sensing the stage-2
+//!   outputs and feeding current back to the stage-1 outputs (the
+//!   paper's current buffers M1/M2), raising gain and linearity
+//!   (Fig. 5(b) vs 5(a)).
+//!
+//! The cell includes the 50 Ω input termination of the input interface.
+
+use super::DiffPort;
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+/// Configuration of the equalizer cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqualizerConfig {
+    /// Per-side tail current of stage 1, amps (total stage-1 current is
+    /// twice this).
+    pub i_half: f64,
+    /// Stage-1 load resistors, ohms.
+    pub r1: f64,
+    /// Stage-2 load resistors, ohms.
+    pub r2: f64,
+    /// Cherry-Hooper feedback resistors, ohms.
+    pub rf: f64,
+    /// Stage-2 tail current, amps.
+    pub i2: f64,
+    /// Degeneration NMOS gate voltage `V1`, volts — the tuning input.
+    /// Higher `V1` = smaller `R_s` = less low-frequency attenuation =
+    /// less equalization.
+    pub v_control: f64,
+    /// Degeneration capacitance, farads (MOS capacitor on chip).
+    pub c_deg: f64,
+    /// Degeneration NMOS width, meters.
+    pub w_deg: f64,
+    /// Input pair width, meters.
+    pub w_in: f64,
+    /// Active feedback (current buffers M1/M2) enabled — Fig. 5(b) vs (a).
+    pub active_feedback: bool,
+    /// Feedback pair tail current, amps.
+    pub i_fb: f64,
+    /// 50 Ω input termination to the termination rail (VDD), present in
+    /// the input interface.
+    pub input_termination: bool,
+}
+
+impl EqualizerConfig {
+    /// The paper's nominal equalizer design point at mid tuning.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EqualizerConfig {
+            i_half: 1e-3,
+            r1: 250.0,
+            r2: 250.0,
+            rf: 400.0,
+            i2: 2e-3,
+            v_control: 1.2,
+            c_deg: 400e-15,
+            w_deg: 4e-6,
+            w_in: 20e-6,
+            active_feedback: true,
+            i_fb: 0.4e-3,
+            input_termination: true,
+        }
+    }
+
+    /// Tuned for maximum boost (largest degeneration resistance).
+    #[must_use]
+    pub fn max_boost() -> Self {
+        EqualizerConfig {
+            v_control: 0.8,
+            ..EqualizerConfig::paper_default()
+        }
+    }
+
+    /// Static current drawn from the supply, amps.
+    #[must_use]
+    pub fn supply_current(&self) -> f64 {
+        2.0 * self.i_half
+            + self.i2
+            + if self.active_feedback { self.i_fb } else { 0.0 }
+    }
+
+    /// Input common-mode voltage the cell is designed for (set by the
+    /// termination to VDD through 50 Ω carrying ~0: ≈ VDD when driven by
+    /// an AC-coupled source, or the driver's CM when DC-coupled). The
+    /// test harness uses a mid-supply CM appropriate to a DC-coupled
+    /// CML driver.
+    #[must_use]
+    pub fn input_common_mode(&self) -> f64 {
+        1.2
+    }
+
+    /// Stage-1 output common mode (for chaining checks).
+    #[must_use]
+    pub fn stage1_common_mode(&self) -> f64 {
+        cml_pdk::VDD - self.i_half * self.r1
+    }
+}
+
+/// Builds the equalizer into `ckt`. The differential output is stage 2's
+/// output port.
+pub fn build(
+    ckt: &mut Circuit,
+    pdk: &Pdk018,
+    cfg: &EqualizerConfig,
+    prefix: &str,
+    input: DiffPort,
+    output: DiffPort,
+    vdd: NodeId,
+) {
+    // Optional 50 Ω input termination to VDD (CML convention).
+    if cfg.input_termination {
+        ckt.add(Resistor::new(&format!("{prefix}_RTp"), vdd, input.p, 50.0));
+        ckt.add(Resistor::new(&format!("{prefix}_RTn"), vdd, input.n, 50.0));
+    }
+
+    // ---- Stage 1: degenerated transconductance pair ----
+    let s1 = DiffPort::new(
+        ckt.internal_node(&format!("{prefix}_o1p")),
+        ckt.internal_node(&format!("{prefix}_o1n")),
+    );
+    let src_a = ckt.internal_node(&format!("{prefix}_sa"));
+    let src_b = ckt.internal_node(&format!("{prefix}_sb"));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M1a"),
+        s1.n,
+        input.p,
+        src_a,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
+    ));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M1b"),
+        s1.p,
+        input.n,
+        src_b,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
+    ));
+    // Split tails.
+    ckt.add(Isource::dc(&format!("{prefix}_ITa"), src_a, Circuit::GROUND, cfg.i_half));
+    ckt.add(Isource::dc(&format!("{prefix}_ITb"), src_b, Circuit::GROUND, cfg.i_half));
+    // Degeneration: triode NMOS controlled by V1, shunted by C_deg.
+    let vctl = ckt.internal_node(&format!("{prefix}_vc"));
+    ckt.add(Vsource::dc(&format!("{prefix}_VC"), vctl, Circuit::GROUND, cfg.v_control));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_Mdeg"),
+        src_a,
+        vctl,
+        src_b,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_deg, cml_pdk::L_MIN),
+    ));
+    ckt.add(Capacitor::new(&format!("{prefix}_Cdeg"), src_a, src_b, cfg.c_deg));
+    // Stage-1 loads.
+    ckt.add(Resistor::new(&format!("{prefix}_R1a"), vdd, s1.n, cfg.r1));
+    ckt.add(Resistor::new(&format!("{prefix}_R1b"), vdd, s1.p, cfg.r1));
+
+    // ---- Stage 2: transimpedance (Cherry-Hooper) ----
+    let t2 = ckt.internal_node(&format!("{prefix}_t2"));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M2a"),
+        output.n,
+        s1.p,
+        t2,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
+    ));
+    ckt.add(Mosfet::new(
+        &format!("{prefix}_M2b"),
+        output.p,
+        s1.n,
+        t2,
+        Circuit::GROUND,
+        pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
+    ));
+    ckt.add(Isource::dc(&format!("{prefix}_IT2"), t2, Circuit::GROUND, cfg.i2));
+    ckt.add(Resistor::new(&format!("{prefix}_R2a"), vdd, output.n, cfg.r2));
+    ckt.add(Resistor::new(&format!("{prefix}_R2b"), vdd, output.p, cfg.r2));
+    // Cherry-Hooper feedback resistors: output back to the interstage
+    // nodes (lowering the impedance stage 1 sees).
+    ckt.add(Resistor::new(&format!("{prefix}_RFa"), output.p, s1.p, cfg.rf));
+    ckt.add(Resistor::new(&format!("{prefix}_RFb"), output.n, s1.n, cfg.rf));
+
+    // ---- Active feedback current buffers (M1/M2 in the paper) ----
+    if cfg.active_feedback {
+        let tf = ckt.internal_node(&format!("{prefix}_tf"));
+        let w_fb = cfg.w_in * 0.3;
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_Mf1"),
+            s1.p,
+            output.n,
+            tf,
+            Circuit::GROUND,
+            pdk.nmos(w_fb, cml_pdk::L_MIN),
+        ));
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_Mf2"),
+            s1.n,
+            output.p,
+            tf,
+            Circuit::GROUND,
+            pdk.nmos(w_fb, cml_pdk::L_MIN),
+        ));
+        ckt.add(Isource::dc(&format!("{prefix}_ITf"), tf, Circuit::GROUND, cfg.i_fb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{add_diff_drive, add_supply};
+    use cml_numeric::logspace;
+    use cml_sig::Bode;
+
+    fn eq_bode(cfg: &EqualizerConfig) -> Bode {
+        let pdk = Pdk018::typical();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(&mut ckt, "VIN", input, cfg.input_common_mode(), None);
+        build(&mut ckt, &pdk, cfg, "eq", input, output, vdd);
+        ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
+        ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
+        let freqs = logspace(1e7, 40e9, 140);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
+        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    }
+
+    #[test]
+    fn equalizer_has_high_pass_boost() {
+        let bode = eq_bode(&EqualizerConfig::max_boost());
+        let dc = bode.dc_gain_db();
+        let peak = bode.peaking_db();
+        // A proper equalizer shows several dB of high-frequency boost
+        // above its DC gain, peaking in the GHz range.
+        assert!(peak > 3.0, "boost = {peak} dB");
+        let f_peak = bode.peak_freq();
+        assert!(
+            f_peak > 5e8 && f_peak < 2e10,
+            "boost frequency = {f_peak:.3e}"
+        );
+        assert!(dc.is_finite());
+    }
+
+    #[test]
+    fn control_voltage_tunes_low_frequency_gain() {
+        // Fig. 5: gain from DC to ~6 GHz adjusted by the NMOS gate
+        // voltage; high-frequency gain stays put while DC gain moves.
+        let boost = eq_bode(&EqualizerConfig::max_boost());
+        let flat = eq_bode(&EqualizerConfig {
+            v_control: 1.8,
+            ..EqualizerConfig::paper_default()
+        });
+        // Strong degeneration (low V1) lowers DC gain…
+        assert!(
+            boost.dc_gain_db() < flat.dc_gain_db() - 2.0,
+            "dc gains: boost {} vs flat {}",
+            boost.dc_gain_db(),
+            flat.dc_gain_db()
+        );
+        // …while boosting relative high-frequency content.
+        assert!(boost.peaking_db() > flat.peaking_db() + 1.5);
+    }
+
+    #[test]
+    fn active_feedback_raises_gain() {
+        // Fig. 5(b) vs 5(a): the current buffers add gain.
+        let with = eq_bode(&EqualizerConfig::paper_default());
+        let without = eq_bode(&EqualizerConfig {
+            active_feedback: false,
+            ..EqualizerConfig::paper_default()
+        });
+        assert!(
+            with.dc_gain_db() > without.dc_gain_db() + 0.5,
+            "with fb {} vs without {}",
+            with.dc_gain_db(),
+            without.dc_gain_db()
+        );
+    }
+
+    #[test]
+    fn input_termination_is_50_ohms() {
+        // Measure input impedance: drive a 1 A AC current into in_p and
+        // read the voltage (the termination dominates at low frequency).
+        let pdk = Pdk018::typical();
+        let cfg = EqualizerConfig::paper_default();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        // Bias CM through large resistors so the op point is defined.
+        let cm = ckt.node("cm");
+        ckt.add(Vsource::dc("VCM", cm, Circuit::GROUND, cfg.input_common_mode()));
+        ckt.add(Resistor::new("RBp", cm, input.p, 1e5));
+        ckt.add(Resistor::new("RBn", cm, input.n, 1e5));
+        ckt.add(Isource::dc("IIN", Circuit::GROUND, input.p, 0.0).with_ac(1.0));
+        build(&mut ckt, &pdk, &cfg, "eq", input, output, vdd);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &[1e8]).unwrap();
+        let zin = ac.voltage(input.p, 0).abs();
+        assert!(
+            zin > 30.0 && zin < 80.0,
+            "input impedance = {zin} Ω, want ≈ 50"
+        );
+    }
+
+    #[test]
+    fn supply_current_accounting() {
+        let cfg = EqualizerConfig::paper_default();
+        let expect = 2e-3 + 2e-3 + 0.4e-3;
+        assert!((cfg.supply_current() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Full transistor-level input interface (paper Fig. 2): equalizer →
+//! CML input buffer → limiting amplifier → CML output buffer.
+//!
+//! The common-mode chain is the delicate part of composing the cells:
+//! the equalizer's resistor-loaded output sits near `VDD − I·R2/2`, the
+//! buffer's diode-loaded output near `VDD − |VTH| − Vov`, and the LA's
+//! peaked stages another `|VTH|` lower; each cell was designed so its
+//! output CM lands inside the next cell's input range, mirroring how the
+//! real chip levels were planned.
+
+use super::cml_buffer::{self, CmlBufferConfig};
+use super::equalizer::{self, EqualizerConfig};
+use super::limiting_amp::{self, LimitingAmpConfig};
+use super::DiffPort;
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+/// Configuration of the full input interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputInterfaceConfig {
+    /// Input equalizer (50 Ω termination included).
+    pub equalizer: EqualizerConfig,
+    /// CML input buffer between equalizer and LA.
+    pub buffer: CmlBufferConfig,
+    /// Limiting amplifier.
+    pub la: LimitingAmpConfig,
+    /// Output buffer toward the CDR.
+    pub output_buffer: CmlBufferConfig,
+}
+
+impl InputInterfaceConfig {
+    /// The paper's nominal input interface.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        InputInterfaceConfig {
+            equalizer: EqualizerConfig::paper_default(),
+            buffer: CmlBufferConfig::paper_default(),
+            la: LimitingAmpConfig::paper_default(),
+            output_buffer: CmlBufferConfig::paper_default(),
+        }
+    }
+
+    /// Total supply current, amps.
+    #[must_use]
+    pub fn supply_current(&self) -> f64 {
+        self.equalizer.supply_current()
+            + self.buffer.supply_current()
+            + self.la.supply_current()
+            + self.output_buffer.supply_current()
+    }
+}
+
+/// Builds the interface into `ckt`.
+pub fn build(
+    ckt: &mut Circuit,
+    pdk: &Pdk018,
+    cfg: &InputInterfaceConfig,
+    prefix: &str,
+    input: DiffPort,
+    output: DiffPort,
+    vdd: NodeId,
+) {
+    let eq_out = DiffPort::new(
+        ckt.internal_node(&format!("{prefix}_eqp")),
+        ckt.internal_node(&format!("{prefix}_eqn")),
+    );
+    equalizer::build(ckt, pdk, &cfg.equalizer, &format!("{prefix}_eq"), input, eq_out, vdd);
+
+    let buf_out = DiffPort::new(
+        ckt.internal_node(&format!("{prefix}_bp")),
+        ckt.internal_node(&format!("{prefix}_bn")),
+    );
+    cml_buffer::build(ckt, pdk, &cfg.buffer, &format!("{prefix}_buf"), eq_out, buf_out, vdd);
+
+    let la_out = DiffPort::new(
+        ckt.internal_node(&format!("{prefix}_lp")),
+        ckt.internal_node(&format!("{prefix}_ln")),
+    );
+    limiting_amp::build(ckt, pdk, &cfg.la, &format!("{prefix}_la"), buf_out, la_out, vdd);
+
+    cml_buffer::build(
+        ckt,
+        pdk,
+        &cfg.output_buffer,
+        &format!("{prefix}_ob"),
+        la_out,
+        output,
+        vdd,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{add_diff_drive, add_supply};
+    use cml_numeric::logspace;
+    use cml_sig::Bode;
+
+    fn interface_bode() -> Bode {
+        let pdk = Pdk018::typical();
+        let cfg = InputInterfaceConfig::paper_default();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(&mut ckt, "VIN", input, cfg.equalizer.input_common_mode(), None);
+        build(&mut ckt, &pdk, &cfg, "rx", input, output, vdd);
+        ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
+        ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
+        let freqs = logspace(1e6, 60e9, 120);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("interface ac");
+        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    }
+
+    #[test]
+    fn transistor_interface_gain_and_bandwidth() {
+        // Table I's bandwidth/gain rows at the transistor level: the
+        // whole receive chain in one MNA system (≈ 60 devices).
+        let bode = interface_bode();
+        let mid_gain = bode.gain_db_at(1e9);
+        // The Level-1 transistor chain lands in the mid-20s dB; the
+        // remaining gap to the paper's 40 dB is the post-layout tuning
+        // headroom documented in EXPERIMENTS.md.
+        assert!(
+            mid_gain > 20.0,
+            "interface mid-band gain = {mid_gain:.1} dB (paper: 40 dB)"
+        );
+        let bw = bode.bandwidth_3db().expect("rolls off");
+        assert!(bw > 3e9, "interface bandwidth = {bw:.3e}");
+    }
+
+    #[test]
+    fn interface_converges_at_all_corners() {
+        // The full-chain DC solve must converge at every process corner —
+        // the robustness the band-gap-referenced biasing buys.
+        for corner in cml_pdk::Corner::ALL {
+            let pdk = Pdk018::new(corner, 27.0);
+            let cfg = InputInterfaceConfig::paper_default();
+            let mut ckt = Circuit::new();
+            let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            add_diff_drive(&mut ckt, "VIN", input, cfg.equalizer.input_common_mode(), None);
+            build(&mut ckt, &pdk, &cfg, "rx", input, output, vdd);
+            let op = cml_spice::analysis::op::solve(&ckt)
+                .unwrap_or_else(|e| panic!("corner {corner} failed: {e}"));
+            let vp = op.voltage(output.p);
+            assert!(vp > 0.3 && vp < 1.8, "corner {corner}: vout = {vp}");
+        }
+    }
+
+    #[test]
+    fn supply_current_matches_power_module() {
+        let cfg = InputInterfaceConfig::paper_default();
+        let from_cells = cfg.supply_current();
+        let from_budget = crate::power::input_interface().total_current();
+        assert!(
+            (from_cells - from_budget).abs() / from_budget < 0.01,
+            "cells {from_cells:.4e} vs budget {from_budget:.4e}"
+        );
+    }
+}

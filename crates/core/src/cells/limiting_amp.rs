@@ -1,0 +1,291 @@
+//! Limiting amplifier: input buffer + four gain stages with interstage
+//! active feedback + output buffer + DC-offset cancellation (Fig. 8).
+//!
+//! The four gain stages are grouped into two pairs; across each pair a
+//! weak differential feedback pair senses the pair's output and injects
+//! current back into the interstage node. This is the active-feedback
+//! technique of the paper (and of its reference \[5\], Galal & Razavi):
+//! each pair becomes a two-pole section whose bandwidth extends well
+//! beyond the plain cascade at a controlled gain cost.
+//!
+//! The offset-cancellation loop is the paper's passive network: the
+//! output is sensed through two series resistive branches into (off-chip)
+//! capacitors, and the filtered DC is fed back to a small correction pair
+//! fighting the first stage's offset — a first-order high-pass around the
+//! whole amplifier with a corner far below the data band.
+
+use super::gain_stage::{self, GainStageConfig};
+use super::DiffPort;
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+/// Offset-cancellation network values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffsetCancelConfig {
+    /// Series sense resistance per branch, ohms.
+    pub r_sense: f64,
+    /// Grounding capacitance (off-chip), farads.
+    pub c_ext: f64,
+    /// Correction-pair tail current, amps.
+    pub i_corr: f64,
+}
+
+impl Default for OffsetCancelConfig {
+    fn default() -> Self {
+        OffsetCancelConfig {
+            r_sense: 20e3,
+            c_ext: 1e-9,
+            i_corr: 0.4e-3,
+        }
+    }
+}
+
+/// Limiting-amplifier configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitingAmpConfig {
+    /// Per-stage configuration (four instances).
+    pub stage: GainStageConfig,
+    /// Interstage feedback pair strength as a fraction of the stage tail
+    /// (0 disables — plain cascade).
+    pub interstage_fb: f64,
+    /// DC-offset cancellation network (`None` disables).
+    pub offset_cancel: Option<OffsetCancelConfig>,
+}
+
+impl LimitingAmpConfig {
+    /// The paper's nominal LA: four peaked gain stages, two feedback
+    /// pairs, offset cancellation on.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        LimitingAmpConfig {
+            stage: GainStageConfig::paper_default(),
+            interstage_fb: 0.15,
+            offset_cancel: Some(OffsetCancelConfig::default()),
+        }
+    }
+
+    /// Static current drawn from the supply, amps.
+    #[must_use]
+    pub fn supply_current(&self) -> f64 {
+        let stages = 4.0 * self.stage.supply_current();
+        let fb = 2.0 * self.stage.stage.i_tail * self.interstage_fb;
+        let corr = self
+            .offset_cancel
+            .as_ref()
+            .map_or(0.0, |oc| oc.i_corr);
+        stages + fb + corr
+    }
+}
+
+/// Builds the limiting amplifier. Input and output common modes match
+/// [`gain_stage::output_common_mode`] of the configured stage.
+pub fn build(
+    ckt: &mut Circuit,
+    pdk: &Pdk018,
+    cfg: &LimitingAmpConfig,
+    prefix: &str,
+    input: DiffPort,
+    output: DiffPort,
+    vdd: NodeId,
+) {
+    let w_in = cfg.stage.stage.input_width(pdk);
+    let mut first_stage_out: Option<DiffPort> = None;
+
+    // Four gain stages in two feedback pairs.
+    let mut prev = input;
+    for pair in 0..2 {
+        let mid = DiffPort::new(
+            ckt.internal_node(&format!("{prefix}_p{pair}mp")),
+            ckt.internal_node(&format!("{prefix}_p{pair}mn")),
+        );
+        let out = if pair == 1 {
+            output
+        } else {
+            DiffPort::new(
+                ckt.internal_node(&format!("{prefix}_p{pair}op")),
+                ckt.internal_node(&format!("{prefix}_p{pair}on")),
+            )
+        };
+        gain_stage::build(ckt, pdk, &cfg.stage, &format!("{prefix}_g{pair}a"), prev, mid, vdd);
+        gain_stage::build(ckt, pdk, &cfg.stage, &format!("{prefix}_g{pair}b"), mid, out, vdd);
+        if first_stage_out.is_none() {
+            first_stage_out = Some(mid);
+        }
+        if cfg.interstage_fb > 0.0 {
+            let tf = ckt.internal_node(&format!("{prefix}_p{pair}tf"));
+            let w_fb = w_in * cfg.interstage_fb;
+            // Senses the pair output, injects into the interstage node
+            // with the polarity that closes a negative loop around the
+            // second (inverting) stage.
+            ckt.add(Mosfet::new(
+                &format!("{prefix}_p{pair}Mf1"),
+                mid.p,
+                out.p,
+                tf,
+                Circuit::GROUND,
+                pdk.nmos(w_fb, cml_pdk::L_MIN),
+            ));
+            ckt.add(Mosfet::new(
+                &format!("{prefix}_p{pair}Mf2"),
+                mid.n,
+                out.n,
+                tf,
+                Circuit::GROUND,
+                pdk.nmos(w_fb, cml_pdk::L_MIN),
+            ));
+            ckt.add(Isource::dc(
+                &format!("{prefix}_p{pair}If"),
+                tf,
+                Circuit::GROUND,
+                cfg.stage.stage.i_tail * cfg.interstage_fb,
+            ));
+        }
+        prev = out;
+    }
+
+    // Offset cancellation: sense output through R into external C, apply
+    // the filtered DC to a correction pair injecting at the first
+    // interstage node with offset-opposing polarity.
+    if let Some(oc) = &cfg.offset_cancel {
+        let first = first_stage_out.expect("two pairs built");
+        let fp = ckt.internal_node(&format!("{prefix}_ocp"));
+        let fn_ = ckt.internal_node(&format!("{prefix}_ocn"));
+        ckt.add(Resistor::new(&format!("{prefix}_ORp"), output.p, fp, oc.r_sense));
+        ckt.add(Resistor::new(&format!("{prefix}_ORn"), output.n, fn_, oc.r_sense));
+        ckt.add(Capacitor::new(&format!("{prefix}_OCp"), fp, Circuit::GROUND, oc.c_ext));
+        ckt.add(Capacitor::new(&format!("{prefix}_OCn"), fn_, Circuit::GROUND, oc.c_ext));
+        let tc = ckt.internal_node(&format!("{prefix}_oct"));
+        let w_c = w_in * 0.15;
+        // In port convention every stage is non-inverting, so `output`
+        // tracks `first`: the correction device driven by the sensed
+        // positive rail pulls down the same-polarity first-stage node,
+        // closing the loop negatively.
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_OM1"),
+            first.p,
+            fp,
+            tc,
+            Circuit::GROUND,
+            pdk.nmos(w_c, cml_pdk::L_MIN),
+        ));
+        ckt.add(Mosfet::new(
+            &format!("{prefix}_OM2"),
+            first.n,
+            fn_,
+            tc,
+            Circuit::GROUND,
+            pdk.nmos(w_c, cml_pdk::L_MIN),
+        ));
+        ckt.add(Isource::dc(
+            &format!("{prefix}_OI"),
+            tc,
+            Circuit::GROUND,
+            oc.i_corr,
+        ));
+    }
+}
+
+/// The LA's nominal port common-mode voltage.
+#[must_use]
+pub fn common_mode(cfg: &LimitingAmpConfig) -> f64 {
+    gain_stage::output_common_mode(&cfg.stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{add_diff_drive, add_supply};
+    use cml_numeric::logspace;
+    use cml_sig::Bode;
+
+    fn la_bode(cfg: &LimitingAmpConfig) -> Bode {
+        let pdk = Pdk018::typical();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(&mut ckt, "VIN", input, common_mode(cfg), None);
+        build(&mut ckt, &pdk, cfg, "la", input, output, vdd);
+        ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
+        ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
+        let freqs = logspace(1e2, 60e9, 160);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
+        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    }
+
+    #[test]
+    fn la_gain_and_bandwidth() {
+        let mut cfg = LimitingAmpConfig::paper_default();
+        cfg.offset_cancel = None;
+        let bode = la_bode(&cfg);
+        let dc = bode.dc_gain_db();
+        let bw = bode.bandwidth_3db().expect("rolls off");
+        assert!(dc > 20.0, "la gain = {dc} dB");
+        assert!(bw > 6e9, "la bw = {bw:.3e}");
+        // Controlled peaking only.
+        assert!(bode.peaking_db() < 4.0, "peaking = {}", bode.peaking_db());
+    }
+
+    #[test]
+    fn interstage_feedback_extends_bandwidth() {
+        let mut with = LimitingAmpConfig::paper_default();
+        with.offset_cancel = None;
+        let mut without = with.clone();
+        without.interstage_fb = 0.0;
+        let bw_with = la_bode(&with).bandwidth_3db().unwrap();
+        let bw_without = la_bode(&without).bandwidth_3db().unwrap();
+        assert!(
+            bw_with > 2.0 * bw_without,
+            "interstage fb: {bw_with:.3e} vs {bw_without:.3e}"
+        );
+    }
+
+    #[test]
+    fn offset_cancel_creates_low_frequency_highpass() {
+        // With the cancel loop, DC gain is suppressed relative to the
+        // mid-band (the loop fights slow signals).
+        let cfg = LimitingAmpConfig::paper_default();
+        let bode = la_bode(&cfg);
+        let g_dc = bode.gain_db_at(1e2);
+        let g_mid = bode.gain_db_at(1e9);
+        assert!(
+            g_mid > g_dc + 3.0,
+            "offset loop should suppress low frequencies: {g_dc} vs {g_mid} dB"
+        );
+    }
+
+    #[test]
+    fn offset_cancel_reduces_output_offset() {
+        // Inject a 5 mV input-referred offset and compare output offsets.
+        let run = |cancel: bool| {
+            let pdk = Pdk018::typical();
+            let mut cfg = LimitingAmpConfig::paper_default();
+            if !cancel {
+                cfg.offset_cancel = None;
+            }
+            let mut ckt = Circuit::new();
+            let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            let cm = common_mode(&cfg);
+            ckt.add(Vsource::dc("VIP", input.p, Circuit::GROUND, cm + 2.5e-3));
+            ckt.add(Vsource::dc("VIN", input.n, Circuit::GROUND, cm - 2.5e-3));
+            build(&mut ckt, &pdk, &cfg, "la", input, output, vdd);
+            let op = cml_spice::analysis::op::solve(&ckt).unwrap();
+            (op.voltage(output.p) - op.voltage(output.n)).abs()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with < without * 0.5,
+            "offset cancel should cut DC offset: {with:.4} vs {without:.4}"
+        );
+    }
+
+    #[test]
+    fn supply_current_accounting() {
+        let cfg = LimitingAmpConfig::paper_default();
+        // 4 stages × 4 mA + 2 fb × 0.6 mA + 0.4 mA corr = 17.6 mA.
+        assert!((cfg.supply_current() - 17.6e-3).abs() < 1e-6);
+    }
+}

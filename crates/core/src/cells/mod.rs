@@ -1,0 +1,111 @@
+//! Transistor-level netlist generators for the paper's circuit blocks.
+//!
+//! Each generator appends a named, parameterized instance of one §III
+//! block to a [`cml_spice::Circuit`]. Cells compose: the limiting
+//! amplifier instantiates gain stages, the interfaces instantiate
+//! buffers. All cells are fully differential and expect an externally
+//! supplied `vdd` node (so corner/supply sweeps stay in the caller's
+//! hands) and bias their tails with ideal current sources standing in for
+//! the BMVR-derived mirrors (the BMVR itself is [`bmvr`]).
+
+pub mod bmvr;
+pub mod cml_buffer;
+pub mod equalizer;
+pub mod input_interface;
+pub mod limiting_amp;
+pub mod gain_stage;
+pub mod output_stage;
+
+use cml_spice::prelude::*;
+
+/// Differential port of a cell: positive and negative nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffPort {
+    /// Positive (true) polarity node.
+    pub p: NodeId,
+    /// Negative (complement) polarity node.
+    pub n: NodeId,
+}
+
+impl DiffPort {
+    /// Creates a port from two nodes.
+    #[must_use]
+    pub fn new(p: NodeId, n: NodeId) -> Self {
+        DiffPort { p, n }
+    }
+
+    /// Creates a port from two fresh named nodes `<base>_p` / `<base>_n`.
+    #[must_use]
+    pub fn named(ckt: &mut Circuit, base: &str) -> Self {
+        DiffPort {
+            p: ckt.node(&format!("{base}_p")),
+            n: ckt.node(&format!("{base}_n")),
+        }
+    }
+}
+
+/// Adds a differential pair of voltage sources driving `port` around the
+/// common-mode `vcm`, with AC magnitudes ±0.5 so the differential AC
+/// drive is exactly 1 V (making differential node voltages read directly
+/// as transfer functions).
+pub fn add_diff_drive(ckt: &mut Circuit, name: &str, port: DiffPort, vcm: f64, waveform: Option<Waveform>) {
+    let (wf_p, wf_n) = match waveform {
+        Some(w) => {
+            // Mirror the waveform around vcm for the complement leg.
+            let wf_n = match &w {
+                Waveform::Pwl(pts) => {
+                    Waveform::Pwl(pts.iter().map(|&(t, v)| (t, 2.0 * vcm - v)).collect())
+                }
+                Waveform::Dc(v) => Waveform::Dc(2.0 * vcm - v),
+                other => other.clone(),
+            };
+            (w, wf_n)
+        }
+        None => (Waveform::dc(vcm), Waveform::dc(vcm)),
+    };
+    ckt.add(Vsource::new(&format!("{name}_p"), port.p, Circuit::GROUND, wf_p).with_ac(0.5));
+    ckt.add(Vsource::new(&format!("{name}_n"), port.n, Circuit::GROUND, wf_n).with_ac(-0.5));
+}
+
+/// Adds the supply rail: a `vdd` node held by an ideal source.
+pub fn add_supply(ckt: &mut Circuit, volts: f64) -> NodeId {
+    let vdd = ckt.node("vdd");
+    ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, volts));
+    vdd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_port_names_nodes() {
+        let mut ckt = Circuit::new();
+        let port = DiffPort::named(&mut ckt, "in");
+        assert_eq!(ckt.node_name(port.p), "in_p");
+        assert_eq!(ckt.node_name(port.n), "in_n");
+        assert_ne!(port.p, port.n);
+    }
+
+    #[test]
+    fn diff_drive_mirrors_pwl() {
+        let mut ckt = Circuit::new();
+        let port = DiffPort::named(&mut ckt, "in");
+        let wf = Waveform::Pwl(vec![(0.0, 1.0), (1e-9, 1.4)]);
+        add_diff_drive(&mut ckt, "VIN", port, 1.2, Some(wf));
+        let op = cml_spice::analysis::op::solve(&ckt).unwrap();
+        // At t=0 (dc_value): p = 1.0, n = 1.4.
+        assert!((op.voltage(port.p) - 1.0).abs() < 1e-9);
+        assert!((op.voltage(port.n) - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_rail_holds() {
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, 1.8);
+        // A load so the node isn't floating-only-source.
+        ckt.add(Resistor::new("RL", vdd, Circuit::GROUND, 1e3));
+        let op = cml_spice::analysis::op::solve(&ckt).unwrap();
+        assert!((op.voltage(vdd) - 1.8).abs() < 1e-9);
+    }
+}

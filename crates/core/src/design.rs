@@ -1,0 +1,224 @@
+//! CML sizing equations (paper §III).
+//!
+//! Everything here is first-order hand analysis — the same arithmetic a
+//! designer does before opening the simulator. The netlist generators in
+//! [`crate::cells`] consume these numbers, so a change here re-sizes the
+//! whole interface consistently.
+
+use cml_pdk::Pdk018;
+
+/// Differential CML stage design point.
+///
+/// A CML stage is fully determined by its tail current, single-ended load
+/// resistance and input-pair overdrive:
+///
+/// * single-ended output swing `= I_tail · R_load`,
+/// * input-pair transconductance `gm = 2·I_D / V_ov = I_tail / V_ov`,
+/// * small-signal gain `≈ gm · R_load`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmlStage {
+    /// Tail current, amps.
+    pub i_tail: f64,
+    /// Single-ended load resistance, ohms.
+    pub r_load: f64,
+    /// Input-pair overdrive voltage at balance, volts.
+    pub v_ov: f64,
+}
+
+impl CmlStage {
+    /// Designs a stage for a target single-ended swing into `r_load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all inputs are strictly positive.
+    #[must_use]
+    pub fn for_swing(swing: f64, r_load: f64, v_ov: f64) -> Self {
+        assert!(
+            swing > 0.0 && r_load > 0.0 && v_ov > 0.0,
+            "all design inputs must be positive"
+        );
+        CmlStage {
+            i_tail: swing / r_load,
+            r_load,
+            v_ov,
+        }
+    }
+
+    /// Single-ended output swing `I·R`, volts.
+    #[must_use]
+    pub fn swing(&self) -> f64 {
+        self.i_tail * self.r_load
+    }
+
+    /// Input-pair transconductance at balance, siemens. Each device
+    /// carries `I_tail/2`, so `gm = 2·(I_tail/2)/V_ov = I_tail/V_ov`.
+    #[must_use]
+    pub fn gm(&self) -> f64 {
+        self.i_tail / self.v_ov
+    }
+
+    /// Small-signal differential gain `gm·R_load` (dimensionless).
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gm() * self.r_load
+    }
+
+    /// Required W/L for each input device: from the square law at
+    /// `I_D = I_tail/2`, `W/L = I_tail / (kp·V_ov²)`.
+    #[must_use]
+    pub fn input_wl(&self, kp: f64) -> f64 {
+        self.i_tail / (kp * self.v_ov * self.v_ov)
+    }
+
+    /// Input device width at the process minimum length, meters.
+    #[must_use]
+    pub fn input_width(&self, pdk: &Pdk018) -> f64 {
+        let card = pdk.nmos(1e-6, cml_pdk::L_MIN); // probe card for kp
+        self.input_wl(card.kp) * cml_pdk::L_MIN
+    }
+
+    /// Static power from the 1.8 V supply, watts.
+    #[must_use]
+    pub fn power(&self) -> f64 {
+        self.i_tail * cml_pdk::VDD
+    }
+}
+
+/// Width of the PMOS active-inductor load (diode-connected through the
+/// peaking resistor) that presents `r_on = 1/gm` ohms at low frequency
+/// when the stage tail current is `i_tail`.
+///
+/// Each load carries `i_tail/2` at balance; `gm = √(2·kp·(W/L)·I_D)`
+/// inverted for `W/L` gives `W/L = 1/(r_on²·kp·i_tail)`. Equivalently
+/// the load device overdrive is `V_ov,p = r_on·i_tail`.
+///
+/// # Panics
+///
+/// Panics unless `r_on` and `i_tail` are strictly positive.
+#[must_use]
+pub fn pmos_load_width(r_on: f64, i_tail: f64, pdk: &Pdk018) -> f64 {
+    assert!(r_on > 0.0, "load resistance must be positive");
+    assert!(i_tail > 0.0, "tail current must be positive");
+    let card = pdk.pmos(1e-6, cml_pdk::L_MIN);
+    let wl = 1.0 / (r_on * r_on * card.kp * i_tail);
+    wl * cml_pdk::L_MIN
+}
+
+/// Estimated transition frequency `fT ≈ gm / (2π·Cgs)` of an NMOS biased
+/// at overdrive `v_ov`, Hz — the speed currency of the process.
+#[must_use]
+pub fn nmos_ft(pdk: &Pdk018, v_ov: f64) -> f64 {
+    let w = 10e-6;
+    let card = pdk.nmos(w, cml_pdk::L_MIN);
+    let gm = card.kp * (w / card.l) * v_ov;
+    gm / (2.0 * std::f64::consts::PI * card.cgs())
+}
+
+/// The paper's headline design points, used by the netlist generators
+/// and the power/area accounting.
+pub mod paper {
+    use super::CmlStage;
+
+    /// Single-ended output swing into 50 Ω, volts (paper: 250 mV).
+    pub const OUTPUT_SWING: f64 = 0.25;
+
+    /// Last output-stage drive current, amps (paper: ≈ 8 mA for 50 Ω).
+    pub const OUTPUT_DRIVE: f64 = 8e-3;
+
+    /// Limiting-amplifier output swing for the CDR, volts.
+    pub const LA_SWING: f64 = 0.25;
+
+    /// Typical input sensitivity, volts (paper: 4 mV).
+    pub const INPUT_SENSITIVITY: f64 = 4e-3;
+
+    /// Input dynamic range, dB (paper: 40 dB → 4 mV to 400 mV… 1.8 V
+    /// tolerated at the pad).
+    pub const DYNAMIC_RANGE_DB: f64 = 40.0;
+
+    /// Nominal data rate, bit/s.
+    pub const DATA_RATE: f64 = 10e9;
+
+    /// Unit interval at the nominal rate, seconds.
+    pub const UI: f64 = 1.0 / DATA_RATE;
+
+    /// An internal gain/buffer stage: 250 mV swing into 250 Ω.
+    #[must_use]
+    pub fn internal_stage() -> CmlStage {
+        CmlStage::for_swing(0.25, 250.0, 0.25)
+    }
+
+    /// The 50 Ω-driving output stage: 8 mA through the 25 Ω parallel
+    /// combination of the far-end termination and the on-chip back
+    /// termination gives ≈ 200–250 mV at the load.
+    #[must_use]
+    pub fn output_stage() -> CmlStage {
+        CmlStage {
+            i_tail: OUTPUT_DRIVE,
+            r_load: 50.0,
+            v_ov: 0.35,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swing_gain_consistency() {
+        let s = CmlStage::for_swing(0.25, 250.0, 0.25);
+        assert!((s.i_tail - 1e-3).abs() < 1e-12);
+        assert!((s.swing() - 0.25).abs() < 1e-12);
+        assert!((s.gm() - 4e-3).abs() < 1e-12);
+        assert!((s.gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_swing_needs_more_current() {
+        let a = CmlStage::for_swing(0.2, 100.0, 0.2);
+        let b = CmlStage::for_swing(0.4, 100.0, 0.2);
+        assert!((b.i_tail - 2.0 * a.i_tail).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_width_is_reasonable() {
+        let pdk = Pdk018::typical();
+        let s = paper::internal_stage();
+        let w = s.input_width(&pdk);
+        // Hand check: W/L = 1 mA/(170 µA/V²·0.0625) ≈ 94 → W ≈ 17 µm.
+        assert!(w > 5e-6 && w < 50e-6, "w = {w:.2e}");
+    }
+
+    #[test]
+    fn pmos_load_width_matches_hand_calc() {
+        let pdk = Pdk018::typical();
+        let w = pmos_load_width(250.0, 1e-3, &pdk);
+        // W/L = 1/(250²·60 µ·1 m) = 267 → W ≈ 48 µm.
+        assert!(w > 20e-6 && w < 100e-6, "w = {w:.2e}");
+        // The implied load overdrive is r_on·i_tail = 0.25 V: check the
+        // square law closes the loop (gm = 1/r_on).
+        let card = pdk.pmos(w, cml_pdk::L_MIN);
+        let gm = (2.0 * card.kp * (w / card.l) * 0.5e-3).sqrt();
+        assert!((gm - 1.0 / 250.0).abs() / gm < 0.01, "gm = {gm}");
+    }
+
+    #[test]
+    fn process_ft_supports_10gbps() {
+        // 0.18 µm NMOS fT at 0.25 V overdrive should be tens of GHz —
+        // the reason the paper's 10 Gb/s target is feasible at all.
+        let ft = nmos_ft(&Pdk018::typical(), 0.25);
+        assert!(ft > 20e9, "fT = {ft:.3e}");
+    }
+
+    #[test]
+    fn output_stage_power_is_milliwatts() {
+        let p = paper::output_stage().power();
+        assert!((p - 14.4e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_design_rejected() {
+        let _ = CmlStage::for_swing(0.0, 100.0, 0.2);
+    }
+}

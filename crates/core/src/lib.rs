@@ -1,0 +1,48 @@
+//! The paper's contribution: a 10 Gb/s wide-band CML I/O interface.
+//!
+//! This crate reproduces every circuit block of Chiu et al., "A 10 Gb/s
+//! Wide-Band Current-Mode Logic I/O Interface for High-Speed Interconnect
+//! in 0.18 µm CMOS Technology" (SOCC 2005), on two coordinated levels:
+//!
+//! * **Transistor level** ([`cells`]) — netlist generators that build
+//!   `cml_spice` circuits from `cml_pdk` device cards: the wide-band CML
+//!   buffer with PMOS active-inductor load, active feedback and negative
+//!   Miller capacitance; the Cherry-Hooper input equalizer with its
+//!   tunable zero; the gain-stage amplifier; and the beta-multiplier
+//!   voltage reference. These are used for the cell-level figures
+//!   (Fig. 5, Fig. 7, §III.E) and to calibrate the behavioural layer.
+//!
+//! * **Behavioural level** ([`behav`]) — waveform-in/waveform-out models
+//!   of the same blocks (transfer functions + tanh limiting), fast enough
+//!   to run full 10 Gb/s PRBS links end to end for the eye-diagram
+//!   figures (Fig. 14–16).
+//!
+//! [`design`] holds the sizing equations of §III, [`power`] and [`area`]
+//! the accounting behind Table I, [`baselines`] the two published
+//! comparison designs, and [`report`] assembles the Table I rows.
+//!
+//! # Example
+//!
+//! ```
+//! use cml_core::behav::{Block, CmlBuffer};
+//! use cml_sig::nrz::NrzConfig;
+//! use cml_sig::prbs::Prbs;
+//!
+//! let bits: Vec<bool> = Prbs::prbs7().take(127).collect();
+//! let input = NrzConfig::new(100e-12, 0.05).render(&bits); // 50 mV in
+//! let buf = CmlBuffer::paper_default();
+//! let out = buf.process(&input);
+//! assert_eq!(out.len(), input.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod baselines;
+pub mod behav;
+pub mod cells;
+pub mod design;
+pub mod montecarlo;
+pub mod power;
+pub mod report;

@@ -1,0 +1,195 @@
+//! Monte-Carlo device-mismatch study (the §III.C motivation).
+//!
+//! "Due to the process variation, the DC offset of the differential
+//! amplifier may become large enough to smear the differential output
+//! signal … after three stages of amplification." This module samples
+//! random threshold-voltage mismatch (Pelgrom scaling: `σ(ΔV_TH) =
+//! A_VT / √(W·L)`) on the limiting amplifier's input pairs, propagates
+//! the offsets through the gain chain, and quantifies what the
+//! offset-cancellation loop buys.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pelgrom threshold-mismatch coefficient for a 0.18 µm process,
+/// V·m (≈ 5 mV·µm).
+pub const A_VT: f64 = 5e-9;
+
+/// σ of the threshold mismatch of one differential pair with the given
+/// gate area per device (m²): `A_VT / √(W·L)`, in volts.
+///
+/// ```
+/// let sigma = cml_core::montecarlo::vth_sigma(34e-6, 0.18e-6);
+/// assert!(sigma > 1e-3 && sigma < 3e-3); // a couple of mV
+/// ```
+#[must_use]
+pub fn vth_sigma(w: f64, l: f64) -> f64 {
+    A_VT / (w * l).sqrt()
+}
+
+/// Result of one Monte-Carlo offset run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffsetStudy {
+    /// Input-referred offset samples, volts.
+    pub input_offsets: Vec<f64>,
+    /// Output offsets without cancellation, volts.
+    pub raw_outputs: Vec<f64>,
+    /// Output offsets with the cancellation loop, volts.
+    pub cancelled_outputs: Vec<f64>,
+}
+
+impl OffsetStudy {
+    /// σ of the input-referred offset.
+    #[must_use]
+    pub fn input_sigma(&self) -> f64 {
+        cml_numeric::stats::std_dev(&self.input_offsets).unwrap_or(0.0)
+    }
+
+    /// σ of the raw (uncancelled) output offset.
+    #[must_use]
+    pub fn raw_sigma(&self) -> f64 {
+        cml_numeric::stats::std_dev(&self.raw_outputs).unwrap_or(0.0)
+    }
+
+    /// σ of the cancelled output offset.
+    #[must_use]
+    pub fn cancelled_sigma(&self) -> f64 {
+        cml_numeric::stats::std_dev(&self.cancelled_outputs).unwrap_or(0.0)
+    }
+
+    /// Fraction of raw samples whose output offset exceeds half the
+    /// output swing — the "smeared eye" failures §III.C warns about.
+    #[must_use]
+    pub fn raw_failure_rate(&self, swing: f64) -> f64 {
+        let n = self.raw_outputs.len().max(1);
+        self.raw_outputs
+            .iter()
+            .filter(|o| o.abs() > swing / 2.0)
+            .count() as f64
+            / n as f64
+    }
+}
+
+/// Runs the offset study: `n` Monte-Carlo samples of a four-stage chain
+/// with per-stage gain `stage_gain`, per-stage input-pair mismatch
+/// `sigma_vth`, output clamped to ±`swing/2`, and a cancellation loop of
+/// the given DC loop gain.
+///
+/// The model: each stage adds its own offset, then amplifies; the
+/// cancellation loop divides the total output offset by `1 + loop_gain`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or parameters are non-positive.
+#[must_use]
+pub fn run_offset_study(
+    n: usize,
+    stage_gain: f64,
+    sigma_vth: f64,
+    swing: f64,
+    loop_gain: f64,
+    seed: u64,
+) -> OffsetStudy {
+    assert!(n > 0, "need at least one sample");
+    assert!(
+        stage_gain > 0.0 && sigma_vth > 0.0 && swing > 0.0 && loop_gain >= 0.0,
+        "parameters must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gauss = move |sigma: f64| {
+        // Box-Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+
+    let mut input_offsets = Vec::with_capacity(n);
+    let mut raw_outputs = Vec::with_capacity(n);
+    let mut cancelled_outputs = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Four stages, each with an independent pair offset.
+        let offsets: [f64; 4] = [
+            gauss(sigma_vth),
+            gauss(sigma_vth),
+            gauss(sigma_vth),
+            gauss(sigma_vth),
+        ];
+        // Propagate: o_out = ((((o1)·A + o2)·A + o3)·A + o4)·A, clamped.
+        let mut v = 0.0;
+        for &o in &offsets {
+            v = (v + o) * stage_gain;
+            v = v.clamp(-swing / 2.0, swing / 2.0);
+        }
+        // Input-referred: total output offset divided by the total gain.
+        let total_gain = stage_gain.powi(4);
+        input_offsets.push(v / total_gain);
+        raw_outputs.push(v);
+        cancelled_outputs.push(v / (1.0 + loop_gain));
+    }
+    OffsetStudy {
+        input_offsets,
+        raw_outputs,
+        cancelled_outputs,
+    }
+}
+
+/// The paper-default study: the LA's stage gain and device sizes, a
+/// 30 dB cancellation loop.
+#[must_use]
+pub fn paper_default_study(n: usize, seed: u64) -> OffsetStudy {
+    let sigma = vth_sigma(34e-6, cml_pdk::L_MIN);
+    run_offset_study(n, 2.3, sigma, 0.5, 31.6, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pelgrom_scaling() {
+        // 4× the area halves the mismatch.
+        let small = vth_sigma(10e-6, 0.18e-6);
+        let big = vth_sigma(40e-6, 0.18e-6);
+        assert!((small / big - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn study_is_deterministic_per_seed() {
+        let a = paper_default_study(100, 7);
+        let b = paper_default_study(100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offsets_amplified_without_cancel() {
+        let s = paper_default_study(2000, 1);
+        // Raw output offset σ far exceeds the input-referred σ.
+        assert!(s.raw_sigma() > 10.0 * s.input_sigma());
+        // A visible fraction of raw samples smear the eye.
+        assert!(s.raw_failure_rate(0.5) > 0.0001 || s.raw_sigma() > 0.02);
+    }
+
+    #[test]
+    fn cancellation_cuts_offset_by_loop_gain() {
+        let s = paper_default_study(2000, 2);
+        let improvement = s.raw_sigma() / s.cancelled_sigma();
+        assert!(
+            (improvement - 32.6).abs() < 1.0,
+            "improvement = {improvement}, expected 1 + loop gain"
+        );
+    }
+
+    #[test]
+    fn clamp_limits_raw_output() {
+        let s = run_offset_study(500, 4.0, 20e-3, 0.5, 10.0, 3);
+        for &o in &s.raw_outputs {
+            assert!(o.abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = paper_default_study(0, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Static power accounting (Table I's 70 mW row).
+//!
+//! CML is constant-current logic: every cell burns `I_tail·V_DD`
+//! regardless of activity, so the chip's power is an inventory of tail
+//! currents. The numbers here mirror the cell configurations in
+//! [`crate::cells`] and the stage list of the paper's two interfaces.
+
+use crate::cells::cml_buffer::CmlBufferConfig;
+use crate::cells::equalizer::EqualizerConfig;
+use crate::cells::limiting_amp::LimitingAmpConfig;
+
+/// One named current consumer.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerItem {
+    /// Block name.
+    pub name: &'static str,
+    /// Supply current, amps.
+    pub current: f64,
+}
+
+/// A per-interface power budget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerBudget {
+    items: Vec<PowerItem>,
+}
+
+impl PowerBudget {
+    /// Creates an empty budget.
+    #[must_use]
+    pub fn new() -> Self {
+        PowerBudget::default()
+    }
+
+    /// Adds a consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` is negative.
+    pub fn add(&mut self, name: &'static str, current: f64) {
+        assert!(current >= 0.0, "current must be non-negative");
+        self.items.push(PowerItem { name, current });
+    }
+
+    /// All items.
+    #[must_use]
+    pub fn items(&self) -> &[PowerItem] {
+        &self.items
+    }
+
+    /// Total supply current, amps.
+    #[must_use]
+    pub fn total_current(&self) -> f64 {
+        self.items.iter().map(|i| i.current).sum()
+    }
+
+    /// Total power at the process supply, watts.
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.total_current() * cml_pdk::VDD
+    }
+
+    /// Merges another budget into this one.
+    pub fn merge(&mut self, other: &PowerBudget) {
+        self.items.extend(other.items.iter().cloned());
+    }
+}
+
+/// Power budget of the input interface (Fig. 2): equalizer, input
+/// buffer, limiting amplifier, output buffer.
+#[must_use]
+pub fn input_interface() -> PowerBudget {
+    let mut b = PowerBudget::new();
+    b.add("equalizer", EqualizerConfig::paper_default().supply_current());
+    b.add("input buffer", CmlBufferConfig::paper_default().supply_current());
+    b.add(
+        "limiting amplifier",
+        LimitingAmpConfig::paper_default().supply_current(),
+    );
+    b.add("la output buffer", CmlBufferConfig::paper_default().supply_current());
+    b
+}
+
+/// Power budget of the output interface (Fig. 3): level shift, tapered
+/// driver stages (the last one the paper's 8 mA 50 Ω driver), and the
+/// voltage-peaking circuit (delay buffer + differentiator).
+#[must_use]
+pub fn output_interface() -> PowerBudget {
+    let mut b = PowerBudget::new();
+    b.add("level shift", 1.0e-3);
+    b.add("driver stage 1", 1.0e-3);
+    b.add("driver stage 2", 2.7e-3);
+    b.add("driver stage 3 (50 ohm)", crate::design::paper::OUTPUT_DRIVE);
+    b.add("peaking delay buffer", 1.0e-3);
+    b.add("peaking differentiator", 1.5e-3);
+    b
+}
+
+/// Power budget of the shared bias (BMVR + distribution mirrors).
+#[must_use]
+pub fn bias() -> PowerBudget {
+    let mut b = PowerBudget::new();
+    b.add("bmvr + mirrors", 0.3e-3);
+    b
+}
+
+/// The full I/O interface budget — the paper's "total power consumption
+/// of the I/O interface is only 70 mW" claim.
+#[must_use]
+pub fn io_interface() -> PowerBudget {
+    let mut b = input_interface();
+    b.merge(&output_interface());
+    b.merge(&bias());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sums_current() {
+        let mut b = PowerBudget::new();
+        b.add("a", 1e-3);
+        b.add("b", 2e-3);
+        assert!((b.total_current() - 3e-3).abs() < 1e-15);
+        assert!((b.total_power() - 3e-3 * 1.8).abs() < 1e-12);
+        assert_eq!(b.items().len(), 2);
+    }
+
+    #[test]
+    fn total_io_power_near_paper_70mw() {
+        let p = io_interface().total_power();
+        assert!(
+            p > 50e-3 && p < 90e-3,
+            "I/O power = {:.1} mW, paper claims 70 mW",
+            p * 1e3
+        );
+    }
+
+    #[test]
+    fn output_interface_has_8ma_driver() {
+        let b = output_interface();
+        let driver = b
+            .items()
+            .iter()
+            .find(|i| i.name.contains("stage 3"))
+            .expect("driver present");
+        assert!((driver.current - 8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_interface_dominated_by_la() {
+        let b = input_interface();
+        let la = b
+            .items()
+            .iter()
+            .find(|i| i.name.contains("limiting"))
+            .expect("LA present");
+        assert!(la.current > 0.5 * b.total_current());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_current_rejected() {
+        let mut b = PowerBudget::new();
+        b.add("bad", -1.0);
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numeric kernels.
+///
+/// All failure modes are recoverable by the caller (e.g. the circuit
+/// simulator responds to [`NumericError::SingularMatrix`] by adding gmin
+/// conductance and retrying), so they are reported rather than panicking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// LU factorization found no usable pivot: the system is singular
+    /// (or numerically indistinguishable from singular).
+    SingularMatrix {
+        /// Elimination column at which no pivot above threshold existed.
+        column: usize,
+        /// Magnitude of the best available pivot.
+        pivot: f64,
+    },
+    /// A routine was called with inputs of inconsistent dimensions.
+    DimensionMismatch {
+        /// What the routine expected, e.g. `"rhs of length 5"`.
+        expected: String,
+        /// What it received.
+        got: String,
+    },
+    /// FFT length was not a power of two.
+    NonPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// An input that must be non-empty was empty.
+    EmptyInput,
+    /// Interpolation abscissae were not strictly increasing.
+    UnsortedAbscissae,
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::SingularMatrix { column, pivot } => write!(
+                f,
+                "singular matrix: no pivot at column {column} (best magnitude {pivot:.3e})"
+            ),
+            NumericError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            NumericError::NonPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+            NumericError::EmptyInput => write!(f, "input slice was empty"),
+            NumericError::UnsortedAbscissae => {
+                write!(f, "interpolation abscissae must be strictly increasing")
+            }
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumericError::SingularMatrix {
+                column: 3,
+                pivot: 1e-18,
+            },
+            NumericError::DimensionMismatch {
+                expected: "3".into(),
+                got: "4".into(),
+            },
+            NumericError::NonPowerOfTwo { len: 12 },
+            NumericError::EmptyInput,
+            NumericError::UnsortedAbscissae,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

@@ -1,0 +1,276 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The channel model (`cml-channel`) specifies the backplane as a
+//! frequency-domain insertion-loss profile; turning that into a causal
+//! impulse response for time-domain convolution requires an inverse FFT.
+//! Only power-of-two lengths are supported — callers zero-pad, which is the
+//! natural thing to do for impulse-response synthesis anyway.
+
+use crate::{Complex64, NumericError};
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+fn transform_in_place(x: &mut [Complex64], dir: Direction) -> Result<(), NumericError> {
+    let n = x.len();
+    if n == 0 {
+        return Err(NumericError::EmptyInput);
+    }
+    if !n.is_power_of_two() {
+        return Err(NumericError::NonPowerOfTwo { len: n });
+    }
+    // Bit-reversal permutation.
+    let levels = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Iterative Cooley-Tukey butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[i + k];
+                let v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if dir == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(inv_n);
+        }
+    }
+    Ok(())
+}
+
+/// Forward FFT, in place. Length must be a power of two.
+///
+/// Uses the engineering sign convention `X[k] = Σ x[n]·e^{-j2πnk/N}`.
+///
+/// # Errors
+///
+/// [`NumericError::NonPowerOfTwo`] for unsupported lengths,
+/// [`NumericError::EmptyInput`] for an empty slice.
+pub fn fft(x: &mut [Complex64]) -> Result<(), NumericError> {
+    transform_in_place(x, Direction::Forward)
+}
+
+/// Inverse FFT, in place (including the `1/N` normalization).
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn ifft(x: &mut [Complex64]) -> Result<(), NumericError> {
+    transform_in_place(x, Direction::Inverse)
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn fft_real(x: &[f64]) -> Result<Vec<Complex64>, NumericError> {
+    let mut buf: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    fft(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT returning only the real part, for spectra known to be
+/// conjugate-symmetric (real impulse responses).
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn ifft_real(spectrum: &[Complex64]) -> Result<Vec<f64>, NumericError> {
+    let mut buf = spectrum.to_vec();
+    ifft(&mut buf)?;
+    Ok(buf.into_iter().map(|z| z.re).collect())
+}
+
+/// Next power of two at or above `n` (minimum 1).
+///
+/// ```
+/// assert_eq!(cml_numeric::fft::next_pow2(1000), 1024);
+/// assert_eq!(cml_numeric::fft::next_pow2(8), 8);
+/// ```
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Linear convolution of two real sequences via zero-padded FFT.
+///
+/// Output length is `a.len() + b.len() - 1`. This is the hot path of the
+/// behavioural channel model (waveform ⊛ impulse response).
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] if either input is empty.
+pub fn convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let mut fa: Vec<Complex64> = a.iter().map(|&v| Complex64::from_real(v)).collect();
+    let mut fb: Vec<Complex64> = b.iter().map(|&v| Complex64::from_real(v)).collect();
+    fa.resize(n, Complex64::ZERO);
+    fb.resize(n, Complex64::ZERO);
+    fft(&mut fa)?;
+    fft(&mut fb)?;
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ifft(&mut fa)?;
+    Ok(fa.into_iter().take(out_len).map(|z| z.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(&mut x).unwrap();
+        for v in x {
+            assert!((v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin_zero() {
+        let mut x = vec![Complex64::ONE; 16];
+        fft(&mut x).unwrap();
+        assert!((x[0].re - 16.0).abs() < 1e-12);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_correct_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                Complex64::from_real((2.0 * std::f64::consts::PI * k as f64 * i as f64
+                    / n as f64)
+                    .cos())
+            })
+            .collect();
+        fft(&mut x).unwrap();
+        // A real cosine splits into bins k and n-k with amplitude n/2.
+        assert!((x[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((x[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, v) in x.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(v.abs() < 1e-9, "leakage at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 128;
+        let orig: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x).unwrap();
+        ifft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex64::ZERO; 12];
+        assert!(matches!(
+            fft(&mut x),
+            Err(NumericError::NonPowerOfTwo { len: 12 })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let mut x: Vec<Complex64> = vec![];
+        assert!(matches!(fft(&mut x), Err(NumericError::EmptyInput)));
+    }
+
+    #[test]
+    fn convolve_matches_direct() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 0.25, 2.0];
+        let got = convolve(&a, &b).unwrap();
+        let mut want = vec![0.0; a.len() + b.len() - 1];
+        for (i, &av) in a.iter().enumerate() {
+            for (j, &bv) in b.iter().enumerate() {
+                want[i + j] += av * bv;
+            }
+        }
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn convolve_with_delta_is_identity() {
+        let a = [3.0, -1.0, 4.0, 1.0, -5.0];
+        let got = convolve(&a, &[1.0]).unwrap();
+        for (g, w) in got.iter().zip(&a) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_helpers_roundtrip() {
+        let x = [0.0, 1.0, 0.0, -1.0, 0.5, 0.25, -0.75, 2.0];
+        let spec = fft_real(&x).unwrap();
+        let back = ifft_real(&spec).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x = [1.0, -2.0, 0.5, 3.0, -0.25, 0.0, 1.5, -1.0];
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Waveform interpolation.
+//!
+//! Eye-diagram folding and channel resampling need to evaluate simulated
+//! waveforms at time points that do not fall on the solver's (possibly
+//! adaptive) time grid. Linear interpolation is the workhorse; the monotone
+//! cubic (PCHIP, Fritsch–Carlson) variant is provided for smooth threshold
+//! crossing detection without the overshoot a plain cubic spline introduces.
+
+use crate::NumericError;
+
+fn check_grid(xs: &[f64], ys: &[f64]) -> Result<(), NumericError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("{} ordinates", xs.len()),
+            got: format!("{}", ys.len()),
+        });
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(NumericError::UnsortedAbscissae);
+    }
+    Ok(())
+}
+
+/// Index of the interval `[xs[i], xs[i+1]]` containing `x` (clamped to ends).
+fn bracket(xs: &[f64], x: f64) -> usize {
+    match xs.binary_search_by(|v| v.partial_cmp(&x).expect("NaN in abscissae")) {
+        Ok(i) => i.min(xs.len().saturating_sub(2)),
+        Err(0) => 0,
+        Err(i) if i >= xs.len() => xs.len() - 2,
+        Err(i) => i - 1,
+    }
+}
+
+/// Piecewise-linear interpolation of `(xs, ys)` at `x`, extrapolating with
+/// the end values (clamp, not linear extension — waveforms should hold).
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`], [`NumericError::DimensionMismatch`] or
+/// [`NumericError::UnsortedAbscissae`] on malformed grids.
+pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, NumericError> {
+    check_grid(xs, ys)?;
+    if xs.len() == 1 {
+        return Ok(ys[0]);
+    }
+    if x <= xs[0] {
+        return Ok(ys[0]);
+    }
+    if x >= xs[xs.len() - 1] {
+        return Ok(ys[ys.len() - 1]);
+    }
+    let i = bracket(xs, x);
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    Ok(ys[i] + t * (ys[i + 1] - ys[i]))
+}
+
+/// Resamples a waveform onto a uniform grid of `n` points spanning the
+/// original time range, using linear interpolation.
+///
+/// # Errors
+///
+/// Grid errors as in [`linear`]; additionally requires `n >= 2`.
+pub fn resample_uniform(
+    xs: &[f64],
+    ys: &[f64],
+    n: usize,
+) -> Result<(Vec<f64>, Vec<f64>), NumericError> {
+    check_grid(xs, ys)?;
+    if n < 2 {
+        return Err(NumericError::DimensionMismatch {
+            expected: "at least 2 output samples".into(),
+            got: format!("{n}"),
+        });
+    }
+    let grid = crate::linspace(xs[0], xs[xs.len() - 1], n);
+    let vals = grid
+        .iter()
+        .map(|&x| linear(xs, ys, x))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((grid, vals))
+}
+
+/// Monotone cubic Hermite (PCHIP) interpolator.
+///
+/// Precomputes Fritsch–Carlson slopes once; evaluation is then O(log n).
+/// Guaranteed not to overshoot the data — if the data are monotone on an
+/// interval, the interpolant is too.
+#[derive(Debug, Clone)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    slopes: Vec<f64>,
+}
+
+impl Pchip {
+    /// Builds the interpolator from a strictly-increasing grid.
+    ///
+    /// # Errors
+    ///
+    /// Grid errors as in [`linear`].
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumericError> {
+        check_grid(xs, ys)?;
+        let n = xs.len();
+        let mut slopes = vec![0.0; n];
+        if n == 1 {
+            return Ok(Pchip {
+                xs: xs.to_vec(),
+                ys: ys.to_vec(),
+                slopes,
+            });
+        }
+        let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let d: Vec<f64> = ys
+            .windows(2)
+            .zip(&h)
+            .map(|(w, &hi)| (w[1] - w[0]) / hi)
+            .collect();
+        slopes[0] = d[0];
+        slopes[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            if d[i - 1] * d[i] <= 0.0 {
+                slopes[i] = 0.0; // local extremum: flat tangent preserves monotonicity
+            } else {
+                let w1 = 2.0 * h[i] + h[i - 1];
+                let w2 = h[i] + 2.0 * h[i - 1];
+                slopes[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+            }
+        }
+        Ok(Pchip {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            slopes,
+        })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped beyond the grid ends).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if n == 1 || x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = bracket(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.slopes[i] + h01 * self.ys[i + 1]
+            + h11 * h * self.slopes[i + 1]
+    }
+}
+
+/// Finds all times where a waveform crosses `level`, using linear
+/// interpolation between samples. Returns crossings in time order.
+///
+/// This is the primitive behind jitter and eye-width measurements.
+///
+/// # Errors
+///
+/// Grid errors as in [`linear`].
+pub fn level_crossings(xs: &[f64], ys: &[f64], level: f64) -> Result<Vec<f64>, NumericError> {
+    check_grid(xs, ys)?;
+    let mut out = Vec::new();
+    for i in 0..xs.len() - 1 {
+        let (a, b) = (ys[i] - level, ys[i + 1] - level);
+        if a == 0.0 {
+            out.push(xs[i]);
+        } else if a * b < 0.0 {
+            let t = a / (a - b);
+            out.push(xs[i] + t * (xs[i + 1] - xs[i]));
+        }
+    }
+    // Catch an exact crossing at the final sample.
+    if ys[ys.len() - 1] == level && xs.len() > 1 && ys[ys.len() - 2] != level {
+        out.push(xs[xs.len() - 1]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_knots_exactly() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [2.0, -1.0, 5.0];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(linear(&xs, &ys, *x).unwrap(), *y);
+        }
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let xs = [0.0, 2.0];
+        let ys = [0.0, 10.0];
+        assert!((linear(&xs, &ys, 1.0).unwrap() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_clamps_outside_range() {
+        let xs = [1.0, 2.0];
+        let ys = [5.0, 7.0];
+        assert_eq!(linear(&xs, &ys, 0.0).unwrap(), 5.0);
+        assert_eq!(linear(&xs, &ys, 10.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        assert!(matches!(
+            linear(&[1.0, 1.0], &[0.0, 0.0], 1.0),
+            Err(NumericError::UnsortedAbscissae)
+        ));
+    }
+
+    #[test]
+    fn resample_preserves_linear_ramp() {
+        let xs = [0.0, 0.5, 2.0];
+        let ys = [0.0, 1.0, 4.0]; // ramp with slope 2
+        let (gx, gy) = resample_uniform(&xs, &ys, 9).unwrap();
+        for (x, y) in gx.iter().zip(&gy) {
+            assert!((y - 2.0 * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_interpolates_knots() {
+        let xs = [0.0, 1.0, 2.0, 4.0];
+        let ys = [0.0, 1.0, 0.5, 3.0];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((p.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_monotone_data_stays_monotone() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 0.1, 0.5, 0.9, 1.0]; // monotone S-curve
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let mut prev = p.eval(0.0);
+        for i in 1..=400 {
+            let v = p.eval(i as f64 * 0.01);
+            assert!(v >= prev - 1e-12, "pchip overshoot at {i}");
+            prev = v;
+        }
+        // And never exceeds the data range.
+        assert!(prev <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn crossings_of_cosine() {
+        let n = 1000;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 2.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&t| (std::f64::consts::PI * t).cos())
+            .collect();
+        let c = level_crossings(&xs, &ys, 0.0).unwrap();
+        // cos(πt) crosses zero at t = 0.5 and t = 1.5 on [0, 2].
+        assert_eq!(c.len(), 2);
+        assert!((c[0] - 0.5).abs() < 1e-3);
+        assert!((c[1] - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn crossing_position_is_interpolated() {
+        let xs = [0.0, 1.0];
+        let ys = [-1.0, 3.0];
+        let c = level_crossings(&xs, &ys, 0.0).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_crossings_when_level_outside() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 1.0, 0.5];
+        assert!(level_crossings(&xs, &ys, 5.0).unwrap().is_empty());
+    }
+}

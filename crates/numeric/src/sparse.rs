@@ -1,0 +1,331 @@
+//! Sparse matrix support for larger MNA systems.
+//!
+//! The transistor-level netlists in this project stay small enough for the
+//! dense solver, but Monte-Carlo sweeps and multi-lane link studies assemble
+//! systems where a sparse representation pays off. The design is the classic
+//! two-phase one used by circuit simulators: accumulate duplicate-tolerant
+//! [`Triplet`] entries during stamping, then compress once to CSR for
+//! numerical work (or hand off to the dense solver below a size threshold).
+
+use crate::{DenseMatrix, NumericError};
+
+/// A single `(row, col, value)` contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Value to accumulate at `(row, col)`.
+    pub val: f64,
+}
+
+/// A sparse matrix builder that accepts repeated stamps at the same
+/// position, matching how MNA element stamping naturally works.
+///
+/// ```
+/// use cml_numeric::sparse::TripletMatrix;
+///
+/// let mut m = TripletMatrix::new(2, 2);
+/// m.add(0, 0, 1.0);
+/// m.add(0, 0, 2.0); // duplicates accumulate
+/// let csr = m.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<Triplet>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder of the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-compression) entries.
+    #[must_use]
+    pub fn nnz_raw(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stamps `val` at `(row, col)`. Duplicates are accumulated at
+    /// compression time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.rows && col < self.cols, "stamp out of bounds");
+        self.entries.push(Triplet { row, col, val });
+    }
+
+    /// Discards accumulated entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Compresses to CSR, summing duplicates and dropping explicit zeros.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|a| (a.row, a.col));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(sorted.len());
+
+        let mut it = sorted.into_iter().peekable();
+        while let Some(first) = it.next() {
+            let mut acc = first.val;
+            while let Some(nxt) = it.peek() {
+                if nxt.row == first.row && nxt.col == first.col {
+                    acc += nxt.val;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if acc != 0.0 {
+                row_ptr[first.row + 1] += 1;
+                col_idx.push(first.col);
+                vals.push(acc);
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Materializes as a dense matrix (used below the sparse threshold).
+    #[must_use]
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for t in &self.entries {
+            m[(t.row, t.col)] += t.val;
+        }
+        m
+    }
+}
+
+impl Extend<Triplet> for TripletMatrix {
+    fn extend<I: IntoIterator<Item = Triplet>>(&mut self, iter: I) {
+        for t in iter {
+            self.add(t.row, t.col, t.val);
+        }
+    }
+}
+
+/// Compressed-sparse-row matrix produced by [`TripletMatrix::to_csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Value at `(row, col)`; zero if not stored.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(i) => self.vals[lo + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("{}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+        Ok(y)
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// For the problem sizes in this project a dense factorization of the
+    /// compressed matrix is both simpler and faster than symbolic sparse LU;
+    /// the CSR form still pays for itself in assembly and mat-vec products.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumericError::SingularMatrix`] /
+    /// [`NumericError::DimensionMismatch`] from the dense solver.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut dense = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                dense[(r, self.col_idx[k])] = self.vals[k];
+            }
+        }
+        dense.solve(b)
+    }
+
+    /// Iterates over stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |k| (r, self.col_idx[k], self.vals[k]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut m = TripletMatrix::new(3, 3);
+        m.add(1, 2, 1.5);
+        m.add(1, 2, 2.5);
+        m.add(0, 0, 1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(1, 2), 4.0);
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(2, 2), 0.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn explicit_zero_sum_dropped() {
+        let mut m = TripletMatrix::new(2, 2);
+        m.add(0, 1, 3.0);
+        m.add(0, 1, -3.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense() {
+        let mut m = TripletMatrix::new(3, 3);
+        for (r, c, v) in [(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)] {
+            m.add(r, c, v);
+        }
+        let x = [1.0, 2.0, 3.0];
+        let dense = m.to_dense().mul_vec(&x).unwrap();
+        let sparse = m.to_csr().mul_vec(&x).unwrap();
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn csr_solve_matches_dense_solve() {
+        let mut m = TripletMatrix::new(3, 3);
+        for (r, c, v) in [
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 4.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ] {
+            m.add(r, c, v);
+        }
+        let b = [1.0, 2.0, 3.0];
+        let xd = m.to_dense().solve(&b).unwrap();
+        let xs = m.to_csr().solve(&b).unwrap();
+        for (a, b) in xd.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_stamp_panics() {
+        let mut m = TripletMatrix::new(2, 2);
+        m.add(2, 0, 1.0);
+    }
+
+    #[test]
+    fn iter_visits_all_nonzeros_in_row_order() {
+        let mut m = TripletMatrix::new(2, 3);
+        m.add(1, 0, 5.0);
+        m.add(0, 2, 7.0);
+        let csr = m.to_csr();
+        let got: Vec<_> = csr.iter().collect();
+        assert_eq!(got, vec![(0, 2, 7.0), (1, 0, 5.0)]);
+    }
+
+    #[test]
+    fn extend_accepts_triplets() {
+        let mut m = TripletMatrix::new(2, 2);
+        m.extend([
+            Triplet { row: 0, col: 0, val: 1.0 },
+            Triplet { row: 1, col: 1, val: 2.0 },
+        ]);
+        assert_eq!(m.nnz_raw(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut m = TripletMatrix::new(4, 4);
+        m.add(0, 0, 1.0);
+        m.clear();
+        assert_eq!(m.nnz_raw(), 0);
+        assert_eq!(m.rows(), 4);
+    }
+}

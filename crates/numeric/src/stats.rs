@@ -1,0 +1,294 @@
+//! Summary statistics and histograms.
+//!
+//! Eye-diagram metrics (height, width, RMS jitter) and Monte-Carlo offset
+//! studies reduce sample clouds with these routines. They are deliberately
+//! simple — no streaming/online variants are needed at this scale.
+
+use crate::NumericError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, NumericError> {
+    if xs.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation (divide by `n`, not `n-1`).
+///
+/// The population convention matches how RMS jitter is quoted: the samples
+/// *are* the full set of observed crossings, not a draw from a larger one.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, NumericError> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Ok(var.sqrt())
+}
+
+/// Minimum value.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64, NumericError> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        .ok_or(NumericError::EmptyInput)
+}
+
+/// Maximum value.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64, NumericError> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        .ok_or(NumericError::EmptyInput)
+}
+
+/// Peak-to-peak span, `max - min`.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn peak_to_peak(xs: &[f64]) -> Result<f64, NumericError> {
+    Ok(max(xs)? - min(xs)?)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the data contain NaN.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64, NumericError> {
+    if xs.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Root-mean-square of a sample set.
+///
+/// # Errors
+///
+/// [`NumericError::EmptyInput`] on an empty slice.
+pub fn rms(xs: &[f64]) -> Result<f64, NumericError> {
+    if xs.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    Ok((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// A fixed-bin histogram over a closed range.
+///
+/// Used to build the two amplitude lobes of an eye diagram (the "rails")
+/// from which eye height is measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.counts.len();
+            let idx = (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize;
+            self.counts[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Records every sample in a slice.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Center of the most populated bin, or `None` if empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<f64> {
+        if self.total() == 0 {
+            return None;
+        }
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty counts");
+        Some(self.bin_center(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_set() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-15);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(matches!(mean(&[]), Err(NumericError::EmptyInput)));
+        assert!(matches!(std_dev(&[]), Err(NumericError::EmptyInput)));
+        assert!(matches!(min(&[]), Err(NumericError::EmptyInput)));
+        assert!(matches!(percentile(&[], 50.0), Err(NumericError::EmptyInput)));
+        assert!(matches!(rms(&[]), Err(NumericError::EmptyInput)));
+    }
+
+    #[test]
+    fn minmax_and_ptp() {
+        let xs = [1.0, -3.0, 7.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -3.0);
+        assert_eq!(max(&xs).unwrap(), 7.0);
+        assert_eq!(peak_to_peak(&xs).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn percentile_median_of_odd_set() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 2.0);
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0).unwrap() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rms_of_square_wave_is_amplitude() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        assert!((rms(&xs).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all(&[-1.0, 0.5, 5.5, 9.99, 42.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_mode_finds_peak() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record_all(&[0.55, 0.52, 0.58, 0.1]);
+        let m = h.mode().unwrap();
+        assert!((m - 0.55).abs() < 0.06);
+    }
+
+    #[test]
+    fn histogram_mode_none_when_empty() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.mode(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Analytical layout-area model.
+//!
+//! The paper's headline area claims — 0.02 mm² input interface, 0.008 mm²
+//! output interface, 0.028 mm² total ("almost equal to one on-chip spiral
+//! inductor"), and "active inductors reduce 80 % of the circuit area
+//! compared to on-chip inductors" — are layout-accounting statements, not
+//! simulations. This module reproduces that accounting: device footprints
+//! from drawn geometry plus a wiring overhead factor, and a spiral-inductor
+//! footprint model calibrated to 0.18 µm-era spirals (a 2 nH spiral with
+//! guard ring occupies roughly 0.025 mm²).
+
+/// Wiring/spacing overhead multiplier applied to summed device areas.
+/// Dense analog layout in this node typically lands between 3× and 6×
+/// raw active area; 4.5 reproduces the paper's block areas for its
+/// device budget.
+pub const WIRING_OVERHEAD: f64 = 4.5;
+
+/// Area of one MOSFET's active region including source/drain diffusions,
+/// m²: `w · (l + 2·ldiff)`.
+#[must_use]
+pub fn mosfet(w: f64, l: f64, ldiff: f64) -> f64 {
+    w * (l + 2.0 * ldiff)
+}
+
+/// Area of a poly resistor strip of `squares` squares at drawn width `w`,
+/// m² (with end contacts counted as one extra square).
+#[must_use]
+pub fn poly_resistor(squares: f64, w: f64) -> f64 {
+    (squares + 1.0) * w * w
+}
+
+/// Area of a MIM capacitor of value `c` at the process density
+/// (1 fF/µm²), m².
+#[must_use]
+pub fn mim_capacitor(c: f64) -> f64 {
+    c / crate::process::CMIM_DENSITY
+}
+
+/// Footprint of an on-chip spiral inductor of value `l_henry`, m².
+///
+/// Calibrated to 0.18 µm-era spirals: ~2 nH in ≈ 160 µm × 160 µm
+/// including the guard ring; footprint grows roughly with L^0.8 (turns
+/// add area sublinearly).
+#[must_use]
+pub fn spiral_inductor(l_henry: f64) -> f64 {
+    const A_2NH: f64 = 0.0256e-6; // m² (0.0256 mm² = 160 µm square)
+    A_2NH * (l_henry / 2e-9).powf(0.8)
+}
+
+/// Footprint of a PMOS active inductor replacing a spiral of comparable
+/// peaking, m². Active inductors are just two transistors plus a bias
+/// device; the paper's claim is that this is ≈ 20 % (or less) of the
+/// spiral footprint.
+#[must_use]
+pub fn active_inductor(w: f64, l: f64, ldiff: f64) -> f64 {
+    // PMOS load pair + gate bias resistor, with wiring overhead.
+    (2.0 * mosfet(w, l, ldiff) + poly_resistor(10.0, 0.4e-6)) * WIRING_OVERHEAD
+}
+
+/// Converts m² to mm² for reporting.
+#[must_use]
+pub fn to_mm2(area_m2: f64) -> f64 {
+    area_m2 * 1e6
+}
+
+/// An accumulating area budget for a circuit block.
+///
+/// ```
+/// use cml_pdk::area::AreaBudget;
+///
+/// let mut b = AreaBudget::new("demo");
+/// b.add_mosfet(10e-6, 0.18e-6, 0.48e-6);
+/// b.add_mosfet(10e-6, 0.18e-6, 0.48e-6);
+/// assert!(b.total_mm2() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AreaBudget {
+    name: String,
+    device_area: f64,
+    /// Areas that already include their own overhead (spirals, pads).
+    fixed_area: f64,
+    devices: usize,
+}
+
+impl AreaBudget {
+    /// Creates an empty budget for a named block.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        AreaBudget {
+            name: name.to_string(),
+            device_area: 0.0,
+            fixed_area: 0.0,
+            devices: 0,
+        }
+    }
+
+    /// Block name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one MOSFET of the given geometry.
+    pub fn add_mosfet(&mut self, w: f64, l: f64, ldiff: f64) {
+        self.device_area += mosfet(w, l, ldiff);
+        self.devices += 1;
+    }
+
+    /// Adds a poly resistor of the given value at the process sheet
+    /// resistance and a 0.4 µm strip width.
+    pub fn add_resistor(&mut self, ohms: f64) {
+        let squares = ohms / crate::process::RPOLY_SHEET;
+        self.device_area += poly_resistor(squares, 0.4e-6);
+        self.devices += 1;
+    }
+
+    /// Adds a MIM capacitor of the given value.
+    pub fn add_capacitor(&mut self, farads: f64) {
+        self.device_area += mim_capacitor(farads);
+        self.devices += 1;
+    }
+
+    /// Adds a spiral inductor (counted at full footprint, no overhead
+    /// multiplier — spirals already include their keep-out).
+    pub fn add_spiral(&mut self, l_henry: f64) {
+        self.fixed_area += spiral_inductor(l_henry);
+        self.devices += 1;
+    }
+
+    /// Merges another budget into this one.
+    pub fn merge(&mut self, other: &AreaBudget) {
+        self.device_area += other.device_area;
+        self.fixed_area += other.fixed_area;
+        self.devices += other.devices;
+    }
+
+    /// Number of devices counted.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Total block area in m², wiring overhead applied to device area.
+    #[must_use]
+    pub fn total_m2(&self) -> f64 {
+        self.device_area * WIRING_OVERHEAD + self.fixed_area
+    }
+
+    /// Total block area in mm².
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        to_mm2(self.total_m2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mosfet_area_formula() {
+        let a = mosfet(10e-6, 0.18e-6, 0.48e-6);
+        assert!((a - 10e-6 * 1.14e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn spiral_is_much_larger_than_active_inductor() {
+        let spiral = spiral_inductor(2e-9);
+        let active = active_inductor(8e-6, 0.18e-6, 0.48e-6);
+        // The paper claims active inductors cut ≥ 80 % of the area.
+        assert!(
+            active < 0.2 * spiral,
+            "active {active:.3e} vs spiral {spiral:.3e}"
+        );
+    }
+
+    #[test]
+    fn spiral_area_grows_sublinearly() {
+        let a1 = spiral_inductor(1e-9);
+        let a4 = spiral_inductor(4e-9);
+        assert!(a4 > a1);
+        assert!(a4 < 4.0 * a1);
+    }
+
+    #[test]
+    fn budget_accumulates_and_merges() {
+        let mut b1 = AreaBudget::new("block1");
+        b1.add_mosfet(10e-6, 0.18e-6, 0.48e-6);
+        b1.add_resistor(200.0);
+        let mut b2 = AreaBudget::new("block2");
+        b2.add_capacitor(50e-15);
+        let solo1 = b1.total_m2();
+        let solo2 = b2.total_m2();
+        b1.merge(&b2);
+        assert!((b1.total_m2() - (solo1 + solo2)).abs() < 1e-18);
+        assert_eq!(b1.num_devices(), 3);
+    }
+
+    #[test]
+    fn spiral_counts_without_overhead() {
+        let mut b = AreaBudget::new("tank");
+        b.add_spiral(2e-9);
+        assert!((b.total_m2() - spiral_inductor(2e-9)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((to_mm2(1e-6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typical_cml_cell_area_is_order_correct() {
+        // A CML buffer: 6 transistors + 2 resistors should land in the
+        // hundreds of µm² with overhead — the paper's 0.008 mm² output
+        // interface holds three buffers plus peaking circuit.
+        let mut b = AreaBudget::new("cml-buffer");
+        for _ in 0..6 {
+            b.add_mosfet(8e-6, 0.18e-6, 0.48e-6);
+        }
+        b.add_resistor(150.0);
+        b.add_resistor(150.0);
+        let mm2 = b.total_mm2();
+        assert!(mm2 > 1e-4 && mm2 < 5e-3, "cell = {mm2} mm²");
+    }
+}

@@ -1,0 +1,305 @@
+//! Process corners, temperature models and device model-card factory.
+
+use cml_spice::devices::mosfet::{MosParams, MosType};
+use crate::{L_MIN, T_NOMINAL};
+
+/// Gate-oxide capacitance per area for tox = 4.1 nm, F/m².
+const COX: f64 = 8.42e-3;
+/// Gate overlap capacitance per width, F/m.
+const COV: f64 = 3.0e-10;
+/// Junction capacitance per area, F/m².
+const CJ: f64 = 1.0e-3;
+/// Source/drain diffusion extension, m.
+const LDIFF: f64 = 0.48e-6;
+
+/// Typical NMOS transconductance parameter at 27 °C, A/V².
+const KP_N: f64 = 170e-6;
+/// Typical PMOS transconductance parameter at 27 °C, A/V².
+const KP_P: f64 = 60e-6;
+/// Typical threshold magnitude at 27 °C, V (both polarities).
+const VTH0: f64 = 0.45;
+/// Channel-length-modulation coefficient at L = 0.18 µm, 1/V.
+/// Scaled with 1/L for longer devices.
+const LAMBDA_LMIN: f64 = 0.30;
+
+/// Threshold temperature drift, V/°C (magnitude decreases when hot).
+const VTH_TC: f64 = -1.0e-3;
+/// Mobility temperature exponent: µ ∝ (T/T0)^MU_EXP.
+const MU_EXP: f64 = -1.5;
+
+/// VTH shift applied by fast/slow corners, volts.
+const CORNER_DVTH: f64 = 0.06;
+/// Relative KP shift applied by fast/slow corners.
+const CORNER_DKP: f64 = 0.12;
+
+/// Poly resistor sheet resistance, Ω/square.
+pub const RPOLY_SHEET: f64 = 7.8;
+/// MIM capacitor density, F/m² (≈ 1 fF/µm²).
+pub const CMIM_DENSITY: f64 = 1.0e-3;
+
+/// Process corner: the first letter is the NMOS speed, the second the
+/// PMOS speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Typical-typical.
+    #[default]
+    Tt,
+    /// Fast-fast.
+    Ff,
+    /// Slow-slow.
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl Corner {
+    /// All five corners, for corner sweeps.
+    pub const ALL: [Corner; 5] = [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf];
+
+    /// Speed sign for the NMOS device: +1 fast, 0 typical, −1 slow.
+    #[must_use]
+    pub fn nmos_speed(self) -> f64 {
+        match self {
+            Corner::Tt => 0.0,
+            Corner::Ff | Corner::Fs => 1.0,
+            Corner::Ss | Corner::Sf => -1.0,
+        }
+    }
+
+    /// Speed sign for the PMOS device: +1 fast, 0 typical, −1 slow.
+    #[must_use]
+    pub fn pmos_speed(self) -> f64 {
+        match self {
+            Corner::Tt => 0.0,
+            Corner::Ff | Corner::Sf => 1.0,
+            Corner::Ss | Corner::Fs => -1.0,
+        }
+    }
+
+    /// Short display name (`"TT"`, `"FF"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+            Corner::Fs => "FS",
+            Corner::Sf => "SF",
+        }
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 0.18 µm process instance: one corner at one junction temperature.
+///
+/// All model cards handed out by this factory are consistent with each
+/// other, so whole netlists can be generated under a single corner and
+/// swept by rebuilding with another `Pdk018`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pdk018 {
+    corner: Corner,
+    temp_c: f64,
+}
+
+impl Default for Pdk018 {
+    fn default() -> Self {
+        Pdk018::typical()
+    }
+}
+
+impl Pdk018 {
+    /// Typical corner at the nominal 27 °C.
+    #[must_use]
+    pub fn typical() -> Self {
+        Pdk018 {
+            corner: Corner::Tt,
+            temp_c: T_NOMINAL,
+        }
+    }
+
+    /// A specific corner and junction temperature (−40 … 125 °C is the
+    /// qualified range; values outside are accepted but extrapolated).
+    #[must_use]
+    pub fn new(corner: Corner, temp_c: f64) -> Self {
+        Pdk018 { corner, temp_c }
+    }
+
+    /// The process corner.
+    #[must_use]
+    pub fn corner(&self) -> Corner {
+        self.corner
+    }
+
+    /// Junction temperature, °C.
+    #[must_use]
+    pub fn temperature(&self) -> f64 {
+        self.temp_c
+    }
+
+    fn mobility_factor(&self) -> f64 {
+        ((self.temp_c + 273.15) / (T_NOMINAL + 273.15)).powf(MU_EXP)
+    }
+
+    fn vth(&self, speed: f64) -> f64 {
+        (VTH0 + VTH_TC * (self.temp_c - T_NOMINAL) - speed * CORNER_DVTH).max(0.05)
+    }
+
+    fn kp(&self, nominal: f64, speed: f64) -> f64 {
+        nominal * self.mobility_factor() * (1.0 + speed * CORNER_DKP)
+    }
+
+    /// NMOS model card for the given drawn width and length (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l < L_MIN` or `w <= 0`.
+    #[must_use]
+    pub fn nmos(&self, w: f64, l: f64) -> MosParams {
+        assert!(l >= L_MIN * 0.999, "channel length below process minimum");
+        assert!(w > 0.0, "width must be positive");
+        let speed = self.corner.nmos_speed();
+        MosParams {
+            mos_type: MosType::Nmos,
+            w,
+            l,
+            vth0: self.vth(speed),
+            kp: self.kp(KP_N, speed),
+            lambda: LAMBDA_LMIN * L_MIN / l,
+            cox: COX,
+            cov: COV,
+            cj: CJ,
+            ldiff: LDIFF,
+        }
+    }
+
+    /// PMOS model card for the given drawn width and length (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l < L_MIN` or `w <= 0`.
+    #[must_use]
+    pub fn pmos(&self, w: f64, l: f64) -> MosParams {
+        assert!(l >= L_MIN * 0.999, "channel length below process minimum");
+        assert!(w > 0.0, "width must be positive");
+        let speed = self.corner.pmos_speed();
+        MosParams {
+            mos_type: MosType::Pmos,
+            w,
+            l,
+            vth0: self.vth(speed),
+            kp: self.kp(KP_P, speed),
+            lambda: LAMBDA_LMIN * L_MIN / l,
+            cox: COX,
+            cov: COV,
+            cj: CJ,
+            ldiff: LDIFF,
+        }
+    }
+
+    /// Poly resistor value for a strip of the given width and length
+    /// (meters): `RPOLY_SHEET · l / w`, with ±15 % across slow/fast corners.
+    #[must_use]
+    pub fn poly_resistor(&self, w: f64, l: f64) -> f64 {
+        let speed = (self.corner.nmos_speed() + self.corner.pmos_speed()) / 2.0;
+        RPOLY_SHEET * (l / w) * (1.0 - 0.15 * speed)
+    }
+
+    /// MIM capacitor value for the given plate area (m²).
+    #[must_use]
+    pub fn mim_capacitor(&self, area: f64) -> f64 {
+        CMIM_DENSITY * area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_nmos_card_is_sane() {
+        let pdk = Pdk018::typical();
+        let m = pdk.nmos(10e-6, 0.18e-6);
+        assert_eq!(m.mos_type, MosType::Nmos);
+        assert!((m.vth0 - 0.45).abs() < 1e-12);
+        assert!((m.kp - 170e-6).abs() < 1e-12);
+        assert!((m.lambda - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmos_is_slower_than_nmos() {
+        let pdk = Pdk018::typical();
+        assert!(pdk.pmos(10e-6, 0.18e-6).kp < pdk.nmos(10e-6, 0.18e-6).kp);
+    }
+
+    #[test]
+    fn lambda_shrinks_with_length() {
+        let pdk = Pdk018::typical();
+        let short = pdk.nmos(10e-6, 0.18e-6).lambda;
+        let long = pdk.nmos(10e-6, 0.72e-6).lambda;
+        assert!((long - short / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_devices_are_slower() {
+        let hot = Pdk018::new(Corner::Tt, 125.0);
+        let cold = Pdk018::new(Corner::Tt, -40.0);
+        assert!(hot.nmos(1e-6, L_MIN).kp < cold.nmos(1e-6, L_MIN).kp);
+        // VTH magnitude shrinks when hot.
+        assert!(hot.nmos(1e-6, L_MIN).vth0 < cold.nmos(1e-6, L_MIN).vth0);
+    }
+
+    #[test]
+    fn corners_order_drive_strength() {
+        let kp =
+            |c: Corner| Pdk018::new(c, T_NOMINAL).nmos(1e-6, L_MIN).kp;
+        assert!(kp(Corner::Ff) > kp(Corner::Tt));
+        assert!(kp(Corner::Tt) > kp(Corner::Ss));
+        // FS has a fast NMOS.
+        assert!(kp(Corner::Fs) > kp(Corner::Tt));
+        // SF has a slow NMOS.
+        assert!(kp(Corner::Sf) < kp(Corner::Tt));
+    }
+
+    #[test]
+    fn skewed_corners_split_polarities() {
+        let fs = Pdk018::new(Corner::Fs, T_NOMINAL);
+        assert!(fs.nmos(1e-6, L_MIN).kp > 170e-6);
+        assert!(fs.pmos(1e-6, L_MIN).kp < 60e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "below process minimum")]
+    fn sub_minimum_length_rejected() {
+        let _ = Pdk018::typical().nmos(1e-6, 0.1e-6);
+    }
+
+    #[test]
+    fn poly_resistor_squares() {
+        let pdk = Pdk018::typical();
+        // 10 squares.
+        let r = pdk.poly_resistor(0.4e-6, 4e-6);
+        assert!((r - 78.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mim_density() {
+        let pdk = Pdk018::typical();
+        // 100 µm² → 100 fF.
+        let c = pdk.mim_capacitor(100e-12);
+        assert!((c - 100e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn corner_names_and_all() {
+        assert_eq!(Corner::ALL.len(), 5);
+        assert_eq!(Corner::Tt.to_string(), "TT");
+        assert_eq!(Corner::Sf.name(), "SF");
+    }
+}

@@ -1,0 +1,417 @@
+//! Eye-diagram folding and metrics.
+//!
+//! An eye diagram overlays every unit interval of a long data waveform.
+//! [`EyeDiagram::fold`] does the overlay; [`EyeDiagram::metrics`] extracts
+//! the numbers the paper quotes (eye height/opening, width, jitter), and
+//! [`EyeDiagram::render_ascii`] draws the familiar scope picture for the
+//! figure-regeneration binaries.
+
+use crate::wave::UniformWave;
+use cml_numeric::{interp, stats};
+
+/// Folded eye data: samples classified by phase within the UI, plus a
+/// 2-UI density grid for rendering.
+#[derive(Debug, Clone)]
+pub struct EyeDiagram {
+    ui: f64,
+    /// (phase in [0, 2·UI), value) for every sample, phase-shifted so bit
+    /// centers sit at 0.5·UI and 1.5·UI.
+    folded: Vec<(f64, f64)>,
+    /// Crossing phases folded into [0, UI), centered on the nominal edge.
+    crossings: Vec<f64>,
+    v_min: f64,
+    v_max: f64,
+}
+
+/// Scalar eye metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EyeMetrics {
+    /// Inner eye height at the sampling instant, volts (negative = closed).
+    pub height: f64,
+    /// Eye width, seconds (UI minus peak-to-peak crossing spread).
+    pub width: f64,
+    /// Mean high rail at the sampling instant, volts.
+    pub v_high: f64,
+    /// Mean low rail at the sampling instant, volts.
+    pub v_low: f64,
+    /// RMS jitter of threshold crossings, seconds.
+    pub rms_jitter: f64,
+    /// Peak-to-peak jitter of threshold crossings, seconds.
+    pub pp_jitter: f64,
+    /// `height / (v_high − v_low)` — 1.0 is a perfect eye, ≤ 0 closed.
+    pub opening: f64,
+}
+
+impl EyeDiagram {
+    /// Folds a waveform into an eye with the given unit interval.
+    ///
+    /// The fold assumes bit edges nominally at integer multiples of the
+    /// UI (as produced by [`crate::nrz::NrzConfig::render`]); samples are
+    /// phase-shifted so the eye crossing appears at the window edges and
+    /// the sampling instant at the center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ui <= 0` or shorter than two samples.
+    #[must_use]
+    pub fn fold(wave: &UniformWave, ui: f64) -> Self {
+        assert!(ui > 0.0, "unit interval must be positive");
+        assert!(ui >= 2.0 * wave.dt(), "need at least two samples per UI");
+        let two_ui = 2.0 * ui;
+        let mut folded = Vec::with_capacity(wave.len());
+        let mut v_min = f64::MAX;
+        let mut v_max = f64::MIN;
+        for (i, &v) in wave.samples().iter().enumerate() {
+            let t = wave.time_at(i) - wave.t0();
+            let phase = t.rem_euclid(two_ui);
+            folded.push((phase, v));
+            v_min = v_min.min(v);
+            v_max = v_max.max(v);
+        }
+
+        // Threshold crossings for jitter/width, folded into one UI and
+        // centered: nominal edges at k·UI fold to UI/2 after the shift.
+        let mid = (v_min + v_max) / 2.0;
+        let times = wave.times();
+        let crossings_abs = interp::level_crossings(&times, wave.samples(), mid)
+            .expect("uniform grid is always valid");
+        let crossings = crossings_abs
+            .iter()
+            .map(|&t| (t - wave.t0() + ui / 2.0).rem_euclid(ui))
+            .collect();
+
+        EyeDiagram {
+            ui,
+            folded,
+            crossings,
+            v_min,
+            v_max,
+        }
+    }
+
+    /// The unit interval, seconds.
+    #[must_use]
+    pub fn ui(&self) -> f64 {
+        self.ui
+    }
+
+    /// Folded `(phase, value)` samples over a 2-UI window.
+    #[must_use]
+    pub fn folded_samples(&self) -> &[(f64, f64)] {
+        &self.folded
+    }
+
+    /// Computes scalar metrics.
+    ///
+    /// Uses samples within ±10 % of the UI centers as the "sampling
+    /// instant" population and 5/95 percentiles for robust inner-eye
+    /// rails.
+    #[must_use]
+    pub fn metrics(&self) -> EyeMetrics {
+        let mid = (self.v_min + self.v_max) / 2.0;
+        // Sampling-instant population: phases near 0.5·UI or 1.5·UI.
+        let mut highs = Vec::new();
+        let mut lows = Vec::new();
+        for &(phase, v) in &self.folded {
+            let p = (phase / self.ui).rem_euclid(1.0);
+            if (p - 0.5).abs() <= 0.1 {
+                if v >= mid {
+                    highs.push(v);
+                } else {
+                    lows.push(v);
+                }
+            }
+        }
+        let (v_high, v_low, height) = if highs.is_empty() || lows.is_empty() {
+            // Eye fully collapsed onto one rail (e.g. all-zeros data).
+            (self.v_max, self.v_min, 0.0)
+        } else {
+            let v_high = stats::mean(&highs).expect("non-empty");
+            let v_low = stats::mean(&lows).expect("non-empty");
+            let inner_high = stats::percentile(&highs, 5.0).expect("non-empty");
+            let inner_low = stats::percentile(&lows, 95.0).expect("non-empty");
+            (v_high, v_low, inner_high - inner_low)
+        };
+
+        let (rms_jitter, pp_jitter) = if self.crossings.len() >= 2 {
+            // Circular statistics: the crossing cluster may straddle the
+            // fold boundary (group delay rotates it arbitrarily), so the
+            // peak-to-peak spread is UI minus the largest empty gap
+            // between consecutive (sorted, circular) crossings.
+            let mut sorted = self.crossings.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite phases"));
+            let mut max_gap = self.ui - (sorted[sorted.len() - 1] - sorted[0]);
+            let mut gap_end = sorted[0]; // phase just after the max gap
+            for w in sorted.windows(2) {
+                let gap = w[1] - w[0];
+                if gap > max_gap {
+                    max_gap = gap;
+                    gap_end = w[1];
+                }
+            }
+            let pp = self.ui - max_gap;
+            // Rotate so the cluster is contiguous, then ordinary stddev.
+            let rotated: Vec<f64> = sorted
+                .iter()
+                .map(|&c| (c - gap_end).rem_euclid(self.ui))
+                .collect();
+            let rms = stats::std_dev(&rotated).expect("non-empty");
+            (rms, pp)
+        } else {
+            (0.0, 0.0)
+        };
+        let width = (self.ui - pp_jitter).max(0.0);
+        let swing = v_high - v_low;
+        let opening = if swing > 0.0 { height / swing } else { 0.0 };
+
+        EyeMetrics {
+            height,
+            width,
+            v_high,
+            v_low,
+            rms_jitter,
+            pp_jitter,
+            opening,
+        }
+    }
+
+    /// Renders the eye as ASCII art (`rows × cols` character grid over a
+    /// 2-UI window), densest regions darkest. Used by the figure binaries.
+    #[must_use]
+    pub fn render_ascii(&self, rows: usize, cols: usize) -> String {
+        assert!(rows >= 2 && cols >= 2, "grid too small");
+        let mut grid = vec![0u32; rows * cols];
+        let span = (self.v_max - self.v_min).max(1e-30);
+        let two_ui = 2.0 * self.ui;
+        for &(phase, v) in &self.folded {
+            let c = ((phase / two_ui) * cols as f64) as usize;
+            let r = (((self.v_max - v) / span) * (rows - 1) as f64).round() as usize;
+            let c = c.min(cols - 1);
+            let r = r.min(rows - 1);
+            grid[r * cols + c] += 1;
+        }
+        let peak = *grid.iter().max().expect("non-empty grid") as f64;
+        const SHADES: [char; 6] = [' ', '.', ':', '+', '#', '@'];
+        let mut out = String::with_capacity(rows * (cols + 1));
+        for r in 0..rows {
+            for c in 0..cols {
+                let count = grid[r * cols + c] as f64;
+                let idx = if count == 0.0 {
+                    0
+                } else {
+                    1 + ((count / peak) * (SHADES.len() - 2) as f64).round() as usize
+                };
+                out.push(SHADES[idx.min(SHADES.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nrz::NrzConfig;
+    use crate::prbs::Prbs;
+
+    fn clean_eye() -> EyeDiagram {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let wave = NrzConfig::new(100e-12, 0.5).render(&bits);
+        EyeDiagram::fold(&wave, 100e-12)
+    }
+
+    #[test]
+    fn clean_nrz_eye_is_wide_open() {
+        let m = clean_eye().metrics();
+        assert!(m.opening > 0.9, "opening = {}", m.opening);
+        assert!((m.v_high - 0.25).abs() < 0.02);
+        assert!((m.v_low + 0.25).abs() < 0.02);
+        assert!(m.height > 0.45, "height = {}", m.height);
+        // Clean edges: tiny jitter.
+        assert!(m.pp_jitter < 5e-12, "pp jitter = {}", m.pp_jitter);
+        assert!(m.width > 95e-12);
+    }
+
+    #[test]
+    fn jittered_eye_is_narrower() {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let clean = NrzConfig::new(100e-12, 0.5).render(&bits);
+        let dirty = NrzConfig::new(100e-12, 0.5)
+            .with_random_jitter(4e-12, 3)
+            .render(&bits);
+        let mc = EyeDiagram::fold(&clean, 100e-12).metrics();
+        let md = EyeDiagram::fold(&dirty, 100e-12).metrics();
+        assert!(md.width < mc.width);
+        assert!(md.rms_jitter > mc.rms_jitter);
+        assert!(md.rms_jitter > 1e-12, "rms = {}", md.rms_jitter);
+    }
+
+    #[test]
+    fn attenuated_eye_has_smaller_height() {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let full = NrzConfig::new(100e-12, 0.5).render(&bits);
+        let small = NrzConfig::new(100e-12, 0.05).render(&bits);
+        let mf = EyeDiagram::fold(&full, 100e-12).metrics();
+        let ms = EyeDiagram::fold(&small, 100e-12).metrics();
+        assert!(ms.height < mf.height / 5.0);
+        // But relative opening stays high for a clean small signal.
+        assert!(ms.opening > 0.9);
+    }
+
+    #[test]
+    fn constant_signal_reports_zero_height() {
+        let wave = UniformWave::new(0.0, 1e-12, vec![0.3; 1000]);
+        let m = EyeDiagram::fold(&wave, 100e-12).metrics();
+        assert_eq!(m.height, 0.0);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let art = clean_eye().render_ascii(10, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        // Top and bottom rails are dense; some character must be non-space.
+        assert!(art.contains('@') || art.contains('#'));
+        // The eye interior (middle row, quarter column = sampling point)
+        // must be empty for a clean eye.
+        let mid_row: Vec<char> = lines[5].chars().collect();
+        assert_eq!(mid_row[10], ' ', "eye interior should be open");
+    }
+
+    #[test]
+    #[should_panic(expected = "unit interval")]
+    fn zero_ui_rejected() {
+        let wave = UniformWave::new(0.0, 1e-12, vec![0.0; 10]);
+        let _ = EyeDiagram::fold(&wave, 0.0);
+    }
+}
+
+/// A hexagonal eye mask: the keep-out region receivers specify for
+/// compliance (e.g. XAUI-style masks). Defined symmetrically around the
+/// eye center in normalized coordinates and scaled by the UI and the
+/// mask voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyeMask {
+    /// Half-width of the mask at the sampling level, as a fraction of
+    /// the UI (x1 in the standard hexagon).
+    pub x1: f64,
+    /// Half-width of the mask at its vertical extremes, fraction of UI
+    /// (x2 ≤ x1).
+    pub x2: f64,
+    /// Mask half-height, volts.
+    pub y1: f64,
+}
+
+impl EyeMask {
+    /// A mask in the spirit of the 10 Gb/s backplane specs: ±35 % UI at
+    /// the crossing level, ±17.5 % UI at ±half the mask voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < x2 <= x1 <= 0.5` and `y1 > 0`.
+    #[must_use]
+    pub fn new(x1: f64, x2: f64, y1: f64) -> Self {
+        assert!(
+            x2 > 0.0 && x2 <= x1 && x1 <= 0.5 && y1 > 0.0,
+            "mask must satisfy 0 < x2 <= x1 <= 0.5, y1 > 0"
+        );
+        EyeMask { x1, x2, y1 }
+    }
+
+    /// The paper-scale default: 30 % UI inner width, 60 mV half-height.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EyeMask::new(0.3, 0.15, 0.06)
+    }
+
+    /// Whether the point (`phase_frac` in [−0.5, 0.5] around the eye
+    /// center, `v` volts from the eye midlevel) lies inside the mask.
+    #[must_use]
+    pub fn contains(&self, phase_frac: f64, v: f64) -> bool {
+        let x = phase_frac.abs();
+        let y = v.abs();
+        if x > self.x1 || y > self.y1 {
+            return false;
+        }
+        if x <= self.x2 {
+            return true;
+        }
+        // Sloped hexagon side between (x2, y1) and (x1, 0).
+        y <= self.y1 * (self.x1 - x) / (self.x1 - self.x2)
+    }
+
+    /// Counts folded samples violating the mask (inside the keep-out).
+    /// A compliant eye returns 0.
+    #[must_use]
+    pub fn violations(&self, eye: &EyeDiagram) -> usize {
+        let m = eye.metrics();
+        let mid = (m.v_high + m.v_low) / 2.0;
+        let ui = eye.ui();
+        eye.folded_samples()
+            .iter()
+            .filter(|&&(phase, v)| {
+                // Phase around the *eye center* (0.5 or 1.5 UI).
+                let p = (phase / ui).rem_euclid(1.0) - 0.5;
+                self.contains(p, v - mid)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod mask_tests {
+    use super::*;
+    use crate::nrz::NrzConfig;
+    use crate::prbs::Prbs;
+
+    fn eye(amplitude: f64, rj: f64) -> EyeDiagram {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let w = NrzConfig::new(100e-12, amplitude)
+            .with_random_jitter(rj, 9)
+            .render(&bits);
+        EyeDiagram::fold(&w, 100e-12)
+    }
+
+    #[test]
+    fn clean_full_swing_eye_passes_the_mask() {
+        let mask = EyeMask::paper_default();
+        assert_eq!(mask.violations(&eye(0.5, 0.0)), 0);
+    }
+
+    #[test]
+    fn small_eye_violates_the_mask() {
+        // 80 mV swing: rails at ±40 mV, inside the ±60 mV mask.
+        let mask = EyeMask::paper_default();
+        assert!(mask.violations(&eye(0.08, 0.0)) > 100);
+    }
+
+    #[test]
+    fn heavy_jitter_violates_the_mask() {
+        let mask = EyeMask::paper_default();
+        assert!(
+            mask.violations(&eye(0.5, 15e-12)) > 0,
+            "15 ps rms jitter should clip the mask corners"
+        );
+    }
+
+    #[test]
+    fn mask_geometry() {
+        let mask = EyeMask::new(0.4, 0.2, 0.1);
+        assert!(mask.contains(0.0, 0.0));
+        assert!(mask.contains(0.19, 0.099));
+        assert!(!mask.contains(0.45, 0.0)); // beyond x1
+        assert!(!mask.contains(0.0, 0.2)); // beyond y1
+        // On the sloped edge: x = 0.3 → y limit = 0.05.
+        assert!(mask.contains(0.3, 0.049));
+        assert!(!mask.contains(0.3, 0.051));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask must satisfy")]
+    fn invalid_mask_rejected() {
+        let _ = EyeMask::new(0.6, 0.2, 0.1);
+    }
+}

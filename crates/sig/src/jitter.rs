@@ -1,0 +1,267 @@
+//! Jitter extraction and BER estimation.
+//!
+//! The paper's eye diagrams imply timing margins; this module makes them
+//! quantitative: time-interval-error (TIE) extraction, a dual-Dirac-style
+//! split into random and deterministic jitter, and the Gaussian-tail
+//! bathtub curve that converts an eye into "eye width at BER 10⁻¹²" — the
+//! number a link designer actually signs off on.
+
+use crate::wave::UniformWave;
+use cml_numeric::{interp, stats};
+
+/// Time-interval error: the deviation of each threshold crossing from
+/// its nearest ideal bit-grid edge (`k·ui + phase`), where the grid
+/// phase is recovered from the data itself (mean crossing residue).
+///
+/// Returns one TIE sample per crossing, seconds.
+///
+/// # Panics
+///
+/// Panics if the waveform has no crossings of its midlevel.
+#[must_use]
+pub fn tie(wave: &UniformWave, ui: f64) -> Vec<f64> {
+    let samples = wave.samples();
+    let lo = stats::percentile(samples, 5.0).expect("non-empty");
+    let hi = stats::percentile(samples, 95.0).expect("non-empty");
+    assert!(hi - lo > 1e-12, "no crossings found: waveform is flat");
+    let mid = (lo + hi) / 2.0;
+    let times = wave.times();
+    let crossings = interp::level_crossings(&times, samples, mid).expect("valid grid");
+    assert!(!crossings.is_empty(), "no crossings found");
+
+    // Recover the grid phase via circular mean of the crossing residues.
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let (mut s, mut c) = (0.0, 0.0);
+    for &t in &crossings {
+        let ang = (t / ui).fract() * two_pi;
+        s += ang.sin();
+        c += ang.cos();
+    }
+    let phase = s.atan2(c) / two_pi * ui;
+
+    crossings
+        .iter()
+        .map(|&t| {
+            let residue = (t - phase) / ui;
+            (residue - residue.round()) * ui
+        })
+        .collect()
+}
+
+/// Dual-Dirac-style jitter decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JitterDecomposition {
+    /// Random (Gaussian) jitter σ, seconds.
+    pub rj_rms: f64,
+    /// Deterministic jitter peak-to-peak, seconds.
+    pub dj_pp: f64,
+    /// Total jitter at the sampled population, peak-to-peak, seconds.
+    pub tj_pp: f64,
+}
+
+/// Decomposes a TIE population with the standard tail-fit heuristic: the
+/// outer 5 % tails estimate the Gaussian σ; the inner spread beyond what
+/// that σ explains is deterministic.
+///
+/// # Panics
+///
+/// Panics on an empty TIE set.
+#[must_use]
+pub fn decompose(tie_samples: &[f64]) -> JitterDecomposition {
+    assert!(!tie_samples.is_empty(), "empty TIE population");
+    let tj_pp = stats::peak_to_peak(tie_samples).expect("non-empty");
+    // Tail-based σ: the 2.5 %→0.15 % span of a Gaussian is ≈ 1 σ; use
+    // p1/p99 vs p5/p95 spread difference as the tail slope estimate.
+    let p1 = stats::percentile(tie_samples, 1.0).expect("non-empty");
+    let p5 = stats::percentile(tie_samples, 5.0).expect("non-empty");
+    let p95 = stats::percentile(tie_samples, 95.0).expect("non-empty");
+    let p99 = stats::percentile(tie_samples, 99.0).expect("non-empty");
+    // For a pure Gaussian: p99−p95 = (2.326−1.645)σ = 0.681σ per side.
+    let tail = ((p99 - p95) + (p5 - p1)) / 2.0;
+    let rj_rms = (tail / 0.681).max(0.0);
+    // DJ: the p95 spread minus the Gaussian part it would have.
+    let dj_pp = ((p95 - p5) - 2.0 * 1.645 * rj_rms).max(0.0);
+    JitterDecomposition {
+        rj_rms,
+        dj_pp,
+        tj_pp,
+    }
+}
+
+/// Gaussian tail probability `Q(x) = P(N(0,1) > x)` via the
+/// Abramowitz-Stegun complementary-error-function approximation
+/// (max error < 1.5e-7 — far below any BER of interest).
+#[must_use]
+pub fn q_function(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - q_function(-x);
+    }
+    let t = 1.0 / (1.0 + 0.2316419 * x);
+    // Standard normal pdf at x.
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let poly = t
+        * (0.319381530 + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    pdf * poly
+}
+
+/// Estimated eye width at the target BER, seconds: the UI minus the DJ,
+/// minus the RJ tails extended to `Q⁻¹(ber)`·σ on each side.
+///
+/// Returns 0 when the eye is closed at that BER.
+#[must_use]
+pub fn eye_width_at_ber(ui: f64, j: &JitterDecomposition, ber: f64) -> f64 {
+    let q_target = inverse_q(ber);
+    (ui - j.dj_pp - 2.0 * q_target * j.rj_rms).max(0.0)
+}
+
+/// Inverse Q function via bisection (`Q(x) = p`).
+#[must_use]
+pub fn inverse_q(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 0.5, "inverse_q needs 0 < p < 0.5");
+    let (mut lo, mut hi) = (0.0, 40.0);
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if q_function(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// One point of a bathtub curve: sampling offset from the eye center and
+/// the estimated BER there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BathtubPoint {
+    /// Sampling position offset from the UI center, seconds.
+    pub offset: f64,
+    /// Estimated bit-error ratio.
+    pub ber: f64,
+}
+
+/// Builds a bathtub curve from a jitter decomposition: at each sampling
+/// offset the BER is the Gaussian tail of the nearer crossing
+/// distribution (dual-Dirac model with the DJ split into two Diracs at
+/// ±dj_pp/2 around each crossing).
+#[must_use]
+pub fn bathtub(ui: f64, j: &JitterDecomposition, points: usize) -> Vec<BathtubPoint> {
+    assert!(points >= 3, "need at least three points");
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let offset = (i as f64 / (points - 1) as f64 - 0.5) * ui;
+        // Distance to the left crossing (at −UI/2) and right (+UI/2).
+        let d_left = (offset + ui / 2.0 - j.dj_pp / 2.0).max(0.0);
+        let d_right = (ui / 2.0 - offset - j.dj_pp / 2.0).max(0.0);
+        let sigma = j.rj_rms.max(1e-18);
+        let ber = 0.5 * q_function(d_left / sigma) + 0.5 * q_function(d_right / sigma);
+        out.push(BathtubPoint {
+            offset,
+            ber: ber.min(0.5),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nrz::NrzConfig;
+    use crate::prbs::Prbs;
+
+    fn jittered_wave(rj: f64, seed: u64) -> UniformWave {
+        let bits: Vec<bool> = Prbs::prbs7().take(508).collect();
+        NrzConfig::new(100e-12, 1.0)
+            .with_random_jitter(rj, seed)
+            .render(&bits)
+    }
+
+    #[test]
+    fn tie_of_clean_wave_is_tiny() {
+        let w = jittered_wave(0.0, 0);
+        let t = tie(&w, 100e-12);
+        assert!(!t.is_empty());
+        let worst = t.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(worst < 2e-12, "clean TIE = {worst:.3e}");
+    }
+
+    #[test]
+    fn tie_recovers_injected_rj() {
+        let rj = 3e-12;
+        let w = jittered_wave(rj, 42);
+        let t = tie(&w, 100e-12);
+        let sigma = stats::std_dev(&t).unwrap();
+        assert!(
+            (sigma - rj).abs() < rj * 0.35,
+            "recovered σ = {sigma:.3e}, injected {rj:.3e}"
+        );
+    }
+
+    #[test]
+    fn decompose_sees_rj_dominated_population() {
+        let w = jittered_wave(2e-12, 7);
+        let j = decompose(&tie(&w, 100e-12));
+        assert!(j.rj_rms > 0.5e-12, "rj = {:.3e}", j.rj_rms);
+        assert!(j.tj_pp > 2.0 * j.rj_rms);
+    }
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-6);
+        assert!((q_function(1.0) - 0.1587).abs() < 1e-3);
+        assert!((q_function(3.0) - 1.35e-3).abs() < 1e-4);
+        // Deep tail: Q(7) ≈ 1.28e-12.
+        let q7 = q_function(7.0);
+        assert!(q7 > 1e-13 && q7 < 1e-11, "Q(7) = {q7:.3e}");
+    }
+
+    #[test]
+    fn inverse_q_roundtrip() {
+        for p in [1e-3, 1e-6, 1e-12] {
+            let x = inverse_q(p);
+            let back = q_function(x);
+            assert!((back.log10() - p.log10()).abs() < 0.05, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn eye_width_shrinks_with_ber_target() {
+        let j = JitterDecomposition {
+            rj_rms: 2e-12,
+            dj_pp: 10e-12,
+            tj_pp: 30e-12,
+        };
+        let w_1e9 = eye_width_at_ber(100e-12, &j, 1e-9);
+        let w_1e15 = eye_width_at_ber(100e-12, &j, 1e-15);
+        assert!(w_1e9 > w_1e15);
+        assert!(w_1e15 > 0.0);
+    }
+
+    #[test]
+    fn bathtub_is_bathtub_shaped() {
+        let j = JitterDecomposition {
+            rj_rms: 2e-12,
+            dj_pp: 8e-12,
+            tj_pp: 25e-12,
+        };
+        let curve = bathtub(100e-12, &j, 41);
+        assert_eq!(curve.len(), 41);
+        let center = curve[20].ber;
+        let edge = curve[0].ber;
+        assert!(center < 1e-9, "center BER = {center:.3e}");
+        assert!(edge > 0.1, "edge BER = {edge:.3e}");
+        // Monotone into the center from the left.
+        for w in curve[..21].windows(2) {
+            assert!(w[1].ber <= w[0].ber * 1.001);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no crossings")]
+    fn tie_rejects_flat_wave() {
+        let w = UniformWave::new(0.0, 1e-12, vec![0.5; 100]);
+        let _ = tie(&w, 100e-12);
+    }
+}

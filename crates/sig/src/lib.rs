@@ -1,0 +1,49 @@
+//! Signal generation and measurement for high-speed link simulation.
+//!
+//! This crate is the "pattern generator and oscilloscope" of the
+//! reproduction: everything the paper's figures measure with lab tooling
+//! is computed here.
+//!
+//! * [`prbs`] — LFSR pseudo-random bit sequences (PRBS-7/15/23/31; the
+//!   paper's eyes use PRBS-7, 2⁷−1 bits),
+//! * [`nrz`] — rendering bit sequences to NRZ waveforms with finite edge
+//!   rates and optional injected jitter,
+//! * [`wave`] — uniformly sampled waveform container and arithmetic,
+//! * [`eye`] — eye-diagram folding, eye height/width/jitter metrics and an
+//!   ASCII eye renderer used by the figure-regeneration binaries,
+//! * [`measure`] — time-domain measurements (swing, rise time, overshoot,
+//!   duty-cycle distortion) and frequency-domain metrics
+//!   ([`measure::Bode`]: −3 dB bandwidth, DC gain, peaking),
+//! * [`jitter`] — TIE extraction, RJ/DJ decomposition, bathtub curves
+//!   and eye width at a target BER,
+//! * [`spectrum`] — Hann-windowed power-spectral-density estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use cml_sig::prbs::Prbs;
+//! use cml_sig::nrz::NrzConfig;
+//! use cml_sig::eye::EyeDiagram;
+//!
+//! let bits = Prbs::prbs7().take(127).collect::<Vec<bool>>();
+//! let wave = NrzConfig::new(100e-12, 0.25).render(&bits); // 10 Gb/s, 250 mV
+//! let eye = EyeDiagram::fold(&wave, 100e-12);
+//! let m = eye.metrics();
+//! assert!(m.height > 0.2, "clean eye should be nearly full swing");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eye;
+pub mod jitter;
+pub mod measure;
+pub mod nrz;
+pub mod prbs;
+pub mod spectrum;
+pub mod wave;
+
+pub use eye::{EyeDiagram, EyeMetrics};
+pub use measure::Bode;
+pub use prbs::Prbs;
+pub use wave::UniformWave;

@@ -1,0 +1,322 @@
+//! Time- and frequency-domain measurements.
+//!
+//! The scalar extractors behind the paper's reported numbers: output
+//! swing, rise/fall time, pre-emphasis overshoot, duty-cycle distortion,
+//! and the Bode metrics (DC gain, −3 dB bandwidth, peaking) of Table I.
+
+use crate::wave::UniformWave;
+use cml_numeric::{interp, stats, Complex64};
+
+/// Peak-to-peak swing of a waveform, volts.
+#[must_use]
+pub fn swing(wave: &UniformWave) -> f64 {
+    stats::peak_to_peak(wave.samples()).unwrap_or(0.0)
+}
+
+/// Settled low/high levels estimated from the 5th/95th amplitude
+/// percentiles (robust against overshoot spikes).
+#[must_use]
+pub fn settled_levels(wave: &UniformWave) -> (f64, f64) {
+    let lo = stats::percentile(wave.samples(), 5.0).unwrap_or(0.0);
+    let hi = stats::percentile(wave.samples(), 95.0).unwrap_or(0.0);
+    (lo, hi)
+}
+
+/// 20–80 % rise time of the first rising transition, seconds.
+/// Returns `None` when no full rising edge exists.
+#[must_use]
+pub fn rise_time(wave: &UniformWave) -> Option<f64> {
+    edge_time(wave, true)
+}
+
+/// 80–20 % fall time of the first falling transition, seconds.
+/// Returns `None` when no full falling edge exists.
+#[must_use]
+pub fn fall_time(wave: &UniformWave) -> Option<f64> {
+    edge_time(wave, false)
+}
+
+fn edge_time(wave: &UniformWave, rising: bool) -> Option<f64> {
+    let (lo, hi) = settled_levels(wave);
+    if hi - lo <= 0.0 {
+        return None;
+    }
+    let v20 = lo + 0.2 * (hi - lo);
+    let v80 = lo + 0.8 * (hi - lo);
+    let times = wave.times();
+    let c20 = interp::level_crossings(&times, wave.samples(), v20).ok()?;
+    let c80 = interp::level_crossings(&times, wave.samples(), v80).ok()?;
+    // Local slope probe (half a sample either side).
+    let h = wave.dt() / 2.0;
+    let slope_up = |t: f64| wave.value_at(t + h) > wave.value_at(t - h);
+    if rising {
+        // First rising v20 crossing, then the next v80 crossing above it.
+        let t20 = *c20.iter().find(|&&t| slope_up(t))?;
+        let t80 = c80.iter().find(|&&t| t > t20)?;
+        Some(t80 - t20)
+    } else {
+        // First falling v80 crossing, then the next v20 crossing below it.
+        let t80 = *c80.iter().find(|&&t| !slope_up(t))?;
+        let t20 = c20.iter().find(|&&t| t > t80)?;
+        Some(t20 - t80)
+    }
+}
+
+/// Overshoot of the waveform above its settled high level, as a fraction
+/// of the settled swing (0.2 = 20 % peaking — the paper's voltage-peaking
+/// tuning-range metric).
+#[must_use]
+pub fn overshoot(wave: &UniformWave) -> f64 {
+    let (lo, hi) = settled_levels(wave);
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let peak = stats::max(wave.samples()).unwrap_or(hi);
+    ((peak - hi) / span).max(0.0)
+}
+
+/// Duty-cycle distortion of a data waveform: deviation of the average
+/// high-time fraction from 50 %, using the waveform midlevel as the
+/// threshold. Returns a fraction (0.02 = 2 % DCD).
+#[must_use]
+pub fn duty_cycle_distortion(wave: &UniformWave) -> f64 {
+    let (lo, hi) = settled_levels(wave);
+    let mid = (lo + hi) / 2.0;
+    let n_high = wave.samples().iter().filter(|&&v| v > mid).count();
+    let frac = n_high as f64 / wave.len() as f64;
+    (frac - 0.5).abs()
+}
+
+/// A frequency response: paired frequencies and complex gains.
+///
+/// ```
+/// use cml_numeric::Complex64;
+/// use cml_sig::measure::Bode;
+///
+/// let freqs = vec![1e6, 1e9, 10e9];
+/// let gains = vec![
+///     Complex64::from_real(100.0),
+///     Complex64::from_real(70.0),
+///     Complex64::from_real(7.0),
+/// ];
+/// let b = Bode::new(freqs, gains);
+/// assert!((b.dc_gain_db() - 40.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bode {
+    freqs: Vec<f64>,
+    gains: Vec<Complex64>,
+}
+
+impl Bode {
+    /// Creates a response from parallel frequency/gain arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, fewer than two points are given, or
+    /// frequencies are not strictly increasing and positive.
+    #[must_use]
+    pub fn new(freqs: Vec<f64>, gains: Vec<Complex64>) -> Self {
+        assert_eq!(freqs.len(), gains.len(), "mismatched lengths");
+        assert!(freqs.len() >= 2, "need at least two points");
+        assert!(freqs[0] > 0.0, "frequencies must be positive");
+        assert!(
+            freqs.windows(2).all(|w| w[1] > w[0]),
+            "frequencies must be strictly increasing"
+        );
+        Bode { freqs, gains }
+    }
+
+    /// Swept frequencies, Hz.
+    #[must_use]
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex gains.
+    #[must_use]
+    pub fn gains(&self) -> &[Complex64] {
+        &self.gains
+    }
+
+    /// Gain magnitudes in dB.
+    #[must_use]
+    pub fn magnitude_db(&self) -> Vec<f64> {
+        self.gains.iter().map(|g| g.db()).collect()
+    }
+
+    /// Gain at the lowest swept frequency, dB (the "DC gain" when the
+    /// sweep starts well below the first pole).
+    #[must_use]
+    pub fn dc_gain_db(&self) -> f64 {
+        self.gains[0].db()
+    }
+
+    /// Magnitude in dB at an arbitrary frequency (log-frequency linear
+    /// interpolation, clamped to the sweep range).
+    #[must_use]
+    pub fn gain_db_at(&self, freq: f64) -> f64 {
+        let logf: Vec<f64> = self.freqs.iter().map(|f| f.log10()).collect();
+        let mags = self.magnitude_db();
+        interp::linear(&logf, &mags, freq.log10()).expect("validated grid")
+    }
+
+    /// −3 dB bandwidth relative to the DC gain, Hz. `None` if the gain
+    /// never falls 3 dB within the sweep.
+    #[must_use]
+    pub fn bandwidth_3db(&self) -> Option<f64> {
+        let target = self.dc_gain_db() - 3.0103;
+        let mags = self.magnitude_db();
+        for i in 1..mags.len() {
+            if mags[i] <= target && mags[i - 1] > target {
+                // Interpolate in log-frequency.
+                let f0 = self.freqs[i - 1].log10();
+                let f1 = self.freqs[i].log10();
+                let frac = (mags[i - 1] - target) / (mags[i - 1] - mags[i]);
+                return Some(10f64.powf(f0 + frac * (f1 - f0)));
+            }
+        }
+        None
+    }
+
+    /// In-band peaking: maximum gain above the DC gain, dB (0 when the
+    /// response is monotone).
+    #[must_use]
+    pub fn peaking_db(&self) -> f64 {
+        let dc = self.dc_gain_db();
+        self.magnitude_db()
+            .into_iter()
+            .fold(0.0, |m, g| m.max(g - dc))
+    }
+
+    /// Frequency of maximum gain, Hz.
+    #[must_use]
+    pub fn peak_freq(&self) -> f64 {
+        let mags = self.magnitude_db();
+        let (idx, _) = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gains"))
+            .expect("non-empty");
+        self.freqs[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_numeric::logspace;
+
+    fn single_pole(f_pole: f64, dc: f64, freqs: &[f64]) -> Bode {
+        let gains = freqs
+            .iter()
+            .map(|&f| Complex64::from_real(dc) / Complex64::new(1.0, f / f_pole))
+            .collect();
+        Bode::new(freqs.to_vec(), gains)
+    }
+
+    #[test]
+    fn bandwidth_of_single_pole() {
+        let freqs = logspace(1e6, 100e9, 400);
+        let b = single_pole(9.5e9, 100.0, &freqs);
+        let bw = b.bandwidth_3db().unwrap();
+        assert!(
+            (bw - 9.5e9).abs() / 9.5e9 < 0.02,
+            "bw = {bw:.3e}, want 9.5 GHz"
+        );
+        assert!((b.dc_gain_db() - 40.0).abs() < 0.01);
+        assert_eq!(b.peaking_db(), 0.0);
+    }
+
+    #[test]
+    fn no_bandwidth_when_flat() {
+        let freqs = logspace(1e6, 1e9, 10);
+        let gains = vec![Complex64::from_real(5.0); 10];
+        let b = Bode::new(freqs, gains);
+        assert_eq!(b.bandwidth_3db(), None);
+    }
+
+    #[test]
+    fn peaking_detected() {
+        // Second-order response with Q > 0.707 shows peaking.
+        let freqs = logspace(1e8, 1e11, 300);
+        let (f0, q) = (5e9, 2.0);
+        let gains: Vec<Complex64> = freqs
+            .iter()
+            .map(|&f| {
+                let s = Complex64::new(0.0, f / f0);
+                Complex64::ONE / (s * s + s / q + Complex64::ONE)
+            })
+            .collect();
+        let b = Bode::new(freqs, gains);
+        let peak = b.peaking_db();
+        // Q = 2 → ~6.3 dB peaking near f0.
+        assert!((peak - 6.3).abs() < 0.3, "peaking = {peak}");
+        assert!((b.peak_freq() - f0).abs() / f0 < 0.1);
+    }
+
+    #[test]
+    fn gain_at_interpolates() {
+        let freqs = logspace(1e6, 1e10, 100);
+        let b = single_pole(1e9, 10.0, &freqs);
+        // At the pole: −3 dB from DC.
+        assert!((b.gain_db_at(1e9) - (20.0 - 3.0103)).abs() < 0.05);
+    }
+
+    #[test]
+    fn rise_and_fall_times() {
+        // One full bit: low → high → low with known edge rate.
+        let cfg = crate::nrz::NrzConfig::new(100e-12, 1.0)
+            .with_rise_frac(0.3)
+            .with_samples_per_ui(200);
+        let w = cfg.render(&[false, true, false]);
+        let tr = rise_time(&w).unwrap();
+        let tf = fall_time(&w).unwrap();
+        // Raised-cosine 0→100 % in 30 ps → 20–80 % ≈ 0.41·30 ps ≈ 12.3 ps.
+        assert!((tr - 12.3e-12).abs() < 2e-12, "tr = {tr:.3e}");
+        assert!((tf - 12.3e-12).abs() < 2e-12, "tf = {tf:.3e}");
+    }
+
+    #[test]
+    fn overshoot_of_clean_wave_is_zero() {
+        let cfg = crate::nrz::NrzConfig::new(100e-12, 1.0);
+        let w = cfg.render(&[false, true, true, false]);
+        assert!(overshoot(&w) < 0.01);
+    }
+
+    #[test]
+    fn overshoot_detects_peaking_spike() {
+        // Synthetic: settled rails ±0.5 with a 0.7 V spike.
+        let mut data = vec![-0.5; 100];
+        data.extend(vec![0.5; 100]);
+        data[100] = 0.7;
+        data[101] = 0.65;
+        let w = UniformWave::new(0.0, 1e-12, data);
+        let os = overshoot(&w);
+        assert!((os - 0.2).abs() < 0.03, "overshoot = {os}");
+    }
+
+    #[test]
+    fn dcd_of_balanced_square_wave_is_zero() {
+        let cfg = crate::nrz::NrzConfig::new(100e-12, 1.0).with_rise_frac(0.05);
+        let bits: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let w = cfg.render(&bits);
+        assert!(duty_cycle_distortion(&w) < 0.02);
+    }
+
+    #[test]
+    fn swing_measures_p2p() {
+        let w = UniformWave::new(0.0, 1.0, vec![-0.125, 0.125, 0.0]);
+        assert!((swing(&w) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bode_rejects_unsorted() {
+        let _ = Bode::new(
+            vec![1e9, 1e6],
+            vec![Complex64::ONE, Complex64::ONE],
+        );
+    }
+}

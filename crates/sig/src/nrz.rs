@@ -1,0 +1,271 @@
+//! NRZ waveform synthesis.
+//!
+//! Renders a bit sequence into a differential-half NRZ waveform with
+//! finite, smooth (raised-cosine) edges and optional Gaussian edge jitter.
+//! The output feeds either the behavioural link models directly or the
+//! simulator via a PWL source.
+
+use crate::wave::UniformWave;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NRZ rendering parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NrzConfig {
+    /// Unit interval (bit time), seconds.
+    pub ui: f64,
+    /// Peak-to-peak amplitude, volts (waveform spans ±`amplitude`/2
+    /// around `offset`).
+    pub amplitude: f64,
+    /// Common-mode offset, volts.
+    pub offset: f64,
+    /// 0→100 % edge transition time as a fraction of the UI.
+    pub rise_frac: f64,
+    /// Samples per UI.
+    pub samples_per_ui: usize,
+    /// RMS Gaussian jitter injected on each edge, seconds.
+    pub rj_rms: f64,
+    /// Seed for the jitter generator (deterministic by default).
+    pub seed: u64,
+}
+
+impl NrzConfig {
+    /// A clean (jitter-free) NRZ config at the given UI and peak-to-peak
+    /// amplitude, 25 % edges, 32 samples per UI, zero offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ui` or `amplitude` is not strictly positive.
+    #[must_use]
+    pub fn new(ui: f64, amplitude: f64) -> Self {
+        assert!(ui > 0.0, "unit interval must be positive");
+        assert!(amplitude > 0.0, "amplitude must be positive");
+        NrzConfig {
+            ui,
+            amplitude,
+            offset: 0.0,
+            rise_frac: 0.25,
+            samples_per_ui: 32,
+            rj_rms: 0.0,
+            seed: 0x5eed_cafe,
+        }
+    }
+
+    /// Sets the common-mode offset.
+    #[must_use]
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets the edge time as a fraction of the UI.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac <= 1`.
+    #[must_use]
+    pub fn with_rise_frac(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "rise fraction out of range");
+        self.rise_frac = frac;
+        self
+    }
+
+    /// Sets the sampling density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if below 4 samples per UI.
+    #[must_use]
+    pub fn with_samples_per_ui(mut self, n: usize) -> Self {
+        assert!(n >= 4, "need at least 4 samples per UI");
+        self.samples_per_ui = n;
+        self
+    }
+
+    /// Injects Gaussian random jitter of the given RMS on every edge.
+    #[must_use]
+    pub fn with_random_jitter(mut self, rj_rms: f64, seed: u64) -> Self {
+        self.rj_rms = rj_rms;
+        self.seed = seed;
+        self
+    }
+
+    /// Renders `bits` into a uniform waveform starting at `t = 0`.
+    ///
+    /// The first bit is preceded by half a UI of its own level so the
+    /// first edge is fully formed.
+    #[must_use]
+    pub fn render(&self, bits: &[bool]) -> UniformWave {
+        assert!(!bits.is_empty(), "need at least one bit");
+        let dt = self.ui / self.samples_per_ui as f64;
+        let n = bits.len() * self.samples_per_ui;
+        let t_edge = self.ui * self.rise_frac;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Edge times with jitter: edge k sits nominally at k·ui.
+        let mut edges: Vec<(f64, f64, f64)> = Vec::new(); // (time, from, to)
+        let level = |b: bool| {
+            self.offset + if b { self.amplitude / 2.0 } else { -self.amplitude / 2.0 }
+        };
+        let mut prev = bits[0];
+        for (k, &b) in bits.iter().enumerate().skip(1) {
+            if b != prev {
+                let jitter = if self.rj_rms > 0.0 {
+                    gaussian(&mut rng) * self.rj_rms
+                } else {
+                    0.0
+                };
+                edges.push((k as f64 * self.ui + jitter, level(prev), level(b)));
+                prev = b;
+            }
+        }
+
+        let mut data = Vec::with_capacity(n);
+        let mut edge_idx = 0usize;
+        for i in 0..n {
+            let t = i as f64 * dt;
+            // Advance past edges fully completed before t.
+            while edge_idx < edges.len() && t > edges[edge_idx].0 + t_edge / 2.0 {
+                edge_idx += 1;
+            }
+            let v = if edge_idx < edges.len() {
+                let (te, from, to) = edges[edge_idx];
+                let start = te - t_edge / 2.0;
+                if t < start {
+                    from
+                } else {
+                    // Raised-cosine transition.
+                    let x = ((t - start) / t_edge).clamp(0.0, 1.0);
+                    let s = 0.5 - 0.5 * (std::f64::consts::PI * x).cos();
+                    from + (to - from) * s
+                }
+            } else {
+                level(*bits.last().expect("non-empty"))
+            };
+            data.push(v);
+        }
+        UniformWave::new(0.0, dt, data)
+    }
+
+    /// Renders `bits` to a `(time, value)` point list suitable for a
+    /// simulator PWL source (sparse: only edge breakpoints).
+    #[must_use]
+    pub fn render_pwl(&self, bits: &[bool]) -> Vec<(f64, f64)> {
+        assert!(!bits.is_empty(), "need at least one bit");
+        let t_edge = self.ui * self.rise_frac;
+        let level = |b: bool| {
+            self.offset + if b { self.amplitude / 2.0 } else { -self.amplitude / 2.0 }
+        };
+        let mut pts = vec![(0.0, level(bits[0]))];
+        let mut prev = bits[0];
+        for (k, &b) in bits.iter().enumerate().skip(1) {
+            if b != prev {
+                let te = k as f64 * self.ui;
+                pts.push((te - t_edge / 2.0, level(prev)));
+                pts.push((te + t_edge / 2.0, level(b)));
+                prev = b;
+            }
+        }
+        pts.push((bits.len() as f64 * self.ui, level(prev)));
+        pts
+    }
+}
+
+/// Standard-normal sample via Box-Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_amplitude_and_offset() {
+        let cfg = NrzConfig::new(100e-12, 0.25).with_offset(0.9);
+        let w = cfg.render(&[true, true, false, false]);
+        let max = w.samples().iter().cloned().fold(f64::MIN, f64::max);
+        let min = w.samples().iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 1.025).abs() < 1e-9);
+        assert!((min - 0.775).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_count_and_grid() {
+        let cfg = NrzConfig::new(100e-12, 1.0).with_samples_per_ui(16);
+        let w = cfg.render(&[true, false, true]);
+        assert_eq!(w.len(), 48);
+        assert!((w.dt() - 100e-12 / 16.0).abs() < 1e-24);
+    }
+
+    #[test]
+    fn constant_bits_give_flat_waveform() {
+        let cfg = NrzConfig::new(100e-12, 0.5);
+        let w = cfg.render(&[true; 8]);
+        for &v in w.samples() {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_is_monotone_and_centered() {
+        let cfg = NrzConfig::new(100e-12, 2.0).with_samples_per_ui(64);
+        let w = cfg.render(&[false, true]);
+        // Value right at the nominal edge time (t = 1 UI) is mid-level.
+        let mid = w.value_at(100e-12);
+        assert!(mid.abs() < 0.05, "edge center should be ~0, got {mid}");
+        // Monotone through the transition.
+        let a = w.value_at(90e-12);
+        let b = w.value_at(100e-12);
+        let c = w.value_at(110e-12);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn jitter_moves_edges_but_not_levels() {
+        let clean = NrzConfig::new(100e-12, 1.0).render(&[false, true, false, true]);
+        let jittered = NrzConfig::new(100e-12, 1.0)
+            .with_random_jitter(3e-12, 42)
+            .render(&[false, true, false, true]);
+        assert_eq!(clean.len(), jittered.len());
+        // Settled levels identical.
+        assert!((clean.samples()[0] - jittered.samples()[0]).abs() < 1e-12);
+        // But waveforms differ somewhere near edges.
+        let diff: f64 = clean
+            .samples()
+            .iter()
+            .zip(jittered.samples())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "jitter should alter the waveform");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = NrzConfig::new(100e-12, 1.0)
+            .with_random_jitter(2e-12, 7)
+            .render(&[false, true, false]);
+        let b = NrzConfig::new(100e-12, 1.0)
+            .with_random_jitter(2e-12, 7)
+            .render(&[false, true, false]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pwl_has_breakpoints_per_transition() {
+        let cfg = NrzConfig::new(100e-12, 1.0);
+        let pts = cfg.render_pwl(&[false, true, true, false]);
+        // initial + 2 per transition (×2 transitions) + final.
+        assert_eq!(pts.len(), 6);
+        // Strictly increasing times.
+        assert!(pts.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_bits_rejected() {
+        let _ = NrzConfig::new(1e-10, 1.0).render(&[]);
+    }
+}

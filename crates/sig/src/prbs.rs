@@ -1,0 +1,206 @@
+//! Linear-feedback shift-register PRBS generators.
+//!
+//! Fibonacci LFSRs with the ITU-standard maximal-length polynomials. The
+//! paper's eye diagrams use the 2⁷−1 pattern ("PRBS-7"); longer patterns
+//! are provided for stress tests (PRBS-31 exercises the DC-offset loop's
+//! low-frequency cutoff harder than PRBS-7).
+
+/// A maximal-length LFSR pseudo-random bit sequence generator.
+///
+/// Implements [`Iterator`] over `bool`; the sequence repeats with period
+/// `2^order − 1`.
+///
+/// ```
+/// use cml_sig::prbs::Prbs;
+///
+/// let first: Vec<bool> = Prbs::prbs7().take(10).collect();
+/// let again: Vec<bool> = Prbs::prbs7().take(10).collect();
+/// assert_eq!(first, again, "same seed, same sequence");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prbs {
+    state: u32,
+    /// Feedback taps as bit positions (1-based from LSB).
+    taps: (u32, u32),
+    order: u32,
+}
+
+impl Prbs {
+    /// PRBS-7: `x⁷ + x⁶ + 1` (recurrence `x[n] = x[n−1] ⊕ x[n−7]`),
+    /// period 127 (ITU-T O.150).
+    #[must_use]
+    pub fn prbs7() -> Self {
+        Prbs::with_seed(7, (7, 1), 0x7F)
+    }
+
+    /// PRBS-15: `x¹⁵ + x¹⁴ + 1`, period 32767.
+    #[must_use]
+    pub fn prbs15() -> Self {
+        Prbs::with_seed(15, (15, 1), 0x7FFF)
+    }
+
+    /// PRBS-23: `x²³ + x¹⁸ + 1`, period 8388607.
+    #[must_use]
+    pub fn prbs23() -> Self {
+        Prbs::with_seed(23, (19, 1), 0x7F_FFFF)
+    }
+
+    /// PRBS-31: `x³¹ + x²⁸ + 1`, period 2³¹−1.
+    #[must_use]
+    pub fn prbs31() -> Self {
+        Prbs::with_seed(31, (29, 1), 0x7FFF_FFFF)
+    }
+
+    /// Generator with an explicit non-zero seed (low `order` bits used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masked seed is zero (an LFSR stuck state) or taps are
+    /// out of range.
+    #[must_use]
+    pub fn with_seed(order: u32, taps: (u32, u32), seed: u32) -> Self {
+        assert!((2..=31).contains(&order), "order out of range");
+        assert!(
+            taps.0 <= order && taps.1 <= order && taps.0 >= 1 && taps.1 >= 1,
+            "taps out of range"
+        );
+        let state = seed & ((1u32 << order) - 1);
+        assert!(state != 0, "seed must be non-zero");
+        Prbs { state, taps, order }
+    }
+
+    /// Sequence period `2^order − 1`.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        (1u64 << self.order) - 1
+    }
+
+    /// Collects exactly one full period of bits.
+    #[must_use]
+    pub fn one_period(&self) -> Vec<bool> {
+        self.clone().take(self.period() as usize).collect()
+    }
+}
+
+impl Iterator for Prbs {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b1 = (self.state >> (self.taps.0 - 1)) & 1;
+        let b2 = (self.state >> (self.taps.1 - 1)) & 1;
+        let fb = b1 ^ b2;
+        let out = self.state & 1 == 1;
+        self.state = (self.state >> 1) | (fb << (self.order - 1));
+        Some(out)
+    }
+}
+
+/// Encodes bits as ±1 symbols (true → +1).
+#[must_use]
+pub fn to_symbols(bits: &[bool]) -> Vec<f64> {
+    bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+/// Longest run of identical bits in a pattern — the metric that sets the
+/// low-frequency content a DC-coupled link must survive (PRBS-n has a run
+/// of n ones).
+#[must_use]
+pub fn longest_run(bits: &[bool]) -> usize {
+    let mut best = 0;
+    let mut run = 0;
+    let mut prev: Option<bool> = None;
+    for &b in bits {
+        if prev == Some(b) {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(b);
+        }
+        best = best.max(run);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prbs7_has_period_127() {
+        let bits = Prbs::prbs7().one_period();
+        assert_eq!(bits.len(), 127);
+        // Sequence repeats exactly after one period.
+        let double: Vec<bool> = Prbs::prbs7().take(254).collect();
+        assert_eq!(&double[..127], &double[127..]);
+    }
+
+    #[test]
+    fn prbs7_is_balanced() {
+        // Maximal-length property: 64 ones, 63 zeros per period.
+        let bits = Prbs::prbs7().one_period();
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn prbs7_longest_run_is_seven() {
+        let bits = Prbs::prbs7().one_period();
+        // Check a doubled period so wraparound runs are caught.
+        let mut doubled = bits.clone();
+        doubled.extend_from_slice(&bits);
+        assert_eq!(longest_run(&doubled), 7);
+    }
+
+    #[test]
+    fn prbs15_has_full_period() {
+        // Verify no early repetition by checking state return.
+        let start = Prbs::prbs15();
+        let mut g = start.clone();
+        let mut count: u64 = 0;
+        loop {
+            g.next();
+            count += 1;
+            if g == start {
+                break;
+            }
+            assert!(count <= 32767, "period too long");
+        }
+        assert_eq!(count, 32767);
+    }
+
+    #[test]
+    fn distinct_seeds_give_shifted_sequences() {
+        let a: Vec<bool> = Prbs::with_seed(7, (7, 1), 0x7F).take(127).collect();
+        let b: Vec<bool> = Prbs::with_seed(7, (7, 1), 0x01).take(127).collect();
+        assert_ne!(a, b);
+        // Same cycle, different phase: b must appear as a rotation of a.
+        let mut found = false;
+        for shift in 0..127 {
+            let rotated: Vec<bool> = a.iter().cycle().skip(shift).take(127).copied().collect();
+            if rotated == b {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "sequences should be rotations of each other");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        let _ = Prbs::with_seed(7, (7, 1), 0);
+    }
+
+    #[test]
+    fn symbols_are_bipolar() {
+        let s = to_symbols(&[true, false, true]);
+        assert_eq!(s, vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn longest_run_counts() {
+        assert_eq!(longest_run(&[true, true, false, true, true, true]), 3);
+        assert_eq!(longest_run(&[]), 0);
+        assert_eq!(longest_run(&[false]), 1);
+    }
+}

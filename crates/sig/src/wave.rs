@@ -1,0 +1,238 @@
+//! Uniformly sampled waveforms.
+//!
+//! Simulator output arrives on (possibly non-uniform) solver time grids;
+//! everything downstream — channel convolution, eye folding, FFTs — wants
+//! a uniform grid. [`UniformWave`] is that common currency.
+
+use cml_numeric::interp;
+
+/// A real waveform on a uniform time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformWave {
+    t0: f64,
+    dt: f64,
+    data: Vec<f64>,
+}
+
+impl UniformWave {
+    /// Creates a waveform from a start time, sample interval and samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `data` is empty.
+    #[must_use]
+    pub fn new(t0: f64, dt: f64, data: Vec<f64>) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        assert!(!data.is_empty(), "waveform must be non-empty");
+        UniformWave { t0, dt, data }
+    }
+
+    /// Resamples a non-uniform `(times, values)` series onto a uniform
+    /// grid with the given `dt` (linear interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty, unsorted, or `dt <= 0`.
+    #[must_use]
+    pub fn from_series(times: &[f64], values: &[f64], dt: f64) -> Self {
+        assert!(!times.is_empty(), "empty series");
+        assert!(dt > 0.0, "dt must be positive");
+        let t0 = times[0];
+        let t1 = times[times.len() - 1];
+        // Tolerate floating-point division error so a span that is an
+        // exact multiple of `dt` keeps its endpoint.
+        let n = ((t1 - t0) / dt + 1e-9).floor() as usize + 1;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                interp::linear(times, values, t0 + i as f64 * dt)
+                    .expect("series must be sorted and consistent")
+            })
+            .collect();
+        UniformWave::new(t0, dt, data)
+    }
+
+    /// Start time, seconds.
+    #[must_use]
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Sample interval, seconds.
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the waveform holds no samples (constructors forbid this,
+    /// so only possible through `Default`-like misuse upstream).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Time of sample `i`.
+    #[must_use]
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.t0 + i as f64 * self.dt
+    }
+
+    /// Total duration (last minus first sample time).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        (self.data.len() - 1) as f64 * self.dt
+    }
+
+    /// Value at an arbitrary time via linear interpolation (clamped at
+    /// the ends).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        let pos = (t - self.t0) / self.dt;
+        if pos <= 0.0 {
+            return self.data[0];
+        }
+        let n = self.data.len();
+        if pos >= (n - 1) as f64 {
+            return self.data[n - 1];
+        }
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        self.data[i] * (1.0 - frac) + self.data[i + 1] * frac
+    }
+
+    /// Explicit time grid (allocates).
+    #[must_use]
+    pub fn times(&self) -> Vec<f64> {
+        (0..self.data.len()).map(|i| self.time_at(i)).collect()
+    }
+
+    /// Maps every sample through `f`, preserving the grid.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        UniformWave {
+            t0: self.t0,
+            dt: self.dt,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Pointwise difference `self − other` (grids must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if grids differ in `dt` or length.
+    #[must_use]
+    pub fn sub(&self, other: &UniformWave) -> Self {
+        assert!(
+            (self.dt - other.dt).abs() < 1e-18 && self.len() == other.len(),
+            "waveform grids must match"
+        );
+        UniformWave {
+            t0: self.t0,
+            dt: self.dt,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Drops the first `seconds` of the waveform (used to discard
+    /// start-up transients before eye folding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing would remain.
+    #[must_use]
+    pub fn skip_initial(&self, seconds: f64) -> Self {
+        let n_skip = (seconds / self.dt).ceil() as usize;
+        assert!(n_skip < self.data.len(), "skip would empty the waveform");
+        UniformWave {
+            t0: self.t0 + n_skip as f64 * self.dt,
+            dt: self.dt,
+            data: self.data[n_skip..].to_vec(),
+        }
+    }
+
+    /// Consumes the waveform, returning its samples.
+    #[must_use]
+    pub fn into_samples(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let w = UniformWave::new(1e-9, 1e-12, vec![0.0, 1.0, 2.0]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.t0(), 1e-9);
+        assert!((w.duration() - 2e-12).abs() < 1e-24);
+        assert!((w.time_at(2) - 1.002e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn from_series_resamples_linearly() {
+        let times = [0.0, 1.0, 3.0];
+        let vals = [0.0, 1.0, 5.0];
+        let w = UniformWave::from_series(&times, &vals, 0.5);
+        assert_eq!(w.len(), 7);
+        assert!((w.samples()[1] - 0.5).abs() < 1e-12);
+        assert!((w.samples()[4] - 3.0).abs() < 1e-12); // t=2.0 between 1→3
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let w = UniformWave::new(0.0, 1.0, vec![0.0, 10.0]);
+        assert!((w.value_at(0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(w.value_at(-5.0), 0.0);
+        assert_eq!(w.value_at(99.0), 10.0);
+    }
+
+    #[test]
+    fn map_and_sub() {
+        let a = UniformWave::new(0.0, 1.0, vec![1.0, 2.0]);
+        let b = a.map(|v| v * 3.0);
+        assert_eq!(b.samples(), &[3.0, 6.0]);
+        let d = b.sub(&a);
+        assert_eq!(d.samples(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn skip_initial_shifts_origin() {
+        let w = UniformWave::new(0.0, 1.0, vec![9.0, 8.0, 7.0, 6.0]);
+        let s = w.skip_initial(2.0);
+        assert_eq!(s.samples(), &[7.0, 6.0]);
+        assert_eq!(s.t0(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids must match")]
+    fn sub_rejects_mismatched() {
+        let a = UniformWave::new(0.0, 1.0, vec![1.0, 2.0]);
+        let b = UniformWave::new(0.0, 2.0, vec![1.0, 2.0]);
+        let _ = a.sub(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        let _ = UniformWave::new(0.0, 1.0, vec![]);
+    }
+}

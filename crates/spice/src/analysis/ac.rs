@@ -1,0 +1,212 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes every element around a previously computed operating point
+//! and solves one complex MNA system per frequency. The excitation is the
+//! set of sources constructed `.with_ac(magnitude)` — conventionally one
+//! source with magnitude 1, so node voltages *are* transfer functions.
+
+use super::{NewtonOptions, System};
+use crate::circuit::{Circuit, NodeId};
+use crate::SpiceError;
+use cml_numeric::Complex64;
+
+/// Result of an AC sweep.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    /// One complex solution vector per frequency.
+    sols: Vec<Vec<Complex64>>,
+}
+
+impl AcResult {
+    /// Swept frequencies in Hz.
+    #[must_use]
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex voltage of `node` at sweep index `idx`.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId, idx: usize) -> Complex64 {
+        match node.index() {
+            Some(i) => self.sols[idx][i],
+            None => Complex64::ZERO,
+        }
+    }
+
+    /// Complex voltage trace of `node` across the sweep.
+    #[must_use]
+    pub fn voltage_trace(&self, node: NodeId) -> Vec<Complex64> {
+        (0..self.freqs.len()).map(|i| self.voltage(node, i)).collect()
+    }
+
+    /// Differential voltage trace `v(p) − v(n)` across the sweep.
+    #[must_use]
+    pub fn differential_trace(&self, p: NodeId, n: NodeId) -> Vec<Complex64> {
+        (0..self.freqs.len())
+            .map(|i| self.voltage(p, i) - self.voltage(n, i))
+            .collect()
+    }
+
+    /// Gain magnitude of `node` in dB across the sweep.
+    #[must_use]
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        self.voltage_trace(node).iter().map(|z| z.db()).collect()
+    }
+
+    /// Phase of `node` in degrees across the sweep.
+    #[must_use]
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        self.voltage_trace(node)
+            .iter()
+            .map(|z| z.arg().to_degrees())
+            .collect()
+    }
+}
+
+/// Runs an AC sweep over `freqs` (Hz) using the operating point `x_op`
+/// (the raw solution vector from [`super::op::OpResult::solution`]).
+///
+/// # Errors
+///
+/// [`SpiceError::Singular`] if the small-signal system is singular at some
+/// frequency.
+pub fn sweep(ckt: &Circuit, x_op: &[f64], freqs: &[f64]) -> Result<AcResult, SpiceError> {
+    let sys = System::new(ckt);
+    let gmin = NewtonOptions::default().gmin;
+    let mut sols = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        sols.push(sys.solve_ac(x_op, omega, gmin)?);
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        sols,
+    })
+}
+
+/// Convenience: solve the operating point, then sweep.
+///
+/// # Errors
+///
+/// Propagates operating-point and AC solve failures.
+pub fn sweep_auto(ckt: &Circuit, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+    let op = super::op::solve(ckt)?;
+    sweep(ckt, op.solution(), freqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use cml_numeric::logspace;
+
+    #[test]
+    fn rc_lowpass_pole() {
+        // R = 1 kΩ, C = 1 nF → f3dB = 159.15 kHz.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
+        ckt.add(Resistor::new("R1", vin, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-9));
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let ac = sweep_auto(&ckt, &[f3db / 100.0, f3db, f3db * 100.0]).unwrap();
+        let mags = ac.magnitude_db(out);
+        assert!(mags[0].abs() < 0.01, "passband should be 0 dB");
+        assert!((mags[1] + 3.0103).abs() < 0.01, "-3 dB at the pole");
+        assert!((mags[2] + 40.0).abs() < 0.2, "-40 dB two decades up");
+        // Phase at the pole is −45°.
+        let ph = ac.phase_deg(out);
+        assert!((ph[1] + 45.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn rlc_series_resonance() {
+        // Series RLC driven by 1 V: at resonance the current is limited
+        // only by R, so the resistor voltage equals the source.
+        let (r, l, c): (f64, f64, f64) = (10.0, 1e-9, 1e-12);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let n1 = ckt.node("n1");
+        let out = ckt.node("out");
+        ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
+        ckt.add(Inductor::new("L1", vin, n1, l));
+        ckt.add(Capacitor::new("C1", n1, out, c));
+        ckt.add(Resistor::new("R1", out, Circuit::GROUND, r));
+        let ac = sweep_auto(&ckt, &[f0]).unwrap();
+        let v_r = ac.voltage(out, 0);
+        assert!((v_r.abs() - 1.0).abs() < 1e-6, "|v_R| = {}", v_r.abs());
+    }
+
+    #[test]
+    fn vccs_gain_stage() {
+        // gm = 10 mS into 1 kΩ → gain −10 (20 dB).
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
+        ckt.add(Vccs::new("G1", out, Circuit::GROUND, vin, Circuit::GROUND, 10e-3));
+        ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3));
+        let ac = sweep_auto(&ckt, &[1e6]).unwrap();
+        let g = ac.voltage(out, 0);
+        assert!((g.re + 10.0).abs() < 1e-6);
+        assert!((g.db() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mosfet_common_source_gain() {
+        // Gain ≈ −gm·(RD ∥ ro); check AC against hand small-signal math.
+        let params = MosParams {
+            mos_type: MosType::Nmos,
+            w: 10e-6,
+            l: 0.18e-6,
+            vth0: 0.45,
+            kp: 170e-6,
+            lambda: 0.1,
+            cox: 8.4e-3,
+            cov: 3.0e-10,
+            cj: 1.0e-3,
+            ldiff: 0.5e-6,
+        };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
+        ckt.add(Vsource::dc("VG", g, Circuit::GROUND, 0.8).with_ac(1.0));
+        ckt.add(Resistor::new("RD", vdd, d, 1e3));
+        let m = Mosfet::new("M1", d, g, Circuit::GROUND, Circuit::GROUND, params);
+        let m_probe = m.clone();
+        ckt.add(m);
+        let op = op::solve(&ckt).unwrap();
+        let ss = m_probe.small_signal(op.solution());
+        let expected = ss.gm / (1e-3 + ss.gds); // gm · (RD ∥ ro)
+        let ac = sweep(&ckt, op.solution(), &[1e5]).unwrap();
+        let gain = ac.voltage(d, 0);
+        assert!(
+            (gain.re + expected).abs() / expected < 1e-6,
+            "gain {} vs expected {}",
+            gain.re,
+            -expected
+        );
+        assert!(gain.im.abs() < expected * 1e-3, "low-frequency phase ≈ 180°");
+    }
+
+    #[test]
+    fn gain_rolls_off_with_load_capacitance() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
+        ckt.add(Vccs::new("G1", out, Circuit::GROUND, vin, Circuit::GROUND, 1e-3));
+        ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3));
+        ckt.add(Capacitor::new("CL", out, Circuit::GROUND, 100e-15));
+        let freqs = logspace(1e6, 100e9, 51);
+        let ac = sweep_auto(&ckt, &freqs).unwrap();
+        let mags = ac.magnitude_db(out);
+        assert!(mags[0] > mags[50], "gain must roll off");
+        assert!(mags.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+}

@@ -1,0 +1,184 @@
+//! DC sweep analysis.
+//!
+//! Sweeps are expressed as a closure from the swept value to a circuit;
+//! this sidesteps mutation of boxed elements and makes multi-parameter
+//! sweeps (temperature + voltage corners) come for free.
+
+use super::op::{self, OpResult};
+use super::NewtonOptions;
+use crate::circuit::Circuit;
+use crate::SpiceError;
+
+/// Result of a DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    values: Vec<f64>,
+    ops: Vec<OpResult>,
+}
+
+impl DcSweepResult {
+    /// Swept parameter values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Operating points, one per value.
+    #[must_use]
+    pub fn ops(&self) -> &[OpResult] {
+        &self.ops
+    }
+
+    /// Extracts a node-voltage trace across the sweep. The node is looked
+    /// up by name in each generated circuit (ids can differ per circuit).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NotFound`] if a circuit in the sweep lacks the node —
+    /// the closure should generate structurally identical circuits.
+    pub fn voltage_trace(
+        &self,
+        build: impl Fn(f64) -> Circuit,
+        node_name: &str,
+    ) -> Result<Vec<f64>, SpiceError> {
+        self.values
+            .iter()
+            .zip(&self.ops)
+            .map(|(&v, op)| {
+                let ckt = build(v);
+                let node = ckt.find_node(node_name).ok_or_else(|| SpiceError::NotFound {
+                    what: "node",
+                    name: node_name.to_string(),
+                })?;
+                Ok(op.voltage(node))
+            })
+            .collect()
+    }
+}
+
+/// Runs a DC sweep: `build` constructs the circuit for each value in
+/// `values`, and each circuit's operating point is solved.
+///
+/// # Errors
+///
+/// Propagates the first operating-point failure.
+///
+/// # Example
+///
+/// ```
+/// use cml_spice::prelude::*;
+///
+/// # fn main() -> Result<(), cml_spice::SpiceError> {
+/// let build = |vin: f64| {
+///     let mut ckt = Circuit::new();
+///     let a = ckt.node("a");
+///     let out = ckt.node("out");
+///     ckt.add(Vsource::dc("V1", a, Circuit::GROUND, vin));
+///     ckt.add(Resistor::new("R1", a, out, 1e3));
+///     ckt.add(Resistor::new("R2", out, Circuit::GROUND, 1e3));
+///     ckt
+/// };
+/// let sweep = dc::sweep(build, &[0.0, 1.0, 2.0])?;
+/// let trace = sweep.voltage_trace(build, "out")?;
+/// assert!((trace[2] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep(
+    build: impl Fn(f64) -> Circuit,
+    values: &[f64],
+) -> Result<DcSweepResult, SpiceError> {
+    sweep_with(build, values, &NewtonOptions::default())
+}
+
+/// [`sweep`] with custom Newton options.
+///
+/// # Errors
+///
+/// Propagates the first operating-point failure.
+pub fn sweep_with(
+    build: impl Fn(f64) -> Circuit,
+    values: &[f64],
+    opts: &NewtonOptions,
+) -> Result<DcSweepResult, SpiceError> {
+    let mut ops = Vec::with_capacity(values.len());
+    for &v in values {
+        let ckt = build(v);
+        ops.push(op::solve_with(&ckt, opts, None)?);
+    }
+    Ok(DcSweepResult {
+        values: values.to_vec(),
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn divider(vin: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, vin));
+        ckt.add(Resistor::new("R1", a, out, 3e3));
+        ckt.add(Resistor::new("R2", out, Circuit::GROUND, 1e3));
+        ckt
+    }
+
+    #[test]
+    fn linear_sweep_is_linear() {
+        let values = [0.0, 1.0, 2.0, 4.0];
+        let sweep = sweep(divider, &values).unwrap();
+        let trace = sweep.voltage_trace(divider, "out").unwrap();
+        for (v, o) in values.iter().zip(&trace) {
+            assert!((o - v / 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn missing_node_reports_error() {
+        let sweep = sweep(divider, &[1.0]).unwrap();
+        assert!(matches!(
+            sweep.voltage_trace(divider, "nope"),
+            Err(SpiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn nmos_transfer_curve_is_monotone_falling() {
+        // Common-source amplifier VTC: output falls as gate rises.
+        let build = |vg: f64| {
+            let params = MosParams {
+                mos_type: MosType::Nmos,
+                w: 10e-6,
+                l: 0.18e-6,
+                vth0: 0.45,
+                kp: 170e-6,
+                lambda: 0.1,
+                cox: 8.4e-3,
+                cov: 3.0e-10,
+                cj: 1.0e-3,
+                ldiff: 0.5e-6,
+            };
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let d = ckt.node("d");
+            let g = ckt.node("g");
+            ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
+            ckt.add(Vsource::dc("VG", g, Circuit::GROUND, vg));
+            ckt.add(Resistor::new("RD", vdd, d, 2e3));
+            ckt.add(Mosfet::new("M1", d, g, Circuit::GROUND, Circuit::GROUND, params));
+            ckt
+        };
+        let gates: Vec<f64> = (0..=10).map(|i| 0.2 + i as f64 * 0.1).collect();
+        let sweep = sweep(build, &gates).unwrap();
+        let vtc = sweep.voltage_trace(build, "d").unwrap();
+        assert!((vtc[0] - 1.8).abs() < 1e-6, "cutoff should give VDD");
+        for w in vtc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "vtc must be non-increasing: {vtc:?}");
+        }
+        assert!(*vtc.last().unwrap() < 0.7, "device should pull low");
+    }
+}

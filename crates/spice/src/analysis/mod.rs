@@ -1,0 +1,300 @@
+//! Analysis drivers: operating point, DC sweep, AC, transient.
+//!
+//! All analyses share the internal `System` assembler, which owns the MNA
+//! bookkeeping: branch-unknown allocation, per-element state arena layout,
+//! Jacobian assembly and the damped Newton loop.
+
+pub mod ac;
+pub mod dc;
+pub mod op;
+pub mod tran;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::element::{AcStamper, StampCtx, StampMode, Stamper};
+use crate::SpiceError;
+use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix};
+use std::collections::HashMap;
+
+/// Newton iteration limits and tolerances (SPICE-like defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Maximum iterations per solve.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance, volts.
+    pub vntol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Absolute branch-current tolerance, amps.
+    pub abstol: f64,
+    /// Per-iteration voltage step clamp, volts (Newton damping).
+    pub max_step: f64,
+    /// Conductance added from every node to ground for matrix conditioning.
+    pub gmin: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 150,
+            vntol: 1e-6,
+            reltol: 1e-3,
+            abstol: 1e-9,
+            max_step: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// MNA bookkeeping for one circuit: unknown layout and state arena layout.
+#[derive(Debug)]
+pub(crate) struct System<'a> {
+    ckt: &'a Circuit,
+    n_nodes: usize,
+    n_branches: usize,
+    /// Per-element first-branch offset (relative to the branch region).
+    branch_bases: Vec<usize>,
+    /// Per-element first state slot.
+    state_bases: Vec<usize>,
+    state_len: usize,
+    /// Element name → absolute unknown index of its first branch current.
+    branch_names: HashMap<String, usize>,
+}
+
+impl<'a> System<'a> {
+    pub(crate) fn new(ckt: &'a Circuit) -> Self {
+        let n_nodes = ckt.num_unknown_nodes();
+        let mut branch_bases = Vec::new();
+        let mut state_bases = Vec::new();
+        let mut branch_names = HashMap::new();
+        let mut n_branches = 0;
+        let mut state_len = 0;
+        for e in ckt.elements() {
+            branch_bases.push(n_branches);
+            state_bases.push(state_len);
+            if e.num_branches() > 0 {
+                branch_names.insert(e.name().to_string(), n_nodes + n_branches);
+            }
+            n_branches += e.num_branches();
+            state_len += e.state_size();
+        }
+        System {
+            ckt,
+            n_nodes,
+            n_branches,
+            branch_bases,
+            state_bases,
+            state_len,
+            branch_names,
+        }
+    }
+
+    pub(crate) fn dim(&self) -> usize {
+        self.n_nodes + self.n_branches
+    }
+
+    pub(crate) fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    pub(crate) fn state_len(&self) -> usize {
+        self.state_len
+    }
+
+    pub(crate) fn branch_names(&self) -> &HashMap<String, usize> {
+        &self.branch_names
+    }
+
+    fn ctx<'b>(
+        &self,
+        idx: usize,
+        x: &'b [f64],
+        state: &'b [f64],
+        mode: StampMode,
+    ) -> (StampCtx<'b>, usize) {
+        let e = self.ckt.elements().nth(idx).expect("element index");
+        let sb = self.state_bases[idx];
+        let sl = e.state_size();
+        // DC solves pass an empty arena (state is only meaningful in
+        // transient mode); fall back to an empty slice there.
+        let state_slice = state.get(sb..sb + sl).unwrap_or(&[]);
+        (
+            StampCtx {
+                x,
+                state: state_slice,
+                branch_base: self.branch_bases[idx],
+                n_nodes: self.n_nodes,
+                mode,
+            },
+            idx,
+        )
+    }
+
+    /// Assembles the Jacobian and RHS at guess `x`.
+    pub(crate) fn assemble(
+        &self,
+        x: &[f64],
+        state: &[f64],
+        mode: StampMode,
+        gmin: f64,
+        matrix: &mut DenseMatrix,
+        rhs: &mut Vec<f64>,
+    ) {
+        matrix.clear();
+        rhs.clear();
+        rhs.resize(self.dim(), 0.0);
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let (ctx, _) = self.ctx(idx, x, state, mode);
+            let mut stamper = Stamper::new(matrix, rhs, self.n_nodes);
+            e.stamp(&ctx, &mut stamper);
+        }
+        // Conditioning gmin from every node to ground.
+        for i in 0..self.n_nodes {
+            matrix[(i, i)] += gmin;
+        }
+    }
+
+    /// Damped Newton iteration from initial guess `x0`.
+    pub(crate) fn newton(
+        &self,
+        mode: StampMode,
+        x0: &[f64],
+        state: &[f64],
+        opts: &NewtonOptions,
+        analysis: &'static str,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let dim = self.dim();
+        let mut x = x0.to_vec();
+        let mut matrix = DenseMatrix::zeros(dim, dim);
+        let mut rhs = Vec::with_capacity(dim);
+        let mut worst = f64::INFINITY;
+        for _iter in 0..opts.max_iter {
+            self.assemble(&x, state, mode, opts.gmin, &mut matrix, &mut rhs);
+            let x_new = matrix.lu()?.solve(&rhs)?;
+            // Convergence check + damping.
+            let mut converged = true;
+            worst = 0.0;
+            let mut x_next = vec![0.0; dim];
+            for i in 0..dim {
+                let delta = x_new[i] - x[i];
+                let (atol, clamp) = if i < self.n_nodes {
+                    (opts.vntol, opts.max_step)
+                } else {
+                    (opts.abstol, f64::INFINITY)
+                };
+                let tol = atol + opts.reltol * x[i].abs().max(x_new[i].abs());
+                if delta.abs() > tol {
+                    converged = false;
+                }
+                worst = worst.max(delta.abs());
+                x_next[i] = x[i] + delta.clamp(-clamp, clamp);
+            }
+            if !x_next.iter().all(|v| v.is_finite()) {
+                return Err(SpiceError::NoConvergence {
+                    analysis,
+                    iterations: opts.max_iter,
+                    residual: f64::INFINITY,
+                });
+            }
+            let undamped = x_next
+                .iter()
+                .zip(&x_new)
+                .all(|(a, b)| (a - b).abs() < 1e-15);
+            x = x_next;
+            if converged && undamped {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            analysis,
+            iterations: opts.max_iter,
+            residual: worst,
+        })
+    }
+
+    /// Initializes the transient state arena from a DC solution.
+    pub(crate) fn init_state(&self, x: &[f64]) -> Vec<f64> {
+        let mut state = vec![0.0; self.state_len];
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let sb = self.state_bases[idx];
+            let sl = e.state_size();
+            let ctx = StampCtx {
+                x,
+                state: &[],
+                branch_base: self.branch_bases[idx],
+                n_nodes: self.n_nodes,
+                mode: StampMode::dc(),
+            };
+            e.init_state(&ctx, &mut state[sb..sb + sl]);
+        }
+        state
+    }
+
+    /// Writes the next-state arena after a converged transient step.
+    pub(crate) fn update_state(
+        &self,
+        x: &[f64],
+        state_prev: &[f64],
+        mode: StampMode,
+        state_next: &mut [f64],
+    ) {
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let sb = self.state_bases[idx];
+            let sl = e.state_size();
+            let ctx = StampCtx {
+                x,
+                state: &state_prev[sb..sb + sl],
+                branch_base: self.branch_bases[idx],
+                n_nodes: self.n_nodes,
+                mode,
+            };
+            e.update_state(&ctx, &mut state_next[sb..sb + sl]);
+        }
+    }
+
+    /// Assembles and solves the complex small-signal system at `omega`.
+    pub(crate) fn solve_ac(
+        &self,
+        x_op: &[f64],
+        omega: f64,
+        gmin: f64,
+    ) -> Result<Vec<Complex64>, SpiceError> {
+        let dim = self.dim();
+        let mut matrix = ComplexMatrix::zeros(dim, dim);
+        let mut rhs = vec![Complex64::ZERO; dim];
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let mut stamper = AcStamper::new(&mut matrix, &mut rhs, self.n_nodes);
+            e.stamp_ac(x_op, self.branch_bases[idx], omega, &mut stamper);
+        }
+        for i in 0..self.n_nodes {
+            matrix[(i, i)] += Complex64::from_real(gmin);
+        }
+        Ok(matrix.solve(&rhs)?)
+    }
+}
+
+/// Voltage lookup shared by all result types.
+pub(crate) fn voltage_from(x: &[f64], node: NodeId) -> f64 {
+    node.index().map_or(0.0, |i| x[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn branch_allocation_and_names() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 1.0));
+        ckt.add(Resistor::new("R1", a, b, 10.0));
+        ckt.add(Inductor::new("L1", b, Circuit::GROUND, 1e-9));
+        let sys = System::new(&ckt);
+        assert_eq!(sys.n_nodes(), 2);
+        assert_eq!(sys.dim(), 4); // 2 nodes + V branch + L branch
+        assert_eq!(sys.branch_names()["V1"], 2);
+        assert_eq!(sys.branch_names()["L1"], 3);
+        assert_eq!(sys.state_len(), 2); // inductor state only
+    }
+}

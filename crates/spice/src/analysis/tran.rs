@@ -1,0 +1,485 @@
+//! Transient analysis.
+//!
+//! Fixed nominal timestep with automatic step halving on Newton failure
+//! (up to a retry budget), trapezoidal or backward-Euler companion models,
+//! warm-started Newton per step. The initial condition is the operating
+//! point with sources evaluated at `t = 0`.
+
+use super::op::solve_system;
+use super::{NewtonOptions, System};
+use crate::circuit::{Circuit, NodeId};
+use crate::element::{Integration, StampMode};
+use crate::SpiceError;
+use std::collections::HashMap;
+
+/// Configuration for a transient run.
+#[derive(Debug, Clone)]
+pub struct TranConfig {
+    /// Stop time, seconds.
+    pub t_stop: f64,
+    /// Nominal timestep, seconds.
+    pub dt: f64,
+    /// Integration method for companion models.
+    pub method: Integration,
+    /// Newton options per step.
+    pub newton: NewtonOptions,
+    /// Maximum consecutive step halvings before giving up.
+    pub max_halvings: u32,
+    /// Local-truncation-error control: when `true`, each step's solution
+    /// is compared against a linear predictor from the two previous
+    /// accepted points, and steps whose normalized deviation exceeds
+    /// `lte_factor` tolerance bands are rejected and retried at half the
+    /// step (SPICE-style predictor/corrector error control).
+    pub adaptive: bool,
+    /// Rejection threshold for adaptive mode, in units of the Newton
+    /// tolerance band (`reltol·|x| + vntol`).
+    pub lte_factor: f64,
+}
+
+impl TranConfig {
+    /// Creates a config with default Newton options and trapezoidal
+    /// integration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` or `dt` is not strictly positive, or `dt > t_stop`.
+    #[must_use]
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        assert!(t_stop > 0.0 && dt > 0.0, "times must be positive");
+        assert!(dt <= t_stop, "dt must not exceed t_stop");
+        TranConfig {
+            t_stop,
+            dt,
+            method: Integration::Trapezoidal,
+            newton: NewtonOptions::default(),
+            max_halvings: 10,
+            adaptive: false,
+            lte_factor: 10.0,
+        }
+    }
+
+    /// Enables predictor-corrector local-truncation-error control.
+    #[must_use]
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Switches to backward-Euler integration.
+    #[must_use]
+    pub fn backward_euler(mut self) -> Self {
+        self.method = Integration::BackwardEuler;
+        self
+    }
+}
+
+/// Result of a transient run: the full solution vector at every accepted
+/// timestep.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    sols: Vec<Vec<f64>>,
+    branch_names: HashMap<String, usize>,
+}
+
+impl TranResult {
+    /// Accepted time points (seconds), starting at 0.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if the run produced no points (cannot happen for a successful
+    /// run, which always records `t = 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage waveform of `node` across the run.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        match node.index() {
+            Some(i) => self.sols.iter().map(|x| x[i]).collect(),
+            None => vec![0.0; self.times.len()],
+        }
+    }
+
+    /// Differential waveform `v(p) − v(n)`.
+    #[must_use]
+    pub fn differential(&self, p: NodeId, n: NodeId) -> Vec<f64> {
+        let vp = self.voltage(p);
+        let vn = self.voltage(n);
+        vp.iter().zip(&vn).map(|(a, b)| a - b).collect()
+    }
+
+    /// Branch-current waveform of a named voltage-defined element.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NotFound`] if no such branch exists.
+    pub fn current(&self, element: &str) -> Result<Vec<f64>, SpiceError> {
+        let idx = *self
+            .branch_names
+            .get(element)
+            .ok_or_else(|| SpiceError::NotFound {
+                what: "branch element",
+                name: element.to_string(),
+            })?;
+        Ok(self.sols.iter().map(|x| x[idx]).collect())
+    }
+}
+
+/// Runs transient analysis.
+///
+/// # Errors
+///
+/// Propagates initial-OP failures; [`SpiceError::NoConvergence`] if a step
+/// cannot be completed even at `dt / 2^max_halvings`.
+pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError> {
+    if !(config.t_stop > 0.0 && config.dt > 0.0) {
+        return Err(SpiceError::InvalidConfig {
+            message: "t_stop and dt must be positive".into(),
+        });
+    }
+    let sys = System::new(ckt);
+
+    // Initial condition: DC solve with waveforms evaluated at t = 0.
+    let x0 = solve_system(&sys, &config.newton, Some(0.0))?;
+    let mut state = sys.init_state(&x0);
+    let mut state_next = vec![0.0; sys.state_len()];
+
+    let n_steps_estimate = (config.t_stop / config.dt).ceil() as usize + 1;
+    let mut times = Vec::with_capacity(n_steps_estimate);
+    let mut sols = Vec::with_capacity(n_steps_estimate);
+    times.push(0.0);
+    sols.push(x0.clone());
+
+    let mut t = 0.0;
+    let mut x = x0;
+    // Previous accepted point for the linear predictor (adaptive mode).
+    let mut x_prev: Option<(Vec<f64>, f64)> = None; // (solution, dt used)
+    while t < config.t_stop - 1e-18 {
+        let mut dt = config.dt.min(config.t_stop - t);
+        let mut halvings = 0;
+        loop {
+            let mode = StampMode::Tran {
+                time: t + dt,
+                dt,
+                method: config.method,
+            };
+            match sys.newton(mode, &x, &state, &config.newton, "tran") {
+                Ok(x_new) => {
+                    // LTE check: deviation from the linear predictor.
+                    if config.adaptive && halvings < config.max_halvings {
+                        if let Some((ref xp, dt_prev)) = x_prev {
+                            let ratio = dt / dt_prev;
+                            let mut worst: f64 = 0.0;
+                            for i in 0..sys.n_nodes() {
+                                let pred = x[i] + (x[i] - xp[i]) * ratio;
+                                let band = config.newton.reltol * x_new[i].abs()
+                                    + config.newton.vntol;
+                                worst = worst.max((x_new[i] - pred).abs() / band);
+                            }
+                            if worst > config.lte_factor {
+                                halvings += 1;
+                                dt /= 2.0;
+                                continue;
+                            }
+                        }
+                    }
+                    sys.update_state(&x_new, &state, mode, &mut state_next);
+                    std::mem::swap(&mut state, &mut state_next);
+                    x_prev = Some((x.clone(), dt));
+                    x = x_new;
+                    t += dt;
+                    times.push(t);
+                    sols.push(x.clone());
+                    break;
+                }
+                Err(e) => {
+                    halvings += 1;
+                    if halvings > config.max_halvings {
+                        return Err(e);
+                    }
+                    dt /= 2.0;
+                }
+            }
+        }
+    }
+
+    Ok(TranResult {
+        times,
+        sols,
+        branch_names: sys.branch_names().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn rc_charging_curve() {
+        // Step into RC: v(t) = 1 − e^{−t/RC}, RC = 1 ns.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.0, 1e-12),
+        ));
+        ckt.add(Resistor::new("R1", vin, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        let res = run(&ckt, &TranConfig::new(5e-9, 5e-12)).unwrap();
+        let v = res.voltage(out);
+        let times = res.times();
+        // Compare against the analytic curve away from the ramp.
+        for (i, &t) in times.iter().enumerate() {
+            if t > 0.1e-9 {
+                let want = 1.0 - (-(t - 1e-12) / 1e-9).exp();
+                assert!(
+                    (v[i] - want).abs() < 5e-3,
+                    "t={t:.3e}: got {} want {want}",
+                    v[i]
+                );
+            }
+        }
+        // Fully settled at the end.
+        assert!((v.last().unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lc_oscillation_period() {
+        // Charged C discharging into L: period 2π√(LC).
+        let (l, c): (f64, f64) = (1e-9, 1e-12);
+        let period = 2.0 * std::f64::consts::PI * (l * c).sqrt();
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        // Excite with a short current pulse, then let it ring.
+        ckt.add(Isource::new(
+            "I1",
+            Circuit::GROUND,
+            n1,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1e-3,
+                delay: 0.0,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 20e-12,
+                period: 1.0,
+            },
+        ));
+        ckt.add(Capacitor::new("C1", n1, Circuit::GROUND, c));
+        ckt.add(Inductor::new("L1", n1, Circuit::GROUND, l));
+        // Light damping so the oscillation persists.
+        ckt.add(Resistor::new("R1", n1, Circuit::GROUND, 1e6));
+        let res = run(&ckt, &TranConfig::new(4.0 * period, period / 400.0)).unwrap();
+        let v = res.voltage(n1);
+        let times = res.times();
+        // Measure period between the last two rising zero crossings.
+        let crossings =
+            cml_numeric::interp::level_crossings(times, &v, 0.0).unwrap();
+        assert!(crossings.len() >= 4, "expected several crossings");
+        let last = crossings[crossings.len() - 1] - crossings[crossings.len() - 3];
+        assert!(
+            (last - period).abs() / period < 0.01,
+            "period {last:.3e} vs expected {period:.3e}"
+        );
+    }
+
+    #[test]
+    fn backward_euler_decays_faster_than_trap() {
+        // BE's numerical damping shows up on an LC tank: amplitude decays.
+        let (l, c): (f64, f64) = (1e-9, 1e-12);
+        let build = || {
+            let mut ckt = Circuit::new();
+            let n1 = ckt.node("n1");
+            ckt.add(Isource::new(
+                "I1",
+                Circuit::GROUND,
+                n1,
+                Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 1e-3,
+                    delay: 0.0,
+                    rise: 1e-12,
+                    fall: 1e-12,
+                    width: 20e-12,
+                    period: 1.0,
+                },
+            ));
+            ckt.add(Capacitor::new("C1", n1, Circuit::GROUND, c));
+            ckt.add(Inductor::new("L1", n1, Circuit::GROUND, l));
+            ckt.add(Resistor::new("R1", n1, Circuit::GROUND, 1e6));
+            ckt
+        };
+        let period = 2.0 * std::f64::consts::PI * (l * c).sqrt();
+        let cfg_trap = TranConfig::new(10.0 * period, period / 100.0);
+        let cfg_be = cfg_trap.clone().backward_euler();
+        let ckt = build();
+        let amp = |res: &TranResult| {
+            let v = res.voltage(res_node(res));
+            v.iter().skip(v.len() / 2).fold(0.0f64, |m, &x| m.max(x.abs()))
+        };
+        fn res_node(_res: &TranResult) -> NodeId {
+            NodeId::from_raw(1)
+        }
+        let a_trap = amp(&run(&ckt, &cfg_trap).unwrap());
+        let a_be = amp(&run(&build(), &cfg_be).unwrap());
+        assert!(
+            a_be < a_trap * 0.8,
+            "BE ({a_be}) should damp more than trapezoidal ({a_trap})"
+        );
+    }
+
+    #[test]
+    fn sine_source_passes_through_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Vsource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e9,
+                delay: 0.0,
+            },
+        ));
+        ckt.add(Resistor::new("R1", a, Circuit::GROUND, 50.0));
+        let res = run(&ckt, &TranConfig::new(2e-9, 1e-11)).unwrap();
+        let v = res.voltage(a);
+        let peak = v.iter().cloned().fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-2, "peak = {peak}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Resistor::new("R1", a, Circuit::GROUND, 50.0));
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 1.0));
+        let bad = TranConfig {
+            t_stop: -1.0,
+            ..TranConfig::new(1.0, 1e-12)
+        };
+        assert!(matches!(
+            run(&ckt, &bad),
+            Err(SpiceError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn result_accessors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 1.0));
+        ckt.add(Resistor::new("R1", a, Circuit::GROUND, 100.0));
+        let res = run(&ckt, &TranConfig::new(1e-10, 1e-11)).unwrap();
+        assert!(!res.is_empty());
+        assert_eq!(res.times()[0], 0.0);
+        let i = res.current("V1").unwrap();
+        assert!((i[0] + 0.01).abs() < 1e-9);
+        assert!(res.current("R1").is_err());
+        let d = res.differential(a, Circuit::GROUND);
+        assert!((d[0] - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use crate::prelude::*;
+
+    /// RC step response with a deliberately coarse nominal dt: adaptive
+    /// LTE control must refine the edge and beat the fixed-step error.
+    #[test]
+    fn adaptive_refines_sharp_edges() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add(Vsource::new(
+                "V1",
+                vin,
+                Circuit::GROUND,
+                Waveform::step(0.0, 1.0, 2e-9, 1e-11),
+            ));
+            ckt.add(Resistor::new("R1", vin, out, 1e3));
+            ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-12)); // τ = 1 ns
+            ckt
+        };
+        // Coarse step: dt = τ/2.
+        let coarse = TranConfig::new(8e-9, 0.5e-9);
+        let adaptive = TranConfig::new(8e-9, 0.5e-9).adaptive();
+        let run_err = |cfg: &TranConfig| {
+            let ckt = build();
+            let res = run(&ckt, cfg).unwrap();
+            let out = ckt.find_node("out").unwrap();
+            let v = res.voltage(out);
+            let mut worst = 0.0f64;
+            for (i, &t) in res.times().iter().enumerate() {
+                if t > 2.1e-9 {
+                    let want = 1.0 - (-(t - 2.01e-9) / 1e-9).exp();
+                    worst = worst.max((v[i] - want).abs());
+                }
+            }
+            (worst, res.len())
+        };
+        let (err_fixed, n_fixed) = run_err(&coarse);
+        let (err_adaptive, n_adaptive) = run_err(&adaptive);
+        assert!(
+            n_adaptive > n_fixed,
+            "adaptive must refine: {n_adaptive} vs {n_fixed} points"
+        );
+        assert!(
+            err_adaptive < err_fixed,
+            "adaptive error {err_adaptive:.4} vs fixed {err_fixed:.4}"
+        );
+    }
+
+    /// On a smooth circuit the adaptive run matches the fixed run
+    /// (no spurious rejections).
+    #[test]
+    fn adaptive_is_benign_on_smooth_signals() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            ckt.add(Vsource::new(
+                "V1",
+                a,
+                Circuit::GROUND,
+                Waveform::Sine {
+                    offset: 0.0,
+                    ampl: 1.0,
+                    freq: 1e8,
+                    delay: 0.0,
+                },
+            ));
+            ckt.add(Resistor::new("R1", a, Circuit::GROUND, 50.0));
+            ckt
+        };
+        let fixed = run(&build(), &TranConfig::new(20e-9, 0.1e-9)).unwrap();
+        let adapt = run(&build(), &TranConfig::new(20e-9, 0.1e-9).adaptive()).unwrap();
+        // Smooth waveform: at most a handful of extra refinement points
+        // (a few percent), not wholesale rejection.
+        assert!(
+            adapt.len() < fixed.len() + fixed.len() / 10,
+            "adaptive {0} vs fixed {1}",
+            adapt.len(),
+            fixed.len()
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! The element interface: how devices stamp themselves into the MNA system.
+//!
+//! Every circuit element implements [`Element`]. During each Newton
+//! iteration the analysis drivers call [`Element::stamp`] with the current
+//! solution guess; linear elements stamp constants, nonlinear elements stamp
+//! their linearization (Norton companion form, exactly as SPICE does).
+//! Reactive elements additionally keep per-element state (previous voltage /
+//! current) in a flat arena owned by the analysis, sliced per element.
+
+use crate::circuit::NodeId;
+use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix};
+use std::fmt;
+
+/// Numerical integration method for transient companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// Trapezoidal rule — second-order, the SPICE default.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler — first-order, more damped; useful for circuits with
+    /// trapezoidal ringing artifacts.
+    BackwardEuler,
+}
+
+/// What kind of solve the current stamp call belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StampMode {
+    /// DC solve (operating point, DC sweep, or transient initial condition).
+    Dc {
+        /// Scale factor applied to all independent sources (source
+        /// stepping homotopy uses values < 1).
+        source_scale: f64,
+        /// When `Some(t)`, sources evaluate their waveform at `t` instead
+        /// of their DC value (used for the transient initial solution).
+        at_time: Option<f64>,
+    },
+    /// One timestep of transient analysis.
+    Tran {
+        /// Absolute time of the step being solved (end of the interval).
+        time: f64,
+        /// Step size.
+        dt: f64,
+        /// Companion-model integration method.
+        method: Integration,
+    },
+}
+
+impl StampMode {
+    /// Plain DC mode with full sources.
+    #[must_use]
+    pub fn dc() -> Self {
+        StampMode::Dc {
+            source_scale: 1.0,
+            at_time: None,
+        }
+    }
+}
+
+/// Per-element context for a stamp call.
+#[derive(Debug)]
+pub struct StampCtx<'a> {
+    /// Current Newton guess: node voltages followed by branch currents.
+    pub x: &'a [f64],
+    /// This element's slice of previous-timestep state (empty outside
+    /// transient analysis or for stateless elements).
+    pub state: &'a [f64],
+    /// First branch-current unknown allocated to this element (offset into
+    /// the branch region; see [`Stamper::branch`]).
+    pub branch_base: usize,
+    /// Number of non-ground nodes in the system (`x[n_nodes..]` are the
+    /// branch currents).
+    pub n_nodes: usize,
+    /// Analysis mode.
+    pub mode: StampMode,
+}
+
+impl StampCtx<'_> {
+    /// Voltage of `node` under the current guess (0 for ground).
+    #[must_use]
+    pub fn v(&self, node: NodeId) -> f64 {
+        match node.index() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Absolute index into `x` of this element's first branch current.
+    #[must_use]
+    pub fn branch_base_abs(&self) -> usize {
+        self.n_nodes + self.branch_base
+    }
+}
+
+/// Write access to the real MNA matrix and right-hand side, with
+/// ground-aware indexing.
+#[derive(Debug)]
+pub struct Stamper<'a> {
+    matrix: &'a mut DenseMatrix,
+    rhs: &'a mut [f64],
+    n_nodes: usize,
+}
+
+impl<'a> Stamper<'a> {
+    /// Creates a stamper over an MNA system with `n_nodes` non-ground nodes.
+    pub fn new(matrix: &'a mut DenseMatrix, rhs: &'a mut [f64], n_nodes: usize) -> Self {
+        Stamper {
+            matrix,
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Row/column index of a branch unknown.
+    #[must_use]
+    pub fn branch(&self, branch: usize) -> usize {
+        self.n_nodes + branch
+    }
+
+    /// Adds `v` at matrix position (`r`, `c`); either index may be a ground
+    /// node (`None`), in which case the write is dropped.
+    pub fn mat(&mut self, r: Option<usize>, c: Option<usize>, v: f64) {
+        if let (Some(r), Some(c)) = (r, c) {
+            self.matrix[(r, c)] += v;
+        }
+    }
+
+    /// Adds `v` to the RHS at row `r` (ignored for ground).
+    pub fn rhs(&mut self, r: Option<usize>, v: f64) {
+        if let Some(r) = r {
+            self.rhs[r] += v;
+        }
+    }
+
+    /// Stamps a conductance `g` between nodes `a` and `b` (standard
+    /// two-terminal pattern).
+    pub fn conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        self.mat(a, a, g);
+        self.mat(b, b, g);
+        self.mat(a, b, -g);
+        self.mat(b, a, -g);
+    }
+
+    /// Stamps a current source of value `i` flowing from node `a` through
+    /// the element to node `b` (SPICE convention: `i` leaves `a`, enters `b`).
+    pub fn current_source(&mut self, a: Option<usize>, b: Option<usize>, i: f64) {
+        self.rhs(a, -i);
+        self.rhs(b, i);
+    }
+}
+
+/// Write access to the complex small-signal MNA system.
+#[derive(Debug)]
+pub struct AcStamper<'a> {
+    matrix: &'a mut ComplexMatrix,
+    rhs: &'a mut [Complex64],
+    n_nodes: usize,
+}
+
+impl<'a> AcStamper<'a> {
+    /// Creates an AC stamper over a system with `n_nodes` non-ground nodes.
+    pub fn new(matrix: &'a mut ComplexMatrix, rhs: &'a mut [Complex64], n_nodes: usize) -> Self {
+        AcStamper {
+            matrix,
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Row/column index of a branch unknown.
+    #[must_use]
+    pub fn branch(&self, branch: usize) -> usize {
+        self.n_nodes + branch
+    }
+
+    /// Adds `v` at (`r`, `c`), dropping ground writes.
+    pub fn mat(&mut self, r: Option<usize>, c: Option<usize>, v: Complex64) {
+        if let (Some(r), Some(c)) = (r, c) {
+            self.matrix[(r, c)] += v;
+        }
+    }
+
+    /// Adds `v` to the RHS at `r` (dropped for ground).
+    pub fn rhs(&mut self, r: Option<usize>, v: Complex64) {
+        if let Some(r) = r {
+            self.rhs[r] += v;
+        }
+    }
+
+    /// Stamps a complex admittance `y` between nodes `a` and `b`.
+    pub fn admittance(&mut self, a: Option<usize>, b: Option<usize>, y: Complex64) {
+        self.mat(a, a, y);
+        self.mat(b, b, y);
+        self.mat(a, b, -y);
+        self.mat(b, a, -y);
+    }
+
+    /// Stamps a real conductance between nodes `a` and `b`.
+    pub fn conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        self.admittance(a, b, Complex64::from_real(g));
+    }
+
+    /// Stamps a capacitance `c` between `a` and `b` at angular frequency `omega`.
+    pub fn capacitance(&mut self, a: Option<usize>, b: Option<usize>, c: f64, omega: f64) {
+        self.admittance(a, b, Complex64::new(0.0, omega * c));
+    }
+
+    /// Stamps a transconductance: current `gm·(v_cp − v_cn)` flowing from
+    /// `a` to `b`.
+    pub fn transconductance(
+        &mut self,
+        a: Option<usize>,
+        b: Option<usize>,
+        cp: Option<usize>,
+        cn: Option<usize>,
+        gm: f64,
+    ) {
+        let g = Complex64::from_real(gm);
+        self.mat(a, cp, g);
+        self.mat(a, cn, -g);
+        self.mat(b, cp, -g);
+        self.mat(b, cn, g);
+    }
+}
+
+/// A circuit element that can stamp itself into the MNA system.
+///
+/// Implementors live in [`crate::elements`] and [`crate::devices`]. The
+/// trait is object-safe; circuits own elements as `Box<dyn Element>`.
+pub trait Element: fmt::Debug + Send + Sync {
+    /// Unique name of the element instance (used in diagnostics and for
+    /// branch-current lookup).
+    fn name(&self) -> &str;
+
+    /// Nodes this element connects to (used for connectivity checks).
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Number of extra branch-current unknowns this element adds to the
+    /// MNA system (voltage sources and inductors need one).
+    fn num_branches(&self) -> usize {
+        0
+    }
+
+    /// Number of `f64` state slots the element needs across transient
+    /// timesteps (e.g. capacitor: previous voltage and current).
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    /// Initializes transient state from a converged DC solution `x`.
+    fn init_state(&self, _ctx: &StampCtx<'_>, _state: &mut [f64]) {}
+
+    /// Stamps the element's (linearized) contribution for the mode in
+    /// `ctx.mode`.
+    fn stamp(&self, ctx: &StampCtx<'_>, out: &mut Stamper<'_>);
+
+    /// Writes the element's next-timestep state after a converged step.
+    /// `ctx.x` holds the converged solution; `ctx.state` the previous state.
+    fn update_state(&self, _ctx: &StampCtx<'_>, _state_next: &mut [f64]) {}
+
+    /// Stamps the small-signal contribution at angular frequency `omega`,
+    /// linearized around the operating point `x_op`.
+    fn stamp_ac(
+        &self,
+        x_op: &[f64],
+        branch_base: usize,
+        omega: f64,
+        out: &mut AcStamper<'_>,
+    );
+
+    /// DC power dissipated by the element at operating point `x_op`, in
+    /// watts; `None` when the notion does not apply. Sources report the
+    /// power they *deliver* as negative dissipation.
+    fn dc_power(&self, _x_op: &[f64], _branch_base: usize) -> Option<f64> {
+        None
+    }
+
+    /// SPICE-netlist card for this element, using `node_name` to render
+    /// node references. The default lists the name and nodes as a
+    /// comment; concrete elements override with real SPICE syntax so
+    /// [`crate::circuit::Circuit::netlist`] round-trips into other
+    /// simulators.
+    fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
+        let nodes: Vec<String> = self.nodes().iter().map(|&n| node_name(n)).collect();
+        format!("* {} {}", self.name(), nodes.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamper_ground_writes_are_dropped() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamper::new(&mut m, &mut rhs, 2);
+        s.conductance(Some(0), None, 2.0);
+        s.current_source(None, Some(1), 1.5);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(1, 1)], 0.0);
+        assert_eq!(rhs, vec![0.0, 1.5]);
+    }
+
+    #[test]
+    fn conductance_pattern_is_symmetric() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamper::new(&mut m, &mut rhs, 2);
+        s.conductance(Some(0), Some(1), 3.0);
+        assert_eq!(m[(0, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(0, 1)], -3.0);
+        assert_eq!(m[(1, 0)], -3.0);
+    }
+
+    #[test]
+    fn branch_indices_follow_nodes() {
+        let mut m = DenseMatrix::zeros(5, 5);
+        let mut rhs = vec![0.0; 5];
+        let s = Stamper::new(&mut m, &mut rhs, 3);
+        assert_eq!(s.branch(0), 3);
+        assert_eq!(s.branch(1), 4);
+    }
+
+    #[test]
+    fn ac_capacitance_is_imaginary() {
+        let mut m = ComplexMatrix::zeros(1, 1);
+        let mut rhs = vec![Complex64::ZERO; 1];
+        let mut s = AcStamper::new(&mut m, &mut rhs, 1);
+        s.capacitance(Some(0), None, 1e-12, 2.0 * std::f64::consts::PI * 1e9);
+        assert_eq!(m[(0, 0)].re, 0.0);
+        assert!(m[(0, 0)].im > 0.0);
+    }
+
+    #[test]
+    fn transconductance_pattern() {
+        let mut m = ComplexMatrix::zeros(4, 4);
+        let mut rhs = vec![Complex64::ZERO; 4];
+        let mut s = AcStamper::new(&mut m, &mut rhs, 4);
+        s.transconductance(Some(0), Some(1), Some(2), Some(3), 0.01);
+        assert_eq!(m[(0, 2)].re, 0.01);
+        assert_eq!(m[(0, 3)].re, -0.01);
+        assert_eq!(m[(1, 2)].re, -0.01);
+        assert_eq!(m[(1, 3)].re, 0.01);
+    }
+
+    #[test]
+    fn stamp_ctx_ground_voltage_is_zero() {
+        let x = [1.5, 2.5];
+        let ctx = StampCtx {
+            x: &x,
+            state: &[],
+            branch_base: 0,
+            n_nodes: 2,
+            mode: StampMode::dc(),
+        };
+        assert_eq!(ctx.v(NodeId::GROUND), 0.0);
+        assert_eq!(ctx.v(NodeId::from_raw(1)), 1.5);
+    }
+}

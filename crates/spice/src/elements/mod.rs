@@ -1,0 +1,6 @@
+//! Linear circuit elements: passives, independent sources, controlled
+//! sources.
+
+pub mod controlled;
+pub mod sources;
+pub mod two_terminal;

@@ -1,0 +1,275 @@
+//! Time-domain source waveforms.
+//!
+//! Every independent source carries a [`Waveform`] evaluated at each
+//! transient timestep; DC analyses use [`Waveform::dc_value`]. The PWL
+//! variant is the bridge from the `cml-sig` PRBS generators: bit patterns
+//! are rendered to edges there and handed to the simulator as PWL points.
+
+/// A source waveform description.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse, SPICE `PULSE(...)` semantics.
+    Pulse {
+        /// Initial (low) value.
+        v1: f64,
+        /// Pulsed (high) value.
+        v2: f64,
+        /// Delay before the first rising edge, seconds.
+        delay: f64,
+        /// Rise time, seconds (must be > 0).
+        rise: f64,
+        /// Fall time, seconds (must be > 0).
+        fall: f64,
+        /// Time spent at `v2` per period, seconds.
+        width: f64,
+        /// Full period, seconds.
+        period: f64,
+    },
+    /// Sinusoid `offset + ampl·sin(2πf(t-delay))`, zero before `delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+    /// Piecewise-linear waveform through `(time, value)` points; holds the
+    /// first value before the first point and the last value after the
+    /// last point. Times must be strictly increasing.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Constant waveform helper.
+    #[must_use]
+    pub fn dc(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+
+    /// A single rising step from `v1` to `v2` at time `t0` with rise time `tr`.
+    #[must_use]
+    pub fn step(v1: f64, v2: f64, t0: f64, tr: f64) -> Self {
+        Waveform::Pwl(vec![(0.0, v1), (t0, v1), (t0 + tr, v2)])
+    }
+
+    /// A 50 %-duty clock of the given frequency and swing.
+    ///
+    /// `rise` is used for both edges; the first rising edge starts at `t=0`.
+    #[must_use]
+    pub fn clock(v_low: f64, v_high: f64, freq: f64, rise: f64) -> Self {
+        let period = 1.0 / freq;
+        Waveform::Pulse {
+            v1: v_low,
+            v2: v_high,
+            delay: 0.0,
+            rise,
+            fall: rise,
+            width: period / 2.0 - rise,
+            period,
+        }
+    }
+
+    /// Value used by DC analyses: the waveform evaluated at `t = 0⁻`
+    /// (i.e. its initial value).
+    #[must_use]
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v1, .. } => *v1,
+            Waveform::Sine { offset, .. } => *offset,
+            Waveform::Pwl(pts) => pts.first().map_or(0.0, |p| p.1),
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let tau = (t - delay) % period;
+                if tau < *rise {
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    v2 - (v2 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+            Waveform::Pwl(pts) => {
+                if pts.is_empty() {
+                    return 0.0;
+                }
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                if t >= pts[pts.len() - 1].0 {
+                    return pts[pts.len() - 1].1;
+                }
+                // Binary search for the bracketing segment.
+                let idx = pts.partition_point(|p| p.0 <= t);
+                let (t0, v0) = pts[idx - 1];
+                let (t1, v1) = pts[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// The earliest time after which the waveform changes — used to seed
+    /// transient breakpoint handling. `None` for DC.
+    #[must_use]
+    pub fn first_breakpoint(&self) -> Option<f64> {
+        match self {
+            Waveform::Dc(_) => None,
+            Waveform::Pulse { delay, .. } => Some(*delay),
+            Waveform::Sine { delay, .. } => Some(*delay),
+            Waveform::Pwl(pts) => pts.first().map(|p| p.0),
+        }
+    }
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::Dc(0.0)
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::dc(1.8);
+        assert_eq!(w.eval(0.0), 1.8);
+        assert_eq!(w.eval(1e-3), 1.8);
+        assert_eq!(w.dc_value(), 1.8);
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 4e-10,
+            period: 1e-9,
+        };
+        assert_eq!(w.eval(0.0), 0.0); // before delay
+        assert!((w.eval(1e-9 + 5e-11) - 0.5).abs() < 1e-9); // mid-rise
+        assert_eq!(w.eval(1e-9 + 3e-10), 1.0); // on top
+        let falling = w.eval(1e-9 + 1e-10 + 4e-10 + 5e-11);
+        assert!((falling - 0.5).abs() < 1e-9); // mid-fall
+        assert_eq!(w.eval(1e-9 + 9e-10), 0.0); // back low
+        // Periodicity.
+        assert!((w.eval(1e-9 + 5e-11) - w.eval(2e-9 + 5e-11)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_quadrature_points() {
+        let w = Waveform::Sine {
+            offset: 0.5,
+            ampl: 0.25,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        assert!((w.eval(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.eval(0.25e-9) - 0.75).abs() < 1e-9);
+        assert!((w.eval(0.75e-9) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_holds_offset_before_delay() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            ampl: 1.0,
+            freq: 1e9,
+            delay: 1e-9,
+        };
+        assert_eq!(w.eval(0.5e-9), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (4.0, -10.0)]);
+        assert_eq!(w.eval(0.0), 0.0); // clamp before
+        assert!((w.eval(1.5) - 5.0).abs() < 1e-12);
+        assert!((w.eval(3.0) - 0.0).abs() < 1e-12);
+        assert_eq!(w.eval(9.0), -10.0); // clamp after
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn step_reaches_target() {
+        let w = Waveform::step(0.0, 1.0, 1e-9, 1e-10);
+        assert_eq!(w.eval(0.5e-9), 0.0);
+        assert_eq!(w.eval(2e-9), 1.0);
+        assert!((w.eval(1.05e-9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_has_half_duty() {
+        let w = Waveform::clock(0.0, 1.0, 1e9, 1e-11);
+        // Sample densely over one period and check duty ≈ 50 %.
+        let n = 10_000;
+        let high = (0..n)
+            .filter(|&i| w.eval(i as f64 / n as f64 * 1e-9) > 0.5)
+            .count();
+        let duty = high as f64 / n as f64;
+        assert!((duty - 0.5).abs() < 0.03, "duty = {duty}");
+    }
+
+    #[test]
+    fn from_f64_creates_dc() {
+        let w: Waveform = 3.3.into();
+        assert_eq!(w, Waveform::Dc(3.3));
+    }
+
+    #[test]
+    fn breakpoints() {
+        assert_eq!(Waveform::dc(1.0).first_breakpoint(), None);
+        assert_eq!(
+            Waveform::step(0.0, 1.0, 2e-9, 1e-10).first_breakpoint(),
+            Some(0.0)
+        );
+    }
+}

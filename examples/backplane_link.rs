@@ -1,0 +1,55 @@
+//! A complete 10 Gb/s backplane link: TX output interface → FR-4 trace →
+//! RX input interface, with an ASCII eye at each tap point.
+//!
+//! Run with: `cargo run --release --example backplane_link -- [trace_m]`
+//! (default trace length 0.5 m).
+
+use cml_channel::Backplane;
+use cml_core::behav::{Block, InputInterface, OutputInterface};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::{EyeDiagram, UniformWave};
+
+const UI: f64 = 100e-12;
+
+fn eye_report(label: &str, wave: &UniformWave) {
+    let eye = EyeDiagram::fold(&wave.skip_initial(3e-9), UI);
+    let m = eye.metrics();
+    println!(
+        "\n--- {label}: height {:.1} mV, width {:.1} ps, rms jitter {:.1} ps",
+        m.height * 1e3,
+        m.width * 1e12,
+        m.rms_jitter * 1e12
+    );
+    println!("{}", eye.render_ascii(12, 56));
+}
+
+fn main() {
+    let length: f64 = match std::env::args().nth(1) {
+        None => 0.5,
+        Some(arg) => arg.parse().unwrap_or_else(|_| {
+            eprintln!("error: trace length '{arg}' is not a number (meters)");
+            std::process::exit(2);
+        }),
+    };
+    let channel = Backplane::fr4_trace(length);
+    println!(
+        "10 Gb/s PRBS-7 over a {length} m FR-4 trace \
+         ({:.1} dB loss at the 5 GHz Nyquist)",
+        channel.attenuation_db(5e9)
+    );
+
+    let bits: Vec<bool> = Prbs::prbs7().take(381).collect();
+    let data = NrzConfig::new(UI, 0.5).render(&bits);
+
+    let tx_out = OutputInterface::paper_default().process(&data);
+    eye_report("transmitter output (with voltage peaking)", &tx_out);
+
+    let rx_in = channel.apply(&tx_out, true);
+    eye_report("receiver input (after the backplane)", &rx_in);
+
+    let mut rx = InputInterface::paper_default();
+    rx.equalizer.boost = 1.5; // tuned to this channel
+    let rx_out = rx.process(&rx_in);
+    eye_report("receiver output (equalizer + limiting amplifier)", &rx_out);
+}

@@ -1,0 +1,57 @@
+//! Exports the paper's circuits as SPICE netlists — handy for
+//! cross-checking the generated topologies against an external
+//! simulator, or just for reading what the generators build.
+//!
+//! Run with: `cargo run --release --example netlist_export [block]`
+//! where block is one of: buffer (default), equalizer, bmvr, la.
+
+use cml_core::cells::{
+    add_diff_drive, add_supply, bmvr, cml_buffer, equalizer, limiting_amp, DiffPort,
+};
+use cml_pdk::Pdk018;
+use cml_spice::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "buffer".into());
+    let pdk = Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+
+    match which.as_str() {
+        "buffer" => {
+            let cfg = cml_buffer::CmlBufferConfig::paper_default();
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            add_diff_drive(&mut ckt, "VIN", input, cml_buffer::output_common_mode(&cfg), None);
+            cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+        }
+        "equalizer" => {
+            let cfg = equalizer::EqualizerConfig::paper_default();
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            add_diff_drive(&mut ckt, "VIN", input, cfg.input_common_mode(), None);
+            equalizer::build(&mut ckt, &pdk, &cfg, "eq", input, output, vdd);
+        }
+        "bmvr" => {
+            bmvr::build(&mut ckt, &pdk, &bmvr::BmvrConfig::paper_default(), "bmvr", vdd);
+        }
+        "la" => {
+            let cfg = limiting_amp::LimitingAmpConfig::paper_default();
+            let input = DiffPort::named(&mut ckt, "in");
+            let output = DiffPort::named(&mut ckt, "out");
+            add_diff_drive(&mut ckt, "VIN", input, limiting_amp::common_mode(&cfg), None);
+            limiting_amp::build(&mut ckt, &pdk, &cfg, "la", input, output, vdd);
+        }
+        other => {
+            eprintln!("unknown block '{other}' (use buffer | equalizer | bmvr | la)");
+            std::process::exit(1);
+        }
+    }
+
+    println!("{}", ckt.netlist());
+    eprintln!(
+        "* {} elements, {} nodes",
+        ckt.num_elements(),
+        ckt.num_nodes()
+    );
+}

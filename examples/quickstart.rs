@@ -1,0 +1,56 @@
+//! Quickstart: simulate one wide-band CML buffer at the transistor level
+//! and measure what the paper's techniques buy you.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cml_core::cells::cml_buffer::{self, CmlBufferConfig};
+use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
+use cml_numeric::logspace;
+use cml_pdk::Pdk018;
+use cml_sig::Bode;
+use cml_spice::prelude::*;
+
+fn buffer_bode(cfg: &CmlBufferConfig) -> Result<Bode, cml_spice::SpiceError> {
+    let pdk = Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let output = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(
+        &mut ckt,
+        "VIN",
+        input,
+        cml_buffer::output_common_mode(cfg),
+        None,
+    );
+    cml_buffer::build(&mut ckt, &pdk, cfg, "buf", input, output, vdd);
+    // Next-stage load.
+    ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 30e-15));
+    ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
+
+    let freqs = logspace(1e7, 60e9, 100);
+    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs)?;
+    Ok(Bode::new(freqs, ac.differential_trace(output.p, output.n)))
+}
+
+fn main() -> Result<(), cml_spice::SpiceError> {
+    println!("wide-band CML buffer, 0.18 um process, 1 mA / 250 ohm design point\n");
+    for (name, cfg) in [
+        ("plain CML buffer", CmlBufferConfig::plain()),
+        ("paper's wide-band buffer", CmlBufferConfig::paper_default()),
+    ] {
+        let bode = buffer_bode(&cfg)?;
+        println!(
+            "{name:<26} gain {:+5.2} dB | -3 dB bandwidth {:5.2} GHz | peaking {:4.2} dB",
+            bode.dc_gain_db(),
+            bode.bandwidth_3db().map_or(f64::NAN, |b| b / 1e9),
+            bode.peaking_db()
+        );
+    }
+    println!(
+        "\nThe active-inductor load, active feedback and negative Miller\n\
+         capacitance together push the same current budget past 10 Gb/s —\n\
+         the central claim of the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! Cross-crate integration tests: signal generation (`cml-sig`) through
+//! the channel (`cml-channel`), the transistor-level cells
+//! (`cml-core::cells` on `cml-spice`/`cml-pdk`) and the behavioural link
+//! models, checked against each other.
+
+use cml_channel::Backplane;
+use cml_core::behav::{self, Block};
+use cml_core::cells::{add_diff_drive, add_supply, cml_buffer, DiffPort};
+use cml_numeric::logspace;
+use cml_pdk::{Corner, Pdk018};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::{measure, Bode, EyeDiagram};
+use cml_spice::prelude::*;
+
+const UI: f64 = 100e-12;
+
+fn prbs_wave(amplitude: f64) -> cml_sig::UniformWave {
+    let bits: Vec<bool> = Prbs::prbs7().take(381).collect();
+    NrzConfig::new(UI, amplitude).render(&bits)
+}
+
+/// The behavioural buffer model must agree with the transistor cell it
+/// claims to be calibrated against, in DC gain and bandwidth class.
+#[test]
+fn behavioural_buffer_matches_transistor_cell() {
+    // Transistor level.
+    let pdk = Pdk018::typical();
+    let cfg = cml_buffer::CmlBufferConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let output = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(
+        &mut ckt,
+        "VIN",
+        input,
+        cml_buffer::output_common_mode(&cfg),
+        None,
+    );
+    cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+    ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 30e-15));
+    ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
+    let freqs = logspace(1e7, 60e9, 80);
+    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("ac");
+    let tr_bode = Bode::new(freqs.clone(), ac.differential_trace(output.p, output.n));
+
+    // Behavioural model.
+    let model = behav::CmlBuffer::paper_default();
+    let bh_gains: Vec<_> = freqs.iter().map(|&f| model.small_signal(f)).collect();
+    let bh_bode = Bode::new(freqs, bh_gains);
+
+    let tr_gain = tr_bode.dc_gain_db();
+    let bh_gain = bh_bode.dc_gain_db();
+    assert!(
+        (tr_gain - bh_gain).abs() < 2.0,
+        "gain mismatch: transistor {tr_gain:.2} dB vs model {bh_gain:.2} dB"
+    );
+    let tr_bw = tr_bode.bandwidth_3db().expect("rolls off");
+    let bh_bw = bh_bode.bandwidth_3db().expect("rolls off");
+    let ratio = tr_bw / bh_bw;
+    assert!(
+        ratio > 0.6 && ratio < 1.7,
+        "bandwidth class mismatch: transistor {tr_bw:.3e} vs model {bh_bw:.3e}"
+    );
+}
+
+/// PRBS → PWL source → transistor RC → eye: the simulator, the signal
+/// tooling and the measurement stack agree end to end.
+#[test]
+fn spice_transient_roundtrip_through_rc() {
+    let bits: Vec<bool> = Prbs::prbs7().take(64).collect();
+    let pwl = NrzConfig::new(UI, 0.4)
+        .with_offset(0.9)
+        .render_pwl(&bits);
+
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add(Vsource::new("V1", vin, Circuit::GROUND, Waveform::Pwl(pwl)));
+    // Pole well above the bit rate: waveform passes almost unchanged.
+    ckt.add(Resistor::new("R1", vin, out, 50.0));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 50e-15));
+    let tran =
+        cml_spice::analysis::tran::run(&ckt, &TranConfig::new(64.0 * UI, 2e-12)).expect("tran");
+    let wave = cml_sig::UniformWave::from_series(tran.times(), &tran.voltage(out), 2e-12);
+    let m = EyeDiagram::fold(&wave.skip_initial(1e-9), UI).metrics();
+    assert!(m.opening > 0.85, "clean RC eye should be open: {}", m.opening);
+    assert!((measure::swing(&wave) - 0.4).abs() < 0.05);
+}
+
+/// Corner consistency across pdk + spice + core: the FF corner buffer is
+/// faster than the SS corner buffer.
+#[test]
+fn corners_order_buffer_bandwidth() {
+    let bw = |corner: Corner| {
+        let pdk = Pdk018::new(corner, 27.0);
+        let cfg = cml_buffer::CmlBufferConfig::paper_default();
+        let mut ckt = Circuit::new();
+        let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+        let input = DiffPort::named(&mut ckt, "in");
+        let output = DiffPort::named(&mut ckt, "out");
+        add_diff_drive(
+            &mut ckt,
+            "VIN",
+            input,
+            cml_buffer::output_common_mode(&cfg),
+            None,
+        );
+        cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+        ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 30e-15));
+        ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
+        let freqs = logspace(1e8, 60e9, 50);
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("ac");
+        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+            .bandwidth_3db()
+            .unwrap_or(0.0)
+    };
+    let ff = bw(Corner::Ff);
+    let ss = bw(Corner::Ss);
+    assert!(ff > ss, "FF ({ff:.3e}) must beat SS ({ss:.3e})");
+}
+
+/// The full behavioural link stays open over the nominal backplane and
+/// degrades monotonically as the trace lengthens.
+#[test]
+fn link_eye_degrades_monotonically_with_trace_length() {
+    let data = prbs_wave(0.5);
+    let mut openings = Vec::new();
+    for len in [0.2, 0.5, 0.9] {
+        let mut link = behav::IoLink::paper_default();
+        link.channel = Some(Backplane::fr4_trace(len));
+        let out = link.process(&data);
+        let m = EyeDiagram::fold(&out.skip_initial(3e-9), UI).metrics();
+        openings.push(m.opening);
+    }
+    assert!(
+        openings[0] >= openings[2] - 0.05,
+        "longest trace should be no better than shortest: {openings:?}"
+    );
+    assert!(openings[1] > 0.3, "nominal link must be open: {openings:?}");
+}
+
+/// Offset-cancellation claim (§III.C): with a PRBS-31-class long run
+/// pattern the high-pass corner must not destroy the eye.
+#[test]
+fn long_run_pattern_survives_offset_cancel_highpass() {
+    // 31 consecutive ones embedded in PRBS data.
+    let mut bits: Vec<bool> = Prbs::prbs7().take(160).collect();
+    for b in bits.iter_mut().skip(60).take(31) {
+        *b = true;
+    }
+    let wave = NrzConfig::new(UI, 0.1).render(&bits);
+    let rx = behav::InputInterface::paper_default();
+    let out = rx.process(&wave);
+    let m = EyeDiagram::fold(&out.skip_initial(3e-9), UI).metrics();
+    assert!(
+        m.height > 0.0,
+        "eye must survive a 31-bit run (offset corner ≪ run rate)"
+    );
+}
+
+/// Power/area claims are consistent between the accounting modules and
+/// the report that feeds Table I.
+#[test]
+fn report_consistent_with_accounting() {
+    let row = cml_core::report::this_work();
+    let power = cml_core::power::io_interface().total_power();
+    let area = cml_core::area::io_interface().total_mm2();
+    assert!((row.power - power).abs() < 1e-12);
+    assert!((row.area_mm2 - area).abs() < 1e-12);
+}
+
+/// The behavioural blocks' sampled-time processing must agree with their
+/// own analytic small-signal transfer functions: drive a tone through
+/// `process()` and compare the steady-state amplitude against
+/// `small_signal(f)`.
+#[test]
+fn behav_process_matches_small_signal_tf() {
+    use cml_core::behav::{Block, CmlBuffer, Equalizer, LimitingAmp};
+    let dt = 1e-12;
+    let n = 32768;
+    let tone = |f: f64, amp: f64| {
+        cml_sig::UniformWave::new(
+            0.0,
+            dt,
+            (0..n)
+                .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 * dt).sin())
+                .collect(),
+        )
+    };
+    let steady_amp = |w: &cml_sig::UniformWave| {
+        w.samples()[w.len() / 2..]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+    };
+    // Tiny amplitude keeps the tanh in its linear region.
+    let amp_in = 1e-4;
+    for f in [5e8, 2e9, 8e9] {
+        let buf = CmlBuffer::paper_default();
+        let got = steady_amp(&buf.process(&tone(f, amp_in))) / amp_in;
+        let want = buf.small_signal(f).abs();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "buffer at {f:.1e}: process {got:.3} vs tf {want:.3}"
+        );
+
+        let eq = Equalizer::paper_default();
+        let got = steady_amp(&eq.process(&tone(f, amp_in))) / amp_in;
+        let want = eq.small_signal(f).abs();
+        assert!(
+            (got - want).abs() / want < 0.07,
+            "equalizer at {f:.1e}: process {got:.3} vs tf {want:.3}"
+        );
+    }
+    // LA checked at one mid-band point (4 cascaded biquads accumulate
+    // more discretization error at the band edge).
+    let la = LimitingAmp {
+        f_offset: 0.0,
+        ..LimitingAmp::paper_default()
+    };
+    let f = 1e9;
+    let got = steady_amp(&la.process(&tone(f, 1e-6))) / 1e-6;
+    let want = la.small_signal(f).abs();
+    assert!(
+        (got - want).abs() / want < 0.1,
+        "la at {f:.1e}: process {got:.3} vs tf {want:.3}"
+    );
+}

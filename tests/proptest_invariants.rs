@@ -1,0 +1,223 @@
+//! Property-based tests on cross-crate invariants.
+
+use cml_numeric::{fft, Complex64, DenseMatrix};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::{EyeDiagram, UniformWave};
+use proptest::prelude::*;
+
+proptest! {
+    /// LU solve: A·x = b ⇒ residual is tiny, for any well-conditioned
+    /// (diagonally dominated) random matrix.
+    #[test]
+    fn lu_solve_residual_small(
+        seed in any::<u64>(),
+        n in 2usize..24,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut a = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = next();
+            }
+            a[(r, r)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).expect("diagonally dominant");
+        let ax = a.mul_vec(&x).expect("dims");
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    /// FFT round trip is the identity for any power-of-two signal.
+    #[test]
+    fn fft_roundtrip_identity(
+        vals in prop::collection::vec(-1e3f64..1e3, 8..=8),
+        log_extra in 0u32..4,
+    ) {
+        let n = 8usize << log_extra;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_real(vals[i % vals.len()]))
+            .collect();
+        let orig = x.clone();
+        fft::fft(&mut x).expect("pow2");
+        fft::ifft(&mut x).expect("pow2");
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Any maximal PRBS seed produces a balanced sequence (ones = zeros + 1).
+    #[test]
+    fn prbs7_balanced_for_any_seed(seed in 1u32..128) {
+        let bits: Vec<bool> = Prbs::with_seed(7, (7, 1), seed).take(127).collect();
+        let ones = bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones, 64);
+    }
+
+    /// Eye height scales linearly with amplitude for a clean signal.
+    #[test]
+    fn eye_height_scales_with_amplitude(amp in 0.01f64..1.0) {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let unit = NrzConfig::new(100e-12, 1.0).render(&bits);
+        let scaled = NrzConfig::new(100e-12, amp).render(&bits);
+        let m1 = EyeDiagram::fold(&unit, 100e-12).metrics();
+        let m2 = EyeDiagram::fold(&scaled, 100e-12).metrics();
+        prop_assert!((m2.height - amp * m1.height).abs() < 0.02 * amp.max(0.05));
+    }
+
+    /// The backplane is passive: |H(f)| ≤ 1 at every frequency and any
+    /// physical length.
+    #[test]
+    fn channel_is_passive(len in 0.01f64..2.0, f_ghz in 0.0f64..40.0) {
+        let bp = cml_channel::Backplane::fr4_trace(len);
+        let h = bp.transfer(f_ghz * 1e9).abs();
+        prop_assert!(h <= 1.0 + 1e-9, "gain {h} at {f_ghz} GHz, len {len}");
+    }
+
+    /// Behavioural CML buffer never exceeds its configured swing,
+    /// regardless of input amplitude (ignoring small filter ringing).
+    #[test]
+    fn behav_buffer_respects_swing_limit(amp in 0.001f64..5.0) {
+        use cml_core::behav::{Block, CmlBuffer};
+        let bits: Vec<bool> = Prbs::prbs7().take(64).collect();
+        let w = NrzConfig::new(100e-12, amp).render(&bits);
+        let buf = CmlBuffer::paper_default();
+        let out = buf.process(&w);
+        let peak = out
+            .samples()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        // ±swing/2 plus ≤ 30 % peaking margin from the Q = 0.9 load.
+        prop_assert!(peak <= 0.5 * buf.swing * 1.3, "peak {peak}");
+    }
+
+    /// Waveform resampling preserves values at original sample times.
+    #[test]
+    fn resample_preserves_knots(
+        data in prop::collection::vec(-2.0f64..2.0, 4..64),
+    ) {
+        let w = UniformWave::new(0.0, 1e-12, data.clone());
+        // Resample at 4× and read back at the original times.
+        let times = w.times();
+        let fine = UniformWave::from_series(&times, w.samples(), 0.25e-12);
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert!((fine.value_at(w.time_at(i)) - v).abs() < 1e-9);
+        }
+    }
+
+    /// Eye metrics are invariant to a constant time shift of the data
+    /// (folding is phase-circular).
+    #[test]
+    fn eye_width_shift_invariant(shift_ps in 0.0f64..200.0) {
+        let bits: Vec<bool> = Prbs::prbs7().take(254).collect();
+        let w = NrzConfig::new(100e-12, 0.5).render(&bits);
+        let shifted = UniformWave::new(w.t0() + shift_ps * 1e-12, w.dt(), w.samples().to_vec());
+        let m0 = EyeDiagram::fold(&w, 100e-12).metrics();
+        let m1 = EyeDiagram::fold(&shifted, 100e-12).metrics();
+        prop_assert!((m0.width - m1.width).abs() < 2e-12);
+    }
+}
+
+proptest! {
+    /// A random RC ladder driven by DC settles to the source voltage at
+    /// every node (no DC drop through capacitors, conservation through
+    /// resistor chain with no load current).
+    #[test]
+    fn spice_rc_ladder_dc_settles_to_source(
+        n_stages in 1usize..6,
+        r_exp in 1.0f64..4.0,
+        c_exp in -14.0f64..-11.0,
+        vsrc in 0.1f64..3.0,
+    ) {
+        use cml_spice::prelude::*;
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.node("in");
+        ckt.add(Vsource::dc("V1", prev, Circuit::GROUND, vsrc));
+        for i in 0..n_stages {
+            let node = ckt.node(&format!("n{i}"));
+            ckt.add(Resistor::new(&format!("R{i}"), prev, node, r));
+            ckt.add(Capacitor::new(&format!("C{i}"), node, Circuit::GROUND, c));
+            prev = node;
+        }
+        let op = cml_spice::analysis::op::solve(&ckt).expect("linear network");
+        let v_end = op.voltage(prev);
+        prop_assert!((v_end - vsrc).abs() < 1e-5, "v_end = {v_end}, vsrc = {vsrc}");
+    }
+
+    /// The Level-1 MOSFET current is continuous across the
+    /// triode/saturation boundary for any geometry and bias.
+    #[test]
+    fn mosfet_current_continuous_at_vdsat(
+        w_um in 1.0f64..100.0,
+        vov in 0.05f64..1.0,
+    ) {
+        use cml_spice::devices::mosfet::{square_law, MosParams, MosType};
+        let p = MosParams {
+            mos_type: MosType::Nmos,
+            w: w_um * 1e-6,
+            l: 0.18e-6,
+            vth0: 0.45,
+            kp: 170e-6,
+            lambda: 0.2,
+            cox: 8.4e-3,
+            cov: 3e-10,
+            cj: 1e-3,
+            ldiff: 0.5e-6,
+        };
+        let vgs = 0.45 + vov;
+        let eps = 1e-9;
+        let below = square_law(&p, vgs, vov - eps).ids;
+        let above = square_law(&p, vgs, vov + eps).ids;
+        prop_assert!((below - above).abs() <= 1e-6 * above.max(1e-12));
+    }
+
+    /// AC analysis of a voltage divider matches the analytic transfer at
+    /// any frequency (exercises the complex solve path end to end).
+    #[test]
+    fn spice_ac_divider_matches_analytic(
+        r_exp in 1.0f64..4.0,
+        c_exp in -14.0f64..-11.0,
+        f_exp in 6.0f64..10.5,
+    ) {
+        use cml_spice::prelude::*;
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let f = 10f64.powf(f_exp);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 0.0).with_ac(1.0));
+        ckt.add(Resistor::new("R1", a, b, r));
+        ckt.add(Capacitor::new("C1", b, Circuit::GROUND, c));
+        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &[f]).expect("linear");
+        let got = ac.voltage(b, 0);
+        let want = Complex64::ONE
+            / Complex64::new(1.0, 2.0 * std::f64::consts::PI * f * r * c);
+        prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+
+    /// The composite channel's loss is within rounding of the sum of its
+    /// segments' losses, for any segment split of the same trace.
+    #[test]
+    fn channel_loss_is_additive_over_splits(split in 0.05f64..0.95, f_ghz in 0.5f64..20.0) {
+        use cml_channel::segments::{CompositeChannel, Segment};
+        use cml_channel::Backplane;
+        let total = 0.6;
+        let f = f_ghz * 1e9;
+        let whole = Backplane::fr4_trace(total).attenuation_db(f);
+        let parts = CompositeChannel::new(vec![
+            Segment::Trace(Backplane::fr4_trace(total * split)),
+            Segment::Trace(Backplane::fr4_trace(total * (1.0 - split))),
+        ])
+        .attenuation_db(f);
+        prop_assert!((whole - parts).abs() < 1e-6, "whole {whole} vs parts {parts}");
+    }
+}

@@ -1,7 +1,6 @@
 //! Criterion benchmarks — one per paper table/figure workload, timing
 //! the regeneration path (reduced sweep sizes to keep bench time sane).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cml_core::behav::{Block, InputInterface, IoLink, OutputInterface};
 use cml_core::cells::{add_diff_drive, add_supply, equalizer, DiffPort};
 use cml_numeric::logspace;
@@ -10,6 +9,7 @@ use cml_sig::nrz::NrzConfig;
 use cml_sig::prbs::Prbs;
 use cml_sig::{EyeDiagram, UniformWave};
 use cml_spice::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn prbs_wave() -> UniformWave {
     let bits: Vec<bool> = Prbs::prbs7().take(254).collect();

@@ -1,10 +1,10 @@
 //! Criterion benchmarks for the simulator and measurement kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cml_numeric::{fft, linspace, logspace, Complex64, DenseMatrix};
 use cml_sig::nrz::NrzConfig;
 use cml_sig::prbs::Prbs;
 use cml_sig::EyeDiagram;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lu(c: &mut Criterion) {
     let mut group = c.benchmark_group("lu_solve");

@@ -20,7 +20,13 @@ fn buffer_bode(cfg: &CmlBufferConfig, c_load: f64) -> Bode {
     let vdd = add_supply(&mut ckt, cml_pdk::VDD);
     let input = DiffPort::named(&mut ckt, "in");
     let output = DiffPort::named(&mut ckt, "out");
-    add_diff_drive(&mut ckt, "VIN", input, cml_buffer::output_common_mode(cfg), None);
+    add_diff_drive(
+        &mut ckt,
+        "VIN",
+        input,
+        cml_buffer::output_common_mode(cfg),
+        None,
+    );
     cml_buffer::build(&mut ckt, &pdk, cfg, "buf", input, output, vdd);
     ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, c_load));
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
@@ -55,69 +61,106 @@ fn report(label: &str, bode: &Bode) {
 
 fn main() {
     banner("Ablation study - what each wide-band technique buys");
-    println!("\nCML buffer (transistor level, 30 fF load):");
-    println!("  {:<44} {:>10} {:>12} {:>9}", "configuration", "DC gain", "bandwidth", "peaking");
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+    println!("\nCML buffer (transistor level, 30 fF load, {threads} threads):");
+    println!(
+        "  {:<44} {:>10} {:>12} {:>9}",
+        "configuration", "DC gain", "bandwidth", "peaking"
+    );
     let full = CmlBufferConfig::paper_default();
-    report("full wide-band buffer", &buffer_bode(&full, 30e-15));
-    report(
-        "- active inductor (plain diode load)",
-        &buffer_bode(&CmlBufferConfig { r_gate: 0.0, ..full.clone() }, 30e-15),
-    );
-    report(
-        "- active feedback",
-        &buffer_bode(&CmlBufferConfig { feedback_frac: 0.0, ..full.clone() }, 30e-15),
-    );
-    report(
-        "- negative Miller capacitance",
-        &buffer_bode(&CmlBufferConfig { neg_miller: 0.0, ..full.clone() }, 30e-15),
-    );
-    report("none (plain CML buffer)", &buffer_bode(&CmlBufferConfig::plain(), 30e-15));
+    let buffer_points: Vec<(&str, CmlBufferConfig)> = vec![
+        ("full wide-band buffer", full.clone()),
+        (
+            "- active inductor (plain diode load)",
+            CmlBufferConfig {
+                r_gate: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "- active feedback",
+            CmlBufferConfig {
+                feedback_frac: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "- negative Miller capacitance",
+            CmlBufferConfig {
+                neg_miller: 0.0,
+                ..full.clone()
+            },
+        ),
+        ("none (plain CML buffer)", CmlBufferConfig::plain()),
+    ];
+    let bodes = cml_runner::par_map(threads, &buffer_points, |_, (_, cfg)| {
+        buffer_bode(cfg, 30e-15)
+    });
+    for ((label, _), bode) in buffer_points.iter().zip(&bodes) {
+        report(label, bode);
+    }
 
     println!("\nLimiting amplifier (transistor level, 4 stages):");
-    println!("  {:<44} {:>10} {:>12} {:>9}", "configuration", "mid gain", "bandwidth", "peaking");
+    println!(
+        "  {:<44} {:>10} {:>12} {:>9}",
+        "configuration", "mid gain", "bandwidth", "peaking"
+    );
     let la_full = LimitingAmpConfig {
         offset_cancel: None,
         ..LimitingAmpConfig::paper_default()
     };
-    report("full LA (interstage fb + peaked loads)", &la_bode(&la_full));
-    report(
-        "- interstage active feedback",
-        &la_bode(&LimitingAmpConfig { interstage_fb: 0.0, ..la_full.clone() }),
-    );
-    report(
-        "- peaking loads (pure poly)",
-        &la_bode(&LimitingAmpConfig {
-            stage: GainStageConfig::no_peaking(),
-            ..la_full.clone()
-        }),
-    );
+    let la_points: Vec<(&str, LimitingAmpConfig)> = vec![
+        ("full LA (interstage fb + peaked loads)", la_full.clone()),
+        (
+            "- interstage active feedback",
+            LimitingAmpConfig {
+                interstage_fb: 0.0,
+                ..la_full.clone()
+            },
+        ),
+        (
+            "- peaking loads (pure poly)",
+            LimitingAmpConfig {
+                stage: GainStageConfig::no_peaking(),
+                ..la_full.clone()
+            },
+        ),
+    ];
+    let la_bodes = cml_runner::par_map(threads, &la_points, |_, (_, cfg)| la_bode(cfg));
+    for ((label, _), bode) in la_points.iter().zip(&la_bodes) {
+        report(label, bode);
+    }
     let _ = gain_stage::output_common_mode(&GainStageConfig::paper_default());
 
     println!("\nLink-level (behavioural, 0.5 m backplane, PRBS-7):");
     let data = prbs7_wave(0.5);
-    println!(
-        "  {:<44} {:>10} {:>12}",
-        "configuration", "height", "width"
-    );
-    let print_link = |label: &str, link: &behav::IoLink| {
-        let m = eye_metrics(&link.process(&data));
+    println!("  {:<44} {:>10} {:>12}", "configuration", "height", "width");
+    let mut no_eq = behav::IoLink::paper_default();
+    no_eq.rx = behav::InputInterface::without_equalizer();
+    let mut no_pk = behav::IoLink::paper_default();
+    no_pk.tx = behav::OutputInterface::without_peaking();
+    let mut neither = behav::IoLink::paper_default();
+    neither.rx = behav::InputInterface::without_equalizer();
+    neither.tx = behav::OutputInterface::without_peaking();
+    let link_points: Vec<(&str, behav::IoLink)> = vec![
+        (
+            "full link (equalizer + peaking)",
+            behav::IoLink::paper_default(),
+        ),
+        ("- equalizer", no_eq),
+        ("- voltage peaking", no_pk),
+        ("- both", neither),
+    ];
+    let link_eyes = cml_runner::par_map(threads, &link_points, |_, (_, link)| {
+        eye_metrics(&link.process(&data))
+    });
+    for ((label, _), m) in link_points.iter().zip(&link_eyes) {
         println!(
             "  {label:<44} {:>7.1} mV {:>9.1} ps",
             m.height * 1e3,
             m.width * 1e12
         );
-    };
-    print_link("full link (equalizer + peaking)", &behav::IoLink::paper_default());
-    let mut no_eq = behav::IoLink::paper_default();
-    no_eq.rx = behav::InputInterface::without_equalizer();
-    print_link("- equalizer", &no_eq);
-    let mut no_pk = behav::IoLink::paper_default();
-    no_pk.tx = behav::OutputInterface::without_peaking();
-    print_link("- voltage peaking", &no_pk);
-    let mut neither = behav::IoLink::paper_default();
-    neither.rx = behav::InputInterface::without_equalizer();
-    neither.tx = behav::OutputInterface::without_peaking();
-    print_link("- both", &neither);
+    }
 
     let _ = Backplane::fr4_trace(0.5); // keep the channel import honest
 }

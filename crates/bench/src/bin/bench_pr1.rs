@@ -1,0 +1,132 @@
+//! PR benchmark: solver factorization reuse and parallel sweep engine.
+//!
+//! Times one transient-heavy workload (a deep RC ladder, where the
+//! cross-timestep LU reuse in `cml_spice::analysis` removes the O(n³)
+//! factorization from every Newton iteration) and one sweep-heavy
+//! workload (a large Monte-Carlo offset study fanned out over
+//! `cml_runner::par_map`), each against its unoptimized reference path,
+//! verifying the results agree, and writes the wall-clock numbers to
+//! `BENCH_pr1.json` in the current directory.
+//!
+//! Run with: `cargo run --release --bin bench_pr1 [--threads N]`
+
+use cml_core::montecarlo;
+use cml_spice::analysis::tran::{self, TranConfig};
+use cml_spice::prelude::*;
+use serde::Value;
+use std::time::Instant;
+
+fn rc_ladder(n_stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add(Vsource::new(
+        "V1",
+        prev,
+        Circuit::GROUND,
+        Waveform::step(0.0, 1.0, 10e-12, 5e-12),
+    ));
+    for i in 0..n_stages {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Resistor::new(&format!("R{i}"), prev, node, 150.0));
+        ckt.add(Capacitor::new(
+            &format!("C{i}"),
+            node,
+            Circuit::GROUND,
+            40e-15,
+        ));
+        prev = node;
+    }
+    ckt
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+
+    // --- Transient-heavy: 40-stage RC ladder, 6000 trapezoidal steps. ---
+    let ckt = rc_ladder(40);
+    let cfg = TranConfig::new(6e-9, 1e-12);
+    let end = ckt.find_node("n39").unwrap();
+    println!("transient-heavy: 40-stage RC ladder, {} steps", 6000);
+
+    let t0 = Instant::now();
+    let baseline = tran::run(&ckt, &cfg.clone().without_factor_reuse()).expect("baseline tran");
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let optimized = tran::run(&ckt, &cfg).expect("optimized tran");
+    let optimized_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let vb = baseline.voltage(end);
+    let vo = optimized.voltage(end);
+    let tran_diff = vb
+        .iter()
+        .zip(&vo)
+        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+    println!(
+        "  baseline {baseline_ms:9.1} ms | reuse {optimized_ms:9.1} ms | speedup {:.2}x | max diff {tran_diff:.1e}",
+        baseline_ms / optimized_ms
+    );
+
+    // --- Sweep-heavy: 300k-trial Monte-Carlo offset study. ---
+    let n_trials = 300_000;
+    println!("sweep-heavy: Monte-Carlo offset study, {n_trials} trials, {threads} threads");
+
+    let t0 = Instant::now();
+    let serial = montecarlo::paper_default_study_par(n_trials, 0xC0FFEE, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let parallel = montecarlo::paper_default_study_par(n_trials, 0xC0FFEE, threads);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let identical = serial == parallel;
+    println!(
+        "  serial {serial_ms:11.1} ms | {threads:2} threads {parallel_ms:6.1} ms | speedup {:.2}x | identical: {identical}",
+        serial_ms / parallel_ms
+    );
+    assert!(identical, "parallel sweep changed the aggregate");
+
+    let report = obj(vec![
+        ("bench", Value::Str("bench_pr1".into())),
+        ("host_threads", Value::Num(threads as f64)),
+        (
+            "transient_heavy",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str("rc_ladder 40 stages, 6 ns @ 1 ps trapezoidal".into()),
+                ),
+                ("baseline_ms", Value::Num(baseline_ms)),
+                ("factor_reuse_ms", Value::Num(optimized_ms)),
+                ("speedup", Value::Num(baseline_ms / optimized_ms)),
+                ("max_result_diff", Value::Num(tran_diff)),
+            ]),
+        ),
+        (
+            "sweep_heavy",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!("montecarlo offset study, {n_trials} trials")),
+                ),
+                ("threads", Value::Num(threads as f64)),
+                ("serial_ms", Value::Num(serial_ms)),
+                ("parallel_ms", Value::Num(parallel_ms)),
+                ("speedup", Value::Num(serial_ms / parallel_ms)),
+                ("results_identical", Value::Bool(identical)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr1.json");
+    std::fs::write("BENCH_pr1.json", format!("{json}\n")).expect("write BENCH_pr1.json");
+    println!("wrote BENCH_pr1.json");
+}

@@ -10,16 +10,17 @@ use cml_pdk::{Corner, Pdk018};
 
 fn main() {
     banner("§III.E - beta-multiplier voltage reference sweeps");
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
     let cfg = BmvrConfig::paper_default();
 
-    println!("\ntemperature sweep at VDD = 1.8 V (TT corner):");
+    println!("\ntemperature sweep at VDD = 1.8 V (TT corner, {threads} threads):");
     println!("{:>8} | {:>10}", "T (degC)", "Vref (V)");
     let temps = [-40.0, -20.0, 0.0, 27.0, 50.0, 75.0, 100.0, 125.0];
-    let mut vrefs = Vec::new();
-    for &t in &temps {
-        let v = solve_vref(&Pdk018::new(Corner::Tt, t), &cfg, 1.8).expect("bmvr op");
+    let vrefs = cml_runner::par_map(threads, &temps, |_, &t| {
+        solve_vref(&Pdk018::new(Corner::Tt, t), &cfg, 1.8).expect("bmvr op")
+    });
+    for (t, v) in temps.iter().zip(&vrefs) {
         println!("{t:>8.0} | {v:>10.4}");
-        vrefs.push(v);
     }
     let v_nom = vrefs[3];
     let spread = vrefs.iter().cloned().fold(f64::MIN, f64::max)
@@ -31,29 +32,34 @@ fn main() {
     println!("{:>8} | {:>10}", "VDD (V)", "Vref (V)");
     let supplies = [1.6, 1.7, 1.8, 1.9, 2.0];
     let pdk = Pdk018::typical();
-    let mut vs = Vec::new();
-    for &vdd in &supplies {
-        let v = solve_vref(&pdk, &cfg, vdd).expect("bmvr op");
+    let vs = cml_runner::par_map(threads, &supplies, |_, &vdd| {
+        solve_vref(&pdk, &cfg, vdd).expect("bmvr op")
+    });
+    for (vdd, v) in supplies.iter().zip(&vs) {
         println!("{vdd:>8.1} | {v:>10.4}");
-        vs.push(v);
     }
     let sens = (vs[4] - vs[0]).abs() / 0.4 * 1e3;
     println!("supply sensitivity: {sens:.1} mV/V (paper: < 26)");
 
     println!("\ntrim sweep (R_s) at nominal conditions:");
     println!("{:>10} | {:>10}", "R_s (kOhm)", "Vref (V)");
-    for rs in [0.9e3, 1.0e3, 1.1e3, 1.2e3, 1.3e3, 1.4e3] {
+    let trims = [0.9e3, 1.0e3, 1.1e3, 1.2e3, 1.3e3, 1.4e3];
+    let trim_vrefs = cml_runner::par_map(threads, &trims, |_, &rs| {
         let mut c = cfg.clone();
         c.r_s = rs;
-        let v = solve_vref(&pdk, &c, 1.8).expect("bmvr op");
+        solve_vref(&pdk, &c, 1.8).expect("bmvr op")
+    });
+    for (rs, v) in trims.iter().zip(&trim_vrefs) {
         println!("{:>10.1} | {v:>10.4}", rs / 1e3);
     }
     println!("(adjacent trim steps move Vref by ~10 mV — the paper's trim resolution)");
 
     println!("\nprocess corners at 27 degC, VDD = 1.8 V:");
     println!("{:>8} | {:>10}", "corner", "Vref (V)");
-    for corner in Corner::ALL {
-        let v = solve_vref(&Pdk018::new(corner, 27.0), &cfg, 1.8).expect("bmvr op");
+    let corner_vrefs = cml_runner::par_map(threads, &Corner::ALL, |_, &corner| {
+        solve_vref(&Pdk018::new(corner, 27.0), &cfg, 1.8).expect("bmvr op")
+    });
+    for (corner, v) in Corner::ALL.iter().zip(&corner_vrefs) {
         println!("{:>8} | {v:>10.4}", corner.name());
     }
 }

@@ -26,7 +26,9 @@ fn main() {
     let aggressor_tx = NrzConfig::new(UI, 0.5).render(&aggressor_bits);
     // Rotate the aggressor half a UI so its edges hit the victim's eye center.
     let n = aggressor_tx.len();
-    let rotated: Vec<f64> = (0..n).map(|i| aggressor_tx.samples()[(i + 16) % n]).collect();
+    let rotated: Vec<f64> = (0..n)
+        .map(|i| aggressor_tx.samples()[(i + 16) % n])
+        .collect();
     let aggressor = UniformWave::new(aggressor_tx.t0(), aggressor_tx.dt(), rotated);
 
     let received = path.apply(&victim_tx, true);

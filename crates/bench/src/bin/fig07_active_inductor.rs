@@ -72,7 +72,10 @@ fn main() {
         ("active inductor Rg = 0.8 kOhm", 800.0),
         ("active inductor Rg = 2.0 kOhm", 2e3),
     ] {
-        let cfg = CmlBufferConfig { r_gate, ..plain.clone() };
+        let cfg = CmlBufferConfig {
+            r_gate,
+            ..plain.clone()
+        };
         let w = buffer_step(&cfg).skip_initial(50e-12);
         let rise = measure::rise_time(&w).map_or(f64::NAN, |t| t * 1e12);
         println!(
@@ -110,7 +113,10 @@ fn main() {
     }
 
     let bw_plain = buffer_bode(&plain).bandwidth_3db().unwrap_or(0.0);
-    let with = CmlBufferConfig { r_gate: 400.0, ..plain.clone() };
+    let with = CmlBufferConfig {
+        r_gate: 400.0,
+        ..plain.clone()
+    };
     let bw_ind = buffer_bode(&with).bandwidth_3db().unwrap_or(0.0);
     println!(
         "\nActive-inductor bandwidth extension: {:.2}x \

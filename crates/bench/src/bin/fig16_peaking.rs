@@ -32,8 +32,7 @@ fn transistor_waveform(peaking: bool) -> UniformWave {
     build_output_interface(&mut ckt, &pdk, &cfg, "oi", input, output, vdd);
     ckt.add(Resistor::new("RTp", vdd, output.p, 50.0));
     ckt.add(Resistor::new("RTn", vdd, output.n, 50.0));
-    let tran =
-        cml_spice::analysis::tran::run(&ckt, &TranConfig::new(1.6e-9, 1e-12)).expect("tran");
+    let tran = cml_spice::analysis::tran::run(&ckt, &TranConfig::new(1.6e-9, 1e-12)).expect("tran");
     UniformWave::from_series(tran.times(), &tran.differential(output.p, output.n), 1e-12)
         .skip_initial(0.15e-9)
 }

@@ -3,11 +3,12 @@
 //! smears the output, and what the offset-cancellation loop recovers.
 
 use cml_bench::banner;
-use cml_core::montecarlo::{self, paper_default_study, vth_sigma};
+use cml_core::montecarlo::{self, paper_default_study_par, vth_sigma};
 use cml_numeric::stats;
 
 fn main() {
     banner("§III.C - Monte-Carlo offset study of the limiting amplifier");
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
     let sigma = vth_sigma(34e-6, cml_pdk::L_MIN);
     println!(
         "\nPelgrom mismatch (A_VT = {} mV*um): per-pair sigma(dVTH) = {:.2} mV \
@@ -17,8 +18,8 @@ fn main() {
     );
 
     let n = 10_000;
-    let study = paper_default_study(n, 0xC0FFEE);
-    println!("\n{n} Monte-Carlo samples through the 4-stage LA:");
+    let study = paper_default_study_par(n, 0xC0FFEE, threads);
+    println!("\n{n} Monte-Carlo samples through the 4-stage LA ({threads} threads):");
     println!(
         "  input-referred offset sigma : {:6.2} mV",
         study.input_sigma() * 1e3

@@ -8,18 +8,21 @@ use cml_sig::measure;
 
 fn main() {
     banner("§II.A - input sensitivity / dynamic range sweep");
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
     let rx = InputInterface::paper_default();
     println!(
-        "\n{:>10} | {:>12} {:>12} {:>10} {:>10}",
+        "\n{:>10} | {:>12} {:>12} {:>10} {:>10}   ({threads} threads)",
         "in (Vpp)", "out (mVpp)", "height (mV)", "width(ps)", "open"
     );
-    let mut sensitivity = None;
-    for amp in [
+    let amps = [
         1e-3, 2e-3, 4e-3, 8e-3, 20e-3, 50e-3, 0.1, 0.25, 0.5, 1.0, 1.4, 1.8,
-    ] {
+    ];
+    let points = cml_runner::par_map(threads, &amps, |_, &amp| {
         let out = rx.process(&prbs7_wave(amp));
-        let m = eye_metrics(&out);
-        let swing = measure::swing(&out);
+        (eye_metrics(&out), measure::swing(&out))
+    });
+    let mut sensitivity = None;
+    for (amp, (m, swing)) in amps.iter().zip(&points) {
         println!(
             "{amp:>10.3} | {:>12.1} {:>12.1} {:>10.1} {:>10.2}",
             swing * 1e3,
@@ -27,8 +30,8 @@ fn main() {
             m.width * 1e12,
             m.opening
         );
-        if sensitivity.is_none() && m.opening > 0.4 && swing > 0.3 {
-            sensitivity = Some(amp);
+        if sensitivity.is_none() && m.opening > 0.4 && *swing > 0.3 {
+            sensitivity = Some(*amp);
         }
     }
     match sensitivity {

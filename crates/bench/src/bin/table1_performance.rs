@@ -44,7 +44,12 @@ fn main() {
         cml_core::area::bmvr(),
         cml_core::area::io_interface(),
     ] {
-        println!("  {:<26} {:8.4} mm2  ({} devices)", b.name(), b.total_mm2(), b.num_devices());
+        println!(
+            "  {:<26} {:8.4} mm2  ({} devices)",
+            b.name(),
+            b.total_mm2(),
+            b.num_devices()
+        );
     }
     let spirals = cml_core::area::io_interface_with_spirals().total_m2();
     let active = cml_core::area::io_interface().total_m2();
@@ -61,7 +66,10 @@ fn main() {
         "  this work          {:.1} pJ/bit",
         ours.power / ours.data_rate * 1e12
     );
-    for d in [PublishedDesign::tao_berroth(), PublishedDesign::galal_razavi()] {
+    for d in [
+        PublishedDesign::tao_berroth(),
+        PublishedDesign::galal_razavi(),
+    ] {
         println!("  {:<18} {:.1} pJ/bit", d.name, d.energy_per_bit() * 1e12);
     }
 }

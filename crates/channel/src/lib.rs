@@ -104,10 +104,7 @@ impl Backplane {
         // inductive reactance: R_s·√f·(1 + j).
         let r_skin = self.rskin * f.max(0.0).sqrt();
         let z = Complex64::new(self.rdc + r_skin, r_skin + omega * self.l_per_m);
-        let y = Complex64::new(
-            omega * self.c_per_m * self.tan_delta,
-            omega * self.c_per_m,
-        );
+        let y = Complex64::new(omega * self.c_per_m * self.tan_delta, omega * self.c_per_m);
         if f == 0.0 {
             // γ = √(R_dc · G) → with G(0) = 0 the DC loss is only the
             // resistive divider against the terminations.
@@ -131,7 +128,11 @@ impl Backplane {
     /// # Errors
     ///
     /// Returns the underlying FFT error for invalid `n`.
-    pub fn impulse_response(&self, dt: f64, n: usize) -> Result<Vec<f64>, cml_numeric::NumericError> {
+    pub fn impulse_response(
+        &self,
+        dt: f64,
+        n: usize,
+    ) -> Result<Vec<f64>, cml_numeric::NumericError> {
         let df = 1.0 / (n as f64 * dt);
         let mut spec = vec![Complex64::ZERO; n];
         spec[0] = self.transfer(0.0);
@@ -254,7 +255,10 @@ mod tests {
         let m_short = EyeDiagram::fold(&short.skip_initial(1e-9), 100e-12).metrics();
         let m_long = EyeDiagram::fold(&long.skip_initial(1e-9), 100e-12).metrics();
 
-        assert!(m_short.opening > 0.6 * m_in.opening, "short trace eye should stay open");
+        assert!(
+            m_short.opening > 0.6 * m_in.opening,
+            "short trace eye should stay open"
+        );
         assert!(
             m_long.opening < 0.5 * m_short.opening,
             "long trace ISI should crush the eye: long {} vs short {}",

@@ -168,10 +168,7 @@ mod tests {
     fn cascade_loss_is_sum_of_parts() {
         let a = Backplane::fr4_trace(0.2);
         let b = Backplane::fr4_trace(0.3);
-        let ch = CompositeChannel::new(vec![
-            Segment::Trace(a.clone()),
-            Segment::Trace(b.clone()),
-        ]);
+        let ch = CompositeChannel::new(vec![Segment::Trace(a.clone()), Segment::Trace(b.clone())]);
         let f = 5e9;
         let want = a.attenuation_db(f) + b.attenuation_db(f);
         assert!((ch.attenuation_db(f) - want).abs() < 1e-9);

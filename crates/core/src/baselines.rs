@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn model_reproduces_published_dc_gain() {
-        for d in [PublishedDesign::tao_berroth(), PublishedDesign::galal_razavi()] {
+        for d in [
+            PublishedDesign::tao_berroth(),
+            PublishedDesign::galal_razavi(),
+        ] {
             let g = d.small_signal(1e3).abs();
             let g_db = 20.0 * g.log10();
             assert!(
@@ -131,7 +134,10 @@ mod tests {
 
     #[test]
     fn model_reproduces_published_bandwidth() {
-        for d in [PublishedDesign::tao_berroth(), PublishedDesign::galal_razavi()] {
+        for d in [
+            PublishedDesign::tao_berroth(),
+            PublishedDesign::galal_razavi(),
+        ] {
             let freqs = logspace(1e6, 60e9, 400);
             let bw = d.bode(&freqs).bandwidth_3db().expect("rolls off");
             assert!(

@@ -427,10 +427,7 @@ mod tests {
         let w = NrzConfig::new(100e-12, 0.5).render(&bits);
         let out = vp.process(&w);
         let os = measure::overshoot(&out);
-        assert!(
-            os > 0.1 && os < 0.3,
-            "peaking overshoot = {os}, want ≈ 0.2"
-        );
+        assert!(os > 0.1 && os < 0.3, "peaking overshoot = {os}, want ≈ 0.2");
         assert!(measure::overshoot(&VoltagePeaking::disabled().process(&w)) < 0.03);
     }
 
@@ -444,8 +441,7 @@ mod tests {
         let out = d.process(&w);
         // Cross-check: a rising edge at t in input appears at t+delay.
         let t_in = cml_numeric::interp::level_crossings(&w.times(), w.samples(), 0.0).unwrap();
-        let t_out =
-            cml_numeric::interp::level_crossings(&out.times(), out.samples(), 0.0).unwrap();
+        let t_out = cml_numeric::interp::level_crossings(&out.times(), out.samples(), 0.0).unwrap();
         assert!((t_out[2] - t_in[2] - 50e-12).abs() < 3e-12);
     }
 

@@ -31,7 +31,11 @@ impl FirstOrder {
     #[must_use]
     pub fn lowpass(f0: f64) -> Self {
         assert!(f0 > 0.0, "corner must be positive");
-        FirstOrder { f0, b0: 1.0, b1: 0.0 }
+        FirstOrder {
+            f0,
+            b0: 1.0,
+            b1: 0.0,
+        }
     }
 
     /// Unity-high-frequency-gain high-pass with the given corner.
@@ -42,7 +46,11 @@ impl FirstOrder {
     #[must_use]
     pub fn highpass(f0: f64) -> Self {
         assert!(f0 > 0.0, "corner must be positive");
-        FirstOrder { f0, b0: 0.0, b1: 1.0 }
+        FirstOrder {
+            f0,
+            b0: 0.0,
+            b1: 1.0,
+        }
     }
 
     /// Filters a waveform.
@@ -53,7 +61,7 @@ impl FirstOrder {
         let wc = 2.0 * std::f64::consts::PI * self.f0;
         let k = 2.0 / t * (wc * t / 2.0).tan() / wc; // prewarp correction
         let c = 2.0 * k / t / wc; // s/ω0 → c·(1−z⁻¹)/(1+z⁻¹)
-        // H(z) = (b0(1+z⁻¹) + b1·c(1−z⁻¹)) / ((1+z⁻¹) + c(1−z⁻¹))
+                                  // H(z) = (b0(1+z⁻¹) + b1·c(1−z⁻¹)) / ((1+z⁻¹) + c(1−z⁻¹))
         let a0 = 1.0 + c;
         let a1 = 1.0 - c;
         let n0 = self.b0 + self.b1 * c;
@@ -101,7 +109,10 @@ impl Biquad {
     /// Panics unless `f0`, `q` and `gain` are strictly positive.
     #[must_use]
     pub fn lowpass(f0: f64, q: f64, gain: f64) -> Self {
-        assert!(f0 > 0.0 && q > 0.0 && gain > 0.0, "parameters must be positive");
+        assert!(
+            f0 > 0.0 && q > 0.0 && gain > 0.0,
+            "parameters must be positive"
+        );
         Biquad { f0, q, gain }
     }
 
@@ -184,7 +195,10 @@ mod tests {
         let f = FirstOrder::lowpass(1e9);
         let tone = sine(1e9, 0.5e-12, 8000);
         let amp = steady_amplitude(&f.apply(&tone));
-        assert!((amp - 0.7071).abs() < 0.02, "amp = {amp}");
+        assert!(
+            (amp - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "amp = {amp}"
+        );
     }
 
     #[test]
@@ -224,7 +238,7 @@ mod tests {
 
     #[test]
     fn biquad_attenuates_two_decades_up() {
-        let b = Biquad::lowpass(1e9, 0.7071, 1.0);
+        let b = Biquad::lowpass(1e9, std::f64::consts::FRAC_1_SQRT_2, 1.0);
         // 40 dB/decade: at 10 GHz ≈ −40 dB.
         let tone = sine(1e10, 1e-13, 40000);
         let amp = steady_amplitude(&b.apply(&tone));

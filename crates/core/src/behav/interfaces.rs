@@ -1,9 +1,7 @@
 //! Composed behavioural interfaces: the paper's Fig. 2 input interface,
 //! Fig. 3 output interface, and the full TX → channel → RX link.
 
-use super::blocks::{
-    CmlBuffer, Equalizer, LevelShift, LimitingAmp, TaperedDriver, VoltagePeaking,
-};
+use super::blocks::{CmlBuffer, Equalizer, LevelShift, LimitingAmp, TaperedDriver, VoltagePeaking};
 use super::Block;
 use cml_channel::Backplane;
 use cml_sig::UniformWave;

@@ -103,7 +103,12 @@ pub fn build(
         Circuit::GROUND,
         pdk.nmos(cfg.w_n * cfg.k, cfg.l_n),
     ));
-    ckt.add(Resistor::new(&format!("{prefix}_RS"), s2, Circuit::GROUND, cfg.r_s));
+    ckt.add(Resistor::new(
+        &format!("{prefix}_RS"),
+        s2,
+        Circuit::GROUND,
+        cfg.r_s,
+    ));
 
     // PMOS mirror forcing equal branch currents (diode device on M2's
     // branch).
@@ -141,7 +146,11 @@ pub fn build(
 /// # Errors
 ///
 /// Propagates operating-point failures.
-pub fn solve_vref(pdk: &Pdk018, cfg: &BmvrConfig, vdd_volts: f64) -> Result<f64, cml_spice::SpiceError> {
+pub fn solve_vref(
+    pdk: &Pdk018,
+    cfg: &BmvrConfig,
+    vdd_volts: f64,
+) -> Result<f64, cml_spice::SpiceError> {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, vdd_volts));

@@ -92,8 +92,7 @@ pub fn build(
 ) {
     let stage = &cfg.stage;
     let w_in = stage.input_width(pdk);
-    let w_p =
-        crate::design::pmos_load_width(stage.r_load, stage.i_tail, pdk) * cfg.pmos_scale;
+    let w_p = crate::design::pmos_load_width(stage.r_load, stage.i_tail, pdk) * cfg.pmos_scale;
     let tail = ckt.internal_node(&format!("{prefix}_tail"));
 
     // Input differential pair: in_p steers current into out_n.

@@ -90,9 +90,7 @@ impl EqualizerConfig {
     /// Static current drawn from the supply, amps.
     #[must_use]
     pub fn supply_current(&self) -> f64 {
-        2.0 * self.i_half
-            + self.i2
-            + if self.active_feedback { self.i_fb } else { 0.0 }
+        2.0 * self.i_half + self.i2 + if self.active_feedback { self.i_fb } else { 0.0 }
     }
 
     /// Input common-mode voltage the cell is designed for (set by the
@@ -153,11 +151,26 @@ pub fn build(
         pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
     ));
     // Split tails.
-    ckt.add(Isource::dc(&format!("{prefix}_ITa"), src_a, Circuit::GROUND, cfg.i_half));
-    ckt.add(Isource::dc(&format!("{prefix}_ITb"), src_b, Circuit::GROUND, cfg.i_half));
+    ckt.add(Isource::dc(
+        &format!("{prefix}_ITa"),
+        src_a,
+        Circuit::GROUND,
+        cfg.i_half,
+    ));
+    ckt.add(Isource::dc(
+        &format!("{prefix}_ITb"),
+        src_b,
+        Circuit::GROUND,
+        cfg.i_half,
+    ));
     // Degeneration: triode NMOS controlled by V1, shunted by C_deg.
     let vctl = ckt.internal_node(&format!("{prefix}_vc"));
-    ckt.add(Vsource::dc(&format!("{prefix}_VC"), vctl, Circuit::GROUND, cfg.v_control));
+    ckt.add(Vsource::dc(
+        &format!("{prefix}_VC"),
+        vctl,
+        Circuit::GROUND,
+        cfg.v_control,
+    ));
     ckt.add(Mosfet::new(
         &format!("{prefix}_Mdeg"),
         src_a,
@@ -166,7 +179,12 @@ pub fn build(
         Circuit::GROUND,
         pdk.nmos(cfg.w_deg, cml_pdk::L_MIN),
     ));
-    ckt.add(Capacitor::new(&format!("{prefix}_Cdeg"), src_a, src_b, cfg.c_deg));
+    ckt.add(Capacitor::new(
+        &format!("{prefix}_Cdeg"),
+        src_a,
+        src_b,
+        cfg.c_deg,
+    ));
     // Stage-1 loads.
     ckt.add(Resistor::new(&format!("{prefix}_R1a"), vdd, s1.n, cfg.r1));
     ckt.add(Resistor::new(&format!("{prefix}_R1b"), vdd, s1.p, cfg.r1));
@@ -189,13 +207,38 @@ pub fn build(
         Circuit::GROUND,
         pdk.nmos(cfg.w_in, cml_pdk::L_MIN),
     ));
-    ckt.add(Isource::dc(&format!("{prefix}_IT2"), t2, Circuit::GROUND, cfg.i2));
-    ckt.add(Resistor::new(&format!("{prefix}_R2a"), vdd, output.n, cfg.r2));
-    ckt.add(Resistor::new(&format!("{prefix}_R2b"), vdd, output.p, cfg.r2));
+    ckt.add(Isource::dc(
+        &format!("{prefix}_IT2"),
+        t2,
+        Circuit::GROUND,
+        cfg.i2,
+    ));
+    ckt.add(Resistor::new(
+        &format!("{prefix}_R2a"),
+        vdd,
+        output.n,
+        cfg.r2,
+    ));
+    ckt.add(Resistor::new(
+        &format!("{prefix}_R2b"),
+        vdd,
+        output.p,
+        cfg.r2,
+    ));
     // Cherry-Hooper feedback resistors: output back to the interstage
     // nodes (lowering the impedance stage 1 sees).
-    ckt.add(Resistor::new(&format!("{prefix}_RFa"), output.p, s1.p, cfg.rf));
-    ckt.add(Resistor::new(&format!("{prefix}_RFb"), output.n, s1.n, cfg.rf));
+    ckt.add(Resistor::new(
+        &format!("{prefix}_RFa"),
+        output.p,
+        s1.p,
+        cfg.rf,
+    ));
+    ckt.add(Resistor::new(
+        &format!("{prefix}_RFb"),
+        output.n,
+        s1.n,
+        cfg.rf,
+    ));
 
     // ---- Active feedback current buffers (M1/M2 in the paper) ----
     if cfg.active_feedback {
@@ -217,7 +260,12 @@ pub fn build(
             Circuit::GROUND,
             pdk.nmos(w_fb, cml_pdk::L_MIN),
         ));
-        ckt.add(Isource::dc(&format!("{prefix}_ITf"), tf, Circuit::GROUND, cfg.i_fb));
+        ckt.add(Isource::dc(
+            &format!("{prefix}_ITf"),
+            tf,
+            Circuit::GROUND,
+            cfg.i_fb,
+        ));
     }
 }
 
@@ -307,7 +355,12 @@ mod tests {
         let output = DiffPort::named(&mut ckt, "out");
         // Bias CM through large resistors so the op point is defined.
         let cm = ckt.node("cm");
-        ckt.add(Vsource::dc("VCM", cm, Circuit::GROUND, cfg.input_common_mode()));
+        ckt.add(Vsource::dc(
+            "VCM",
+            cm,
+            Circuit::GROUND,
+            cfg.input_common_mode(),
+        ));
         ckt.add(Resistor::new("RBp", cm, input.p, 1e5));
         ckt.add(Resistor::new("RBn", cm, input.n, 1e5));
         ckt.add(Isource::dc("IIN", Circuit::GROUND, input.p, 0.0).with_ac(1.0));

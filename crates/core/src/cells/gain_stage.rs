@@ -116,7 +116,12 @@ pub fn build(
             let w_p = wl * cml_pdk::L_MIN;
             let x = ckt.internal_node(&format!("{prefix}_x{leg}"));
             let g = ckt.internal_node(&format!("{prefix}_pg{leg}"));
-            ckt.add(Resistor::new(&format!("{prefix}_RG{leg}"), g, x, cfg.r_gate));
+            ckt.add(Resistor::new(
+                &format!("{prefix}_RG{leg}"),
+                g,
+                x,
+                cfg.r_gate,
+            ));
             ckt.add(Mosfet::new(
                 &format!("{prefix}_MP{leg}"),
                 x,
@@ -184,9 +189,7 @@ pub fn build(
 #[must_use]
 pub fn output_common_mode(cfg: &GainStageConfig) -> f64 {
     let vth_drop = if cfg.peaking_frac > 0.0 { 0.45 } else { 0.0 };
-    cml_pdk::VDD
-        - vth_drop
-        - cfg.stage.i_tail * (1.0 + cfg.feedback_frac) / 2.0 * cfg.stage.r_load
+    cml_pdk::VDD - vth_drop - cfg.stage.i_tail * (1.0 + cfg.feedback_frac) / 2.0 * cfg.stage.r_load
 }
 
 #[cfg(test)]

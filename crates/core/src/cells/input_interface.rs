@@ -64,19 +64,43 @@ pub fn build(
         ckt.internal_node(&format!("{prefix}_eqp")),
         ckt.internal_node(&format!("{prefix}_eqn")),
     );
-    equalizer::build(ckt, pdk, &cfg.equalizer, &format!("{prefix}_eq"), input, eq_out, vdd);
+    equalizer::build(
+        ckt,
+        pdk,
+        &cfg.equalizer,
+        &format!("{prefix}_eq"),
+        input,
+        eq_out,
+        vdd,
+    );
 
     let buf_out = DiffPort::new(
         ckt.internal_node(&format!("{prefix}_bp")),
         ckt.internal_node(&format!("{prefix}_bn")),
     );
-    cml_buffer::build(ckt, pdk, &cfg.buffer, &format!("{prefix}_buf"), eq_out, buf_out, vdd);
+    cml_buffer::build(
+        ckt,
+        pdk,
+        &cfg.buffer,
+        &format!("{prefix}_buf"),
+        eq_out,
+        buf_out,
+        vdd,
+    );
 
     let la_out = DiffPort::new(
         ckt.internal_node(&format!("{prefix}_lp")),
         ckt.internal_node(&format!("{prefix}_ln")),
     );
-    limiting_amp::build(ckt, pdk, &cfg.la, &format!("{prefix}_la"), buf_out, la_out, vdd);
+    limiting_amp::build(
+        ckt,
+        pdk,
+        &cfg.la,
+        &format!("{prefix}_la"),
+        buf_out,
+        la_out,
+        vdd,
+    );
 
     cml_buffer::build(
         ckt,
@@ -103,7 +127,13 @@ mod tests {
         let vdd = add_supply(&mut ckt, cml_pdk::VDD);
         let input = DiffPort::named(&mut ckt, "in");
         let output = DiffPort::named(&mut ckt, "out");
-        add_diff_drive(&mut ckt, "VIN", input, cfg.equalizer.input_common_mode(), None);
+        add_diff_drive(
+            &mut ckt,
+            "VIN",
+            input,
+            cfg.equalizer.input_common_mode(),
+            None,
+        );
         build(&mut ckt, &pdk, &cfg, "rx", input, output, vdd);
         ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
         ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
@@ -140,7 +170,13 @@ mod tests {
             let vdd = add_supply(&mut ckt, cml_pdk::VDD);
             let input = DiffPort::named(&mut ckt, "in");
             let output = DiffPort::named(&mut ckt, "out");
-            add_diff_drive(&mut ckt, "VIN", input, cfg.equalizer.input_common_mode(), None);
+            add_diff_drive(
+                &mut ckt,
+                "VIN",
+                input,
+                cfg.equalizer.input_common_mode(),
+                None,
+            );
             build(&mut ckt, &pdk, &cfg, "rx", input, output, vdd);
             let op = cml_spice::analysis::op::solve(&ckt)
                 .unwrap_or_else(|e| panic!("corner {corner} failed: {e}"));

@@ -69,10 +69,7 @@ impl LimitingAmpConfig {
     pub fn supply_current(&self) -> f64 {
         let stages = 4.0 * self.stage.supply_current();
         let fb = 2.0 * self.stage.stage.i_tail * self.interstage_fb;
-        let corr = self
-            .offset_cancel
-            .as_ref()
-            .map_or(0.0, |oc| oc.i_corr);
+        let corr = self.offset_cancel.as_ref().map_or(0.0, |oc| oc.i_corr);
         stages + fb + corr
     }
 }
@@ -106,8 +103,24 @@ pub fn build(
                 ckt.internal_node(&format!("{prefix}_p{pair}on")),
             )
         };
-        gain_stage::build(ckt, pdk, &cfg.stage, &format!("{prefix}_g{pair}a"), prev, mid, vdd);
-        gain_stage::build(ckt, pdk, &cfg.stage, &format!("{prefix}_g{pair}b"), mid, out, vdd);
+        gain_stage::build(
+            ckt,
+            pdk,
+            &cfg.stage,
+            &format!("{prefix}_g{pair}a"),
+            prev,
+            mid,
+            vdd,
+        );
+        gain_stage::build(
+            ckt,
+            pdk,
+            &cfg.stage,
+            &format!("{prefix}_g{pair}b"),
+            mid,
+            out,
+            vdd,
+        );
         if first_stage_out.is_none() {
             first_stage_out = Some(mid);
         }
@@ -150,10 +163,30 @@ pub fn build(
         let first = first_stage_out.expect("two pairs built");
         let fp = ckt.internal_node(&format!("{prefix}_ocp"));
         let fn_ = ckt.internal_node(&format!("{prefix}_ocn"));
-        ckt.add(Resistor::new(&format!("{prefix}_ORp"), output.p, fp, oc.r_sense));
-        ckt.add(Resistor::new(&format!("{prefix}_ORn"), output.n, fn_, oc.r_sense));
-        ckt.add(Capacitor::new(&format!("{prefix}_OCp"), fp, Circuit::GROUND, oc.c_ext));
-        ckt.add(Capacitor::new(&format!("{prefix}_OCn"), fn_, Circuit::GROUND, oc.c_ext));
+        ckt.add(Resistor::new(
+            &format!("{prefix}_ORp"),
+            output.p,
+            fp,
+            oc.r_sense,
+        ));
+        ckt.add(Resistor::new(
+            &format!("{prefix}_ORn"),
+            output.n,
+            fn_,
+            oc.r_sense,
+        ));
+        ckt.add(Capacitor::new(
+            &format!("{prefix}_OCp"),
+            fp,
+            Circuit::GROUND,
+            oc.c_ext,
+        ));
+        ckt.add(Capacitor::new(
+            &format!("{prefix}_OCn"),
+            fn_,
+            Circuit::GROUND,
+            oc.c_ext,
+        ));
         let tc = ckt.internal_node(&format!("{prefix}_oct"));
         let w_c = w_in * 0.15;
         // In port convention every stage is non-inverting, so `output`

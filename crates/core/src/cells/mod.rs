@@ -11,9 +11,9 @@
 pub mod bmvr;
 pub mod cml_buffer;
 pub mod equalizer;
+pub mod gain_stage;
 pub mod input_interface;
 pub mod limiting_amp;
-pub mod gain_stage;
 pub mod output_stage;
 
 use cml_spice::prelude::*;
@@ -48,7 +48,13 @@ impl DiffPort {
 /// common-mode `vcm`, with AC magnitudes ±0.5 so the differential AC
 /// drive is exactly 1 V (making differential node voltages read directly
 /// as transfer functions).
-pub fn add_diff_drive(ckt: &mut Circuit, name: &str, port: DiffPort, vcm: f64, waveform: Option<Waveform>) {
+pub fn add_diff_drive(
+    ckt: &mut Circuit,
+    name: &str,
+    port: DiffPort,
+    vcm: f64,
+    waveform: Option<Waveform>,
+) {
     let (wf_p, wf_n) = match waveform {
         Some(w) => {
             // Mirror the waveform around vcm for the complement leg.

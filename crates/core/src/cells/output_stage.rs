@@ -208,7 +208,8 @@ pub fn build_delay_cell(
     ));
     // Diode-connected PMOS loads sized so 1/gm = r_load at the nominal
     // tail current.
-    let w_p = crate::design::pmos_load_width(cfg.r_load, DelayCellConfig::paper_default().i_tail, pdk);
+    let w_p =
+        crate::design::pmos_load_width(cfg.r_load, DelayCellConfig::paper_default().i_tail, pdk);
     for (leg, out) in [("a", output.n), ("b", output.p)] {
         ckt.add(Mosfet::new(
             &format!("{prefix}_MP{leg}"),
@@ -510,13 +511,29 @@ pub fn build_output_interface(
         ckt.internal_node(&format!("{prefix}_lsp")),
         ckt.internal_node(&format!("{prefix}_lsn")),
     );
-    build_level_shift(ckt, pdk, &cfg.level_shift, &format!("{prefix}_ls"), input, shifted, vdd);
+    build_level_shift(
+        ckt,
+        pdk,
+        &cfg.level_shift,
+        &format!("{prefix}_ls"),
+        input,
+        shifted,
+        vdd,
+    );
 
     let s1 = DiffPort::new(
         ckt.internal_node(&format!("{prefix}_s1p")),
         ckt.internal_node(&format!("{prefix}_s1n")),
     );
-    build_driver_stage(ckt, pdk, &stages[0], &format!("{prefix}_d1"), shifted, s1, vdd);
+    build_driver_stage(
+        ckt,
+        pdk,
+        &stages[0],
+        &format!("{prefix}_d1"),
+        shifted,
+        s1,
+        vdd,
+    );
 
     let s2 = DiffPort::new(
         ckt.internal_node(&format!("{prefix}_s2p")),
@@ -527,7 +544,15 @@ pub fn build_output_interface(
     // Final stage; the peaking circuit boosts ITS tail during
     // transitions, so the spikes appear directly at the pad in the
     // direction of the new bit.
-    let tail3 = build_driver_stage(ckt, pdk, &stages[2], &format!("{prefix}_d3"), s2, output, vdd);
+    let tail3 = build_driver_stage(
+        ckt,
+        pdk,
+        &stages[2],
+        &format!("{prefix}_d3"),
+        s2,
+        output,
+        vdd,
+    );
 
     if cfg.peaking {
         // Delay cell fed from stage 2 (Fig. 10's tunable delay buffer;

@@ -96,35 +96,88 @@ pub fn run_offset_study(
         "parameters must be positive"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gauss = move |sigma: f64| {
+    let rows: Vec<(f64, f64, f64)> = (0..n)
+        .map(|_| trial(&mut rng, stage_gain, sigma_vth, swing, loop_gain))
+        .collect();
+    collect_study(rows)
+}
+
+/// Parallel variant of [`run_offset_study`]: the trials are fanned out
+/// over `threads` worker threads via [`cml_runner::par_map`].
+///
+/// Each trial draws from its own RNG stream (seeded by
+/// [`cml_runner::point_seed`] from the study seed and trial index), so
+/// the result is fully determined by `(parameters, seed)` — independent
+/// of the thread count and of scheduling — but is a *different* (equally
+/// valid) sample set than the sequential-stream [`run_offset_study`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or parameters are non-positive.
+#[must_use]
+pub fn run_offset_study_par(
+    n: usize,
+    stage_gain: f64,
+    sigma_vth: f64,
+    swing: f64,
+    loop_gain: f64,
+    seed: u64,
+    threads: usize,
+) -> OffsetStudy {
+    assert!(n > 0, "need at least one sample");
+    assert!(
+        stage_gain > 0.0 && sigma_vth > 0.0 && swing > 0.0 && loop_gain >= 0.0,
+        "parameters must be positive"
+    );
+    let trials: Vec<usize> = (0..n).collect();
+    let rows = cml_runner::par_map(threads, &trials, |i, _| {
+        let mut rng = StdRng::seed_from_u64(cml_runner::point_seed(seed, i));
+        trial(&mut rng, stage_gain, sigma_vth, swing, loop_gain)
+    });
+    collect_study(rows)
+}
+
+/// One Monte-Carlo trial: sample four per-stage pair offsets and
+/// propagate them through the clamped gain chain. Returns
+/// `(input_referred, raw_output, cancelled_output)`.
+fn trial(
+    rng: &mut StdRng,
+    stage_gain: f64,
+    sigma_vth: f64,
+    swing: f64,
+    loop_gain: f64,
+) -> (f64, f64, f64) {
+    let mut gauss = |sigma: f64| {
         // Box-Muller.
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     };
+    // Four stages, each with an independent pair offset.
+    let offsets: [f64; 4] = [
+        gauss(sigma_vth),
+        gauss(sigma_vth),
+        gauss(sigma_vth),
+        gauss(sigma_vth),
+    ];
+    // Propagate: o_out = ((((o1)·A + o2)·A + o3)·A + o4)·A, clamped.
+    let mut v = 0.0;
+    for &o in &offsets {
+        v = (v + o) * stage_gain;
+        v = v.clamp(-swing / 2.0, swing / 2.0);
+    }
+    // Input-referred: total output offset divided by the total gain.
+    (v / stage_gain.powi(4), v, v / (1.0 + loop_gain))
+}
 
-    let mut input_offsets = Vec::with_capacity(n);
-    let mut raw_outputs = Vec::with_capacity(n);
-    let mut cancelled_outputs = Vec::with_capacity(n);
-    for _ in 0..n {
-        // Four stages, each with an independent pair offset.
-        let offsets: [f64; 4] = [
-            gauss(sigma_vth),
-            gauss(sigma_vth),
-            gauss(sigma_vth),
-            gauss(sigma_vth),
-        ];
-        // Propagate: o_out = ((((o1)·A + o2)·A + o3)·A + o4)·A, clamped.
-        let mut v = 0.0;
-        for &o in &offsets {
-            v = (v + o) * stage_gain;
-            v = v.clamp(-swing / 2.0, swing / 2.0);
-        }
-        // Input-referred: total output offset divided by the total gain.
-        let total_gain = stage_gain.powi(4);
-        input_offsets.push(v / total_gain);
-        raw_outputs.push(v);
-        cancelled_outputs.push(v / (1.0 + loop_gain));
+fn collect_study(rows: Vec<(f64, f64, f64)>) -> OffsetStudy {
+    let mut input_offsets = Vec::with_capacity(rows.len());
+    let mut raw_outputs = Vec::with_capacity(rows.len());
+    let mut cancelled_outputs = Vec::with_capacity(rows.len());
+    for (input, raw, cancelled) in rows {
+        input_offsets.push(input);
+        raw_outputs.push(raw);
+        cancelled_outputs.push(cancelled);
     }
     OffsetStudy {
         input_offsets,
@@ -139,6 +192,13 @@ pub fn run_offset_study(
 pub fn paper_default_study(n: usize, seed: u64) -> OffsetStudy {
     let sigma = vth_sigma(34e-6, cml_pdk::L_MIN);
     run_offset_study(n, 2.3, sigma, 0.5, 31.6, seed)
+}
+
+/// Parallel [`paper_default_study`]; see [`run_offset_study_par`].
+#[must_use]
+pub fn paper_default_study_par(n: usize, seed: u64, threads: usize) -> OffsetStudy {
+    let sigma = vth_sigma(34e-6, cml_pdk::L_MIN);
+    run_offset_study_par(n, 2.3, sigma, 0.5, 31.6, seed, threads)
 }
 
 #[cfg(test)]
@@ -158,6 +218,32 @@ mod tests {
         let a = paper_default_study(100, 7);
         let b = paper_default_study(100, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_study_independent_of_thread_count() {
+        let reference = paper_default_study_par(500, 7, 1);
+        for threads in [2, 3, 8] {
+            // PartialEq on f64 vectors: bit-for-bit equality is the
+            // contract, not approximate agreement.
+            assert_eq!(
+                reference,
+                paper_default_study_par(500, 7, threads),
+                "thread count {threads} changed the study"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_study_matches_serial_statistics() {
+        // Different RNG streams, same distribution: σ agree to a few %.
+        let serial = paper_default_study(20_000, 11);
+        let par = paper_default_study_par(20_000, 11, 4);
+        let rel = (par.raw_sigma() - serial.raw_sigma()).abs() / serial.raw_sigma();
+        assert!(rel < 0.05, "raw σ diverges: {rel}");
+        let rel =
+            (par.cancelled_sigma() - serial.cancelled_sigma()).abs() / serial.cancelled_sigma();
+        assert!(rel < 0.05, "cancelled σ diverges: {rel}");
     }
 
     #[test]

@@ -71,13 +71,22 @@ impl PowerBudget {
 #[must_use]
 pub fn input_interface() -> PowerBudget {
     let mut b = PowerBudget::new();
-    b.add("equalizer", EqualizerConfig::paper_default().supply_current());
-    b.add("input buffer", CmlBufferConfig::paper_default().supply_current());
+    b.add(
+        "equalizer",
+        EqualizerConfig::paper_default().supply_current(),
+    );
+    b.add(
+        "input buffer",
+        CmlBufferConfig::paper_default().supply_current(),
+    );
     b.add(
         "limiting amplifier",
         LimitingAmpConfig::paper_default().supply_current(),
     );
-    b.add("la output buffer", CmlBufferConfig::paper_default().supply_current());
+    b.add(
+        "la output buffer",
+        CmlBufferConfig::paper_default().supply_current(),
+    );
     b
 }
 
@@ -90,7 +99,10 @@ pub fn output_interface() -> PowerBudget {
     b.add("level shift", 1.0e-3);
     b.add("driver stage 1", 1.0e-3);
     b.add("driver stage 2", 2.7e-3);
-    b.add("driver stage 3 (50 ohm)", crate::design::paper::OUTPUT_DRIVE);
+    b.add(
+        "driver stage 3 (50 ohm)",
+        crate::design::paper::OUTPUT_DRIVE,
+    );
     b.add("peaking delay buffer", 1.0e-3);
     b.add("peaking differentiator", 1.5e-3);
     b

@@ -118,7 +118,10 @@ mod tests {
     fn this_work_beats_baselines_on_power_and_area() {
         // Table I's qualitative claim, reproduced from our measured row.
         let ours = this_work();
-        for d in [PublishedDesign::tao_berroth(), PublishedDesign::galal_razavi()] {
+        for d in [
+            PublishedDesign::tao_berroth(),
+            PublishedDesign::galal_razavi(),
+        ] {
             assert!(ours.power < d.power, "power vs {}", d.name);
             assert!(ours.area_mm2 < d.area_mm2, "area vs {}", d.name);
         }

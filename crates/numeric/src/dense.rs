@@ -86,6 +86,20 @@ impl DenseMatrix {
         self.data.fill(0.0);
     }
 
+    /// Copies `other`'s shape and entries into `self`, reusing the
+    /// existing allocation when the sizes match (unlike `clone_from`,
+    /// which may reallocate through the derived `Vec` path).
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        if self.data.len() == other.data.len() {
+            self.data.copy_from_slice(&other.data);
+        } else {
+            self.data.clear();
+            self.data.extend_from_slice(&other.data);
+        }
+    }
+
     /// Adds `v` to entry `(r, c)` — the "stamping" primitive used by MNA.
     ///
     /// # Panics
@@ -191,17 +205,31 @@ pub struct LuFactors {
 /// [`NumericError::SingularMatrix`] when elimination encounters a column
 /// whose best pivot is below threshold.
 pub fn lu(a: &DenseMatrix) -> Result<LuFactors, NumericError> {
-    if a.rows != a.cols {
-        return Err(NumericError::DimensionMismatch {
-            expected: "square matrix".into(),
-            got: format!("{}x{}", a.rows, a.cols),
-        });
-    }
-    let n = a.rows;
-    let mut m = a.data.clone();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut perm_sign = 1.0;
+    let mut f = LuFactors::default();
+    f.refactor(a)?;
+    Ok(f)
+}
 
+impl Default for LuFactors {
+    /// Empty factors (dimension 0); a reusable workspace slot to be
+    /// filled by [`LuFactors::refactor`].
+    fn default() -> Self {
+        LuFactors {
+            n: 0,
+            lu: Vec::new(),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+        }
+    }
+}
+
+/// Eliminates `m` (row-major, `n × n`) in place with partial pivoting,
+/// recording the row permutation in `perm`. Returns the permutation sign.
+fn factor_in_place(m: &mut [f64], perm: &mut [usize], n: usize) -> Result<f64, NumericError> {
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    let mut perm_sign = 1.0;
     for k in 0..n {
         // Partial pivoting: pick the largest magnitude in column k at/below row k.
         let mut piv_row = k;
@@ -240,12 +268,7 @@ pub fn lu(a: &DenseMatrix) -> Result<LuFactors, NumericError> {
             }
         }
     }
-    Ok(LuFactors {
-        n,
-        lu: m,
-        perm,
-        perm_sign,
-    })
+    Ok(perm_sign)
 }
 
 impl LuFactors {
@@ -253,6 +276,33 @@ impl LuFactors {
     #[must_use]
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Re-factorizes `a` into this object, reusing the existing `lu` and
+    /// `perm` allocations. The matrix dimension may change between calls.
+    ///
+    /// This is the hot path for transient analysis, where the Jacobian is
+    /// re-factorized at every Newton iteration of every timestep: after
+    /// the first factorization no further heap allocation occurs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`lu`]. On error the factors are left in an unspecified
+    /// state and must be refilled by a successful `refactor` before use.
+    pub fn refactor(&mut self, a: &DenseMatrix) -> Result<(), NumericError> {
+        if a.rows != a.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows, a.cols),
+            });
+        }
+        let n = a.rows;
+        self.n = n;
+        self.lu.clear();
+        self.lu.extend_from_slice(&a.data);
+        self.perm.resize(n, 0);
+        self.perm_sign = factor_in_place(&mut self.lu, &mut self.perm, n)?;
+        Ok(())
     }
 
     /// Solves `A·x = b` using the stored factors.
@@ -282,6 +332,35 @@ impl LuFactors {
             x[r] = (x[r] - acc) / self.lu[r * n + r];
         }
         Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer, allocating nothing
+    /// (beyond growing `x` to length `dim()` on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericError> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {}", self.n),
+                got: format!("{}", b.len()),
+            });
+        }
+        let n = self.n;
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        for r in 1..n {
+            let row = &self.lu[r * n..r * n + r];
+            let acc: f64 = row.iter().zip(x.iter()).map(|(l, v)| l * v).sum();
+            x[r] -= acc;
+        }
+        for r in (0..n).rev() {
+            let row = &self.lu[r * n + r + 1..(r + 1) * n];
+            let acc: f64 = row.iter().zip(&x[r + 1..]).map(|(u, v)| u * v).sum();
+            x[r] = (x[r] - acc) / self.lu[r * n + r];
+        }
+        Ok(())
     }
 
     /// Determinant of the factored matrix (product of pivots × permutation sign).
@@ -346,21 +425,39 @@ impl ComplexMatrix {
     /// Returns [`NumericError::DimensionMismatch`] for shape errors and
     /// [`NumericError::SingularMatrix`] for singular systems.
     pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, NumericError> {
+        let mut work = self.clone();
+        let mut x = b.to_vec();
+        work.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` by eliminating directly on `self`, consuming the
+    /// matrix contents (they are left in eliminated, unusable state) and
+    /// overwriting `x` (`b` on entry) with the solution.
+    ///
+    /// AC sweeps restamp the matrix at every frequency anyway, so nothing
+    /// is lost by destroying it — and the per-frequency clone of the
+    /// matrix data that [`ComplexMatrix::solve`] performs is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for shape errors and
+    /// [`NumericError::SingularMatrix`] for singular systems.
+    pub fn solve_in_place(&mut self, x: &mut [Complex64]) -> Result<(), NumericError> {
         if self.rows != self.cols {
             return Err(NumericError::DimensionMismatch {
                 expected: "square matrix".into(),
                 got: format!("{}x{}", self.rows, self.cols),
             });
         }
-        if b.len() != self.rows {
+        if x.len() != self.rows {
             return Err(NumericError::DimensionMismatch {
                 expected: format!("rhs of length {}", self.rows),
-                got: format!("{}", b.len()),
+                got: format!("{}", x.len()),
             });
         }
         let n = self.rows;
-        let mut m = self.data.clone();
-        let mut x = b.to_vec();
+        let m = &mut self.data;
 
         for k in 0..n {
             let mut piv_row = k;
@@ -406,7 +503,7 @@ impl ComplexMatrix {
             }
             x[r] = acc / m[r * n + r];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -477,7 +574,9 @@ mod tests {
         let n = 24;
         let mut state: u64 = 0x12345678;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut a = DenseMatrix::zeros(n, n);
@@ -497,8 +596,8 @@ mod tests {
 
     #[test]
     fn factor_reuse_multiple_rhs() {
-        let a = DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0]).unwrap();
         let f = a.lu().unwrap();
         for b in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [3.0, -1.0, 2.0]] {
             let x = f.solve(&b).unwrap();
@@ -507,6 +606,56 @@ mod tests {
                 assert!((l - r).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn refactor_reuses_buffers_and_matches_fresh_lu() {
+        let a =
+            DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0]).unwrap();
+        let b =
+            DenseMatrix::from_rows(3, 3, &[0.0, 2.0, 1.0, 3.0, 0.5, 0.0, 1.0, 1.0, 5.0]).unwrap();
+        let mut f = a.lu().unwrap();
+        f.refactor(&b).unwrap();
+        let fresh = b.lu().unwrap();
+        let rhs = [1.0, -2.0, 0.5];
+        let x_reused = f.solve(&rhs).unwrap();
+        let x_fresh = fresh.solve(&rhs).unwrap();
+        assert_eq!(x_reused, x_fresh);
+        // Dimension changes are allowed across refactors.
+        let c = DenseMatrix::identity(5);
+        f.refactor(&c).unwrap();
+        assert_eq!(f.dim(), 5);
+        assert_eq!(f.solve(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap()[4], 5.0);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a =
+            DenseMatrix::from_rows(3, 3, &[0.0, 2.0, 1.0, 3.0, 0.5, 0.0, 1.0, 1.0, 5.0]).unwrap();
+        let f = a.lu().unwrap();
+        let rhs = [1.0, -2.0, 0.5];
+        let mut x = Vec::new();
+        f.solve_into(&rhs, &mut x).unwrap();
+        assert_eq!(x, f.solve(&rhs).unwrap());
+        // Reusing a dirty, previously-sized buffer gives the same answer.
+        let rhs2 = [9.0, 0.0, -4.0];
+        f.solve_into(&rhs2, &mut x).unwrap();
+        assert_eq!(x, f.solve(&rhs2).unwrap());
+        assert!(f.solve_into(&[1.0], &mut x).is_err());
+    }
+
+    #[test]
+    fn complex_solve_in_place_matches_solve() {
+        let mut m = ComplexMatrix::zeros(2, 2);
+        m[(0, 0)] = Complex64::new(1.0, 0.5);
+        m[(0, 1)] = Complex64::new(0.0, 1.0);
+        m[(1, 0)] = Complex64::new(2.0, 0.0);
+        m[(1, 1)] = Complex64::new(-1.0, 1.0);
+        let b = [Complex64::new(0.0, 3.0), Complex64::new(4.0, -1.0)];
+        let expect = m.solve(&b).unwrap();
+        let mut x = b.to_vec();
+        m.solve_in_place(&mut x).unwrap();
+        assert_eq!(x, expect);
     }
 
     #[test]

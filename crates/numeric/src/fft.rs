@@ -175,9 +175,9 @@ mod tests {
         let k = 5;
         let mut x: Vec<Complex64> = (0..n)
             .map(|i| {
-                Complex64::from_real((2.0 * std::f64::consts::PI * k as f64 * i as f64
-                    / n as f64)
-                    .cos())
+                Complex64::from_real(
+                    (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos(),
+                )
             })
             .collect();
         fft(&mut x).unwrap();

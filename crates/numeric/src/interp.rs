@@ -154,7 +154,9 @@ impl Pchip {
         let h10 = t3 - 2.0 * t2 + t;
         let h01 = -2.0 * t3 + 3.0 * t2;
         let h11 = t3 - t2;
-        h00 * self.ys[i] + h10 * h * self.slopes[i] + h01 * self.ys[i + 1]
+        h00 * self.ys[i]
+            + h10 * h * self.slopes[i]
+            + h01 * self.ys[i + 1]
             + h11 * h * self.slopes[i + 1]
     }
 }

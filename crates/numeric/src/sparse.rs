@@ -262,7 +262,13 @@ mod tests {
     #[test]
     fn csr_matvec_matches_dense() {
         let mut m = TripletMatrix::new(3, 3);
-        for (r, c, v) in [(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)] {
+        for (r, c, v) in [
+            (0, 0, 2.0),
+            (0, 2, -1.0),
+            (1, 1, 3.0),
+            (2, 0, 1.0),
+            (2, 2, 4.0),
+        ] {
             m.add(r, c, v);
         }
         let x = [1.0, 2.0, 3.0];
@@ -314,8 +320,16 @@ mod tests {
     fn extend_accepts_triplets() {
         let mut m = TripletMatrix::new(2, 2);
         m.extend([
-            Triplet { row: 0, col: 0, val: 1.0 },
-            Triplet { row: 1, col: 1, val: 2.0 },
+            Triplet {
+                row: 0,
+                col: 0,
+                val: 1.0,
+            },
+            Triplet {
+                row: 1,
+                col: 1,
+                val: 2.0,
+            },
         ]);
         assert_eq!(m.nnz_raw(), 2);
     }

@@ -40,7 +40,9 @@ pub fn std_dev(xs: &[f64]) -> Result<f64, NumericError> {
 pub fn min(xs: &[f64]) -> Result<f64, NumericError> {
     xs.iter()
         .copied()
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
         .ok_or(NumericError::EmptyInput)
 }
 
@@ -52,7 +54,9 @@ pub fn min(xs: &[f64]) -> Result<f64, NumericError> {
 pub fn max(xs: &[f64]) -> Result<f64, NumericError> {
     xs.iter()
         .copied()
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
         .ok_or(NumericError::EmptyInput)
 }
 
@@ -220,7 +224,10 @@ mod tests {
         assert!(matches!(mean(&[]), Err(NumericError::EmptyInput)));
         assert!(matches!(std_dev(&[]), Err(NumericError::EmptyInput)));
         assert!(matches!(min(&[]), Err(NumericError::EmptyInput)));
-        assert!(matches!(percentile(&[], 50.0), Err(NumericError::EmptyInput)));
+        assert!(matches!(
+            percentile(&[], 50.0),
+            Err(NumericError::EmptyInput)
+        ));
         assert!(matches!(rms(&[]), Err(NumericError::EmptyInput)));
     }
 

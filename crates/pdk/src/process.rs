@@ -1,7 +1,7 @@
 //! Process corners, temperature models and device model-card factory.
 
-use cml_spice::devices::mosfet::{MosParams, MosType};
 use crate::{L_MIN, T_NOMINAL};
+use cml_spice::devices::mosfet::{MosParams, MosType};
 
 /// Gate-oxide capacitance per area for tox = 4.1 nm, F/m².
 const COX: f64 = 8.42e-3;
@@ -257,8 +257,7 @@ mod tests {
 
     #[test]
     fn corners_order_drive_strength() {
-        let kp =
-            |c: Corner| Pdk018::new(c, T_NOMINAL).nmos(1e-6, L_MIN).kp;
+        let kp = |c: Corner| Pdk018::new(c, T_NOMINAL).nmos(1e-6, L_MIN).kp;
         assert!(kp(Corner::Ff) > kp(Corner::Tt));
         assert!(kp(Corner::Tt) > kp(Corner::Ss));
         // FS has a fast NMOS.

@@ -1,0 +1,209 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every study binary in this repository is a *sweep*: evaluate an
+//! expensive, pure function at each point of a parameter grid (corners,
+//! amplitudes, trim codes, Monte-Carlo trials) and aggregate the
+//! results. [`par_map`] is the shared engine for that shape. It fans the
+//! points out across OS threads with simple atomic work-stealing, but
+//! returns results **in input order**, keyed by index — so the
+//! aggregated output is bit-for-bit identical for any thread count and
+//! any scheduling, as long as the point function itself is pure.
+//!
+//! Thread count resolution (see [`threads`]): an explicit `--threads N`
+//! CLI flag wins, then the `CML_THREADS` environment variable, then the
+//! machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "CML_THREADS";
+
+/// Resolves the worker-thread count: `cli` override if present, else the
+/// `CML_THREADS` environment variable, else the machine's available
+/// parallelism (at least 1). Zero values are treated as unset.
+#[must_use]
+pub fn threads(cli: Option<usize>) -> usize {
+    if let Some(n) = cli.filter(|&n| n > 0) {
+        return n;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Extracts a `--threads N` (or `--threads=N`) override from CLI
+/// arguments, ignoring everything else. Returns `None` when absent or
+/// malformed, making `threads(threads_flag(std::env::args()))` the
+/// one-liner used by the sweep binaries.
+pub fn threads_flag(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next()?.parse().ok().filter(|&n| n > 0);
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// the results in input order.
+///
+/// `f` receives `(index, &item)` — the index lets sweep points derive
+/// per-point RNG seeds without threading state through the closure.
+/// Work is distributed by an atomic next-item counter, so uneven point
+/// costs load-balance; each worker tags its results with the item index
+/// and the final vector is assembled by index, which makes the output
+/// independent of the thread count and of scheduling. A panic in `f` is
+/// propagated to the caller.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Splits a 64-bit seed into a per-point stream seed.
+///
+/// Sweep points must not share one sequential RNG (the draw order would
+/// then depend on execution order); instead each point derives its own
+/// seed from the study seed and its index. SplitMix64 finalizer — the
+/// standard remedy for correlated sequential seeds.
+#[must_use]
+pub fn point_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A float-heavy point function: any cross-thread reordering of
+    /// *aggregation* would change the bits of a naive sum downstream, so
+    /// identical output vectors are the property that matters.
+    fn heavy(i: usize, x: &f64) -> f64 {
+        let mut acc = *x;
+        for k in 1..200 {
+            acc += (acc * k as f64 + i as f64).sin() / k as f64;
+        }
+        acc
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(4, &items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_for_any_thread_count() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let reference = par_map(1, &items, heavy);
+        for threads in [2, 3, 4, 8, 64] {
+            let got = par_map(threads, &items, heavy);
+            // Bit-for-bit, not approximately: the engine must not change
+            // results, only wall-clock.
+            assert!(
+                reference
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count {threads} changed the results"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(8, &empty, |_, &v| v).is_empty());
+        assert_eq!(par_map(8, &[41], |_, &v| v + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &items, |i, _| {
+                assert!(i != 7, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn threads_resolution_order() {
+        assert_eq!(threads(Some(3)), 3);
+        assert!(threads(None) >= 1);
+        // Zero is treated as unset, not as a request for zero workers.
+        assert!(threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_flag(args(&["bin", "--threads", "6"])), Some(6));
+        assert_eq!(threads_flag(args(&["bin", "--threads=2"])), Some(2));
+        assert_eq!(threads_flag(args(&["bin"])), None);
+        assert_eq!(threads_flag(args(&["bin", "--threads", "zero"])), None);
+        assert_eq!(threads_flag(args(&["bin", "--threads=0"])), None);
+    }
+
+    #[test]
+    fn point_seeds_are_distinct_streams() {
+        let seeds: Vec<u64> = (0..1000).map(|i| point_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "seed collision");
+        // Different study seeds give different streams.
+        assert_ne!(point_seed(1, 0), point_seed(2, 0));
+    }
+}

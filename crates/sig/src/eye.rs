@@ -404,7 +404,7 @@ mod mask_tests {
         assert!(mask.contains(0.19, 0.099));
         assert!(!mask.contains(0.45, 0.0)); // beyond x1
         assert!(!mask.contains(0.0, 0.2)); // beyond y1
-        // On the sloped edge: x = 0.3 → y limit = 0.05.
+                                           // On the sloped edge: x = 0.3 → y limit = 0.05.
         assert!(mask.contains(0.3, 0.049));
         assert!(!mask.contains(0.3, 0.051));
     }

@@ -101,7 +101,8 @@ pub fn q_function(x: f64) -> f64 {
     // Standard normal pdf at x.
     let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
     let poly = t
-        * (0.319381530 + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
     pdf * poly
 }
 

@@ -314,9 +314,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn bode_rejects_unsorted() {
-        let _ = Bode::new(
-            vec![1e9, 1e6],
-            vec![Complex64::ONE, Complex64::ONE],
-        );
+        let _ = Bode::new(vec![1e9, 1e6], vec![Complex64::ONE, Complex64::ONE]);
     }
 }

@@ -105,7 +105,12 @@ impl NrzConfig {
         // Edge times with jitter: edge k sits nominally at k·ui.
         let mut edges: Vec<(f64, f64, f64)> = Vec::new(); // (time, from, to)
         let level = |b: bool| {
-            self.offset + if b { self.amplitude / 2.0 } else { -self.amplitude / 2.0 }
+            self.offset
+                + if b {
+                    self.amplitude / 2.0
+                } else {
+                    -self.amplitude / 2.0
+                }
         };
         let mut prev = bits[0];
         for (k, &b) in bits.iter().enumerate().skip(1) {
@@ -154,7 +159,12 @@ impl NrzConfig {
         assert!(!bits.is_empty(), "need at least one bit");
         let t_edge = self.ui * self.rise_frac;
         let level = |b: bool| {
-            self.offset + if b { self.amplitude / 2.0 } else { -self.amplitude / 2.0 }
+            self.offset
+                + if b {
+                    self.amplitude / 2.0
+                } else {
+                    -self.amplitude / 2.0
+                }
         };
         let mut pts = vec![(0.0, level(bits[0]))];
         let mut prev = bits[0];

@@ -114,7 +114,9 @@ mod tests {
 
     #[test]
     fn total_power_matches_time_domain() {
-        let data: Vec<f64> = (0..2048).map(|i| ((i * 37) % 17) as f64 / 17.0 - 0.5).collect();
+        let data: Vec<f64> = (0..2048)
+            .map(|i| ((i * 37) % 17) as f64 / 17.0 - 0.5)
+            .collect();
         let w = UniformWave::new(0.0, 1e-12, data);
         let ms: f64 = w.samples().iter().map(|v| v * v).sum::<f64>() / w.len() as f64;
         let psd = Psd::estimate(&w).unwrap();

@@ -30,6 +30,12 @@ impl UniformWave {
     /// Resamples a non-uniform `(times, values)` series onto a uniform
     /// grid with the given `dt` (linear interpolation).
     ///
+    /// The grid always covers the full series span: when the span is not
+    /// an exact multiple of `dt`, the grid extends past the final knot
+    /// (by less than one `dt`) and the trailing samples hold the final
+    /// value, rather than truncating the last partial interval and
+    /// losing the end of the wave.
+    ///
     /// # Panics
     ///
     /// Panics if the series is empty, unsorted, or `dt <= 0`.
@@ -39,9 +45,7 @@ impl UniformWave {
         assert!(dt > 0.0, "dt must be positive");
         let t0 = times[0];
         let t1 = times[times.len() - 1];
-        // Tolerate floating-point division error so a span that is an
-        // exact multiple of `dt` keeps its endpoint.
-        let n = ((t1 - t0) / dt + 1e-9).floor() as usize + 1;
+        let n = grid_len(t1 - t0, dt);
         let data: Vec<f64> = (0..n)
             .map(|i| {
                 interp::linear(times, values, t0 + i as f64 * dt)
@@ -174,6 +178,27 @@ impl UniformWave {
     }
 }
 
+/// Number of uniform samples covering a span of `span` seconds with step
+/// `dt`: one more than the step count, where the step count snaps to the
+/// nearest integer when `span / dt` is within relative rounding slop of
+/// it, and otherwise rounds *up* so the grid reaches the end of the span.
+///
+/// The tolerance must be relative: the quotient of two doubles carries
+/// ~1 ulp of *relative* error, so an absolute fudge (the previous
+/// `+ 1e-9` here) stops protecting the endpoint once `span / dt`
+/// exceeds ~1e7 — an end-of-wave off-by-one that silently drops the
+/// final sample of long fine-grained resamples.
+fn grid_len(span: f64, dt: f64) -> usize {
+    let steps = span / dt;
+    let nearest = steps.round();
+    let k = if (steps - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+        nearest
+    } else {
+        steps.ceil()
+    };
+    k as usize + 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +220,38 @@ mod tests {
         assert_eq!(w.len(), 7);
         assert!((w.samples()[1] - 0.5).abs() < 1e-12);
         assert!((w.samples()[4] - 3.0).abs() < 1e-12); // t=2.0 between 1→3
+    }
+
+    #[test]
+    fn from_series_covers_nonintegral_span() {
+        // Span 1.0 with dt 0.4 is not an exact multiple: the old floor
+        // rule truncated the grid at t = 0.8, so reading back at the end
+        // of the wave returned the value held from 0.2 s earlier (8.0).
+        let times = [0.0, 1.0];
+        let vals = [0.0, 10.0];
+        let w = UniformWave::from_series(&times, &vals, 0.4);
+        assert_eq!(w.len(), 4); // grid 0.0, 0.4, 0.8, 1.2 covers the span
+        assert!(w.time_at(w.len() - 1) >= 1.0);
+        assert!((w.samples()[3] - 10.0).abs() < 1e-12); // clamped past t1
+                                                        // The end-of-wave read now interpolates toward the held final
+                                                        // value instead of extrapolating from a truncated grid.
+        assert!((w.value_at(1.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_len_snaps_exact_multiples_at_any_scale() {
+        // Small exact multiple (the recorded proptest regression shape).
+        assert_eq!(grid_len(31.0 * 1e-12, 0.25e-12), 125);
+        // Large exact multiple: 1e7 * 7e-12 / 7e-12 computes to
+        // 9999999.999999998 — 1.9e-9 below the true integer, beyond any
+        // absolute 1e-9 fudge but well within relative rounding slop.
+        assert_eq!(grid_len(1e7 * 7e-12, 7e-12), 10_000_001);
+        // Slightly-above-integer quotients snap down, not ceil up.
+        assert_eq!(grid_len(3.1e-11, 2.5e-13), 125);
+        // Genuinely non-integral spans round the step count up.
+        assert_eq!(grid_len(1.0, 0.4), 4);
+        // Degenerate single-point series.
+        assert_eq!(grid_len(0.0, 1.0), 1);
     }
 
     #[test]

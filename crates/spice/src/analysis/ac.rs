@@ -37,7 +37,9 @@ impl AcResult {
     /// Complex voltage trace of `node` across the sweep.
     #[must_use]
     pub fn voltage_trace(&self, node: NodeId) -> Vec<Complex64> {
-        (0..self.freqs.len()).map(|i| self.voltage(node, i)).collect()
+        (0..self.freqs.len())
+            .map(|i| self.voltage(node, i))
+            .collect()
     }
 
     /// Differential voltage trace `v(p) − v(n)` across the sweep.
@@ -75,9 +77,14 @@ pub fn sweep(ckt: &Circuit, x_op: &[f64], freqs: &[f64]) -> Result<AcResult, Spi
     let sys = System::new(ckt);
     let gmin = NewtonOptions::default().gmin;
     let mut sols = Vec::with_capacity(freqs.len());
+    // One matrix for the whole sweep, restamped (not reallocated) per
+    // frequency and consumed by the in-place complex elimination.
+    let mut matrix = cml_numeric::ComplexMatrix::zeros(sys.dim(), sys.dim());
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        sols.push(sys.solve_ac(x_op, omega, gmin)?);
+        let mut x = Vec::new();
+        sys.solve_ac_into(x_op, omega, gmin, &mut matrix, &mut x)?;
+        sols.push(x);
     }
     Ok(AcResult {
         freqs: freqs.to_vec(),
@@ -147,7 +154,14 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
-        ckt.add(Vccs::new("G1", out, Circuit::GROUND, vin, Circuit::GROUND, 10e-3));
+        ckt.add(Vccs::new(
+            "G1",
+            out,
+            Circuit::GROUND,
+            vin,
+            Circuit::GROUND,
+            10e-3,
+        ));
         ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3));
         let ac = sweep_auto(&ckt, &[1e6]).unwrap();
         let g = ac.voltage(out, 0);
@@ -191,7 +205,10 @@ mod tests {
             gain.re,
             -expected
         );
-        assert!(gain.im.abs() < expected * 1e-3, "low-frequency phase ≈ 180°");
+        assert!(
+            gain.im.abs() < expected * 1e-3,
+            "low-frequency phase ≈ 180°"
+        );
     }
 
     #[test]
@@ -200,7 +217,14 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
-        ckt.add(Vccs::new("G1", out, Circuit::GROUND, vin, Circuit::GROUND, 1e-3));
+        ckt.add(Vccs::new(
+            "G1",
+            out,
+            Circuit::GROUND,
+            vin,
+            Circuit::GROUND,
+            1e-3,
+        ));
         ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3));
         ckt.add(Capacitor::new("CL", out, Circuit::GROUND, 100e-15));
         let freqs = logspace(1e6, 100e9, 51);

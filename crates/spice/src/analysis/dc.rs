@@ -46,10 +46,12 @@ impl DcSweepResult {
             .zip(&self.ops)
             .map(|(&v, op)| {
                 let ckt = build(v);
-                let node = ckt.find_node(node_name).ok_or_else(|| SpiceError::NotFound {
-                    what: "node",
-                    name: node_name.to_string(),
-                })?;
+                let node = ckt
+                    .find_node(node_name)
+                    .ok_or_else(|| SpiceError::NotFound {
+                        what: "node",
+                        name: node_name.to_string(),
+                    })?;
                 Ok(op.voltage(node))
             })
             .collect()
@@ -84,10 +86,7 @@ impl DcSweepResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn sweep(
-    build: impl Fn(f64) -> Circuit,
-    values: &[f64],
-) -> Result<DcSweepResult, SpiceError> {
+pub fn sweep(build: impl Fn(f64) -> Circuit, values: &[f64]) -> Result<DcSweepResult, SpiceError> {
     sweep_with(build, values, &NewtonOptions::default())
 }
 
@@ -169,7 +168,14 @@ mod tests {
             ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
             ckt.add(Vsource::dc("VG", g, Circuit::GROUND, vg));
             ckt.add(Resistor::new("RD", vdd, d, 2e3));
-            ckt.add(Mosfet::new("M1", d, g, Circuit::GROUND, Circuit::GROUND, params));
+            ckt.add(Mosfet::new(
+                "M1",
+                d,
+                g,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                params,
+            ));
             ckt
         };
         let gates: Vec<f64> = (0..=10).map(|i| 0.2 + i as f64 * 0.1).collect();

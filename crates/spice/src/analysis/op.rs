@@ -6,7 +6,7 @@
 //! sources from zero), both warm-starting each stage from the previous
 //! solution — the same ladder ngspice climbs.
 
-use super::{NewtonOptions, System};
+use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::StampMode;
 use crate::SpiceError;
@@ -118,9 +118,16 @@ pub(crate) fn solve_system(
         source_scale: scale,
         at_time,
     };
+    // One workspace for the whole homotopy ladder: no stamp caching in
+    // DC mode (gmin and source scale change between rungs), but the
+    // matrix, RHS and LU buffers are reused instead of reallocated.
+    let mut ws = NewtonWorkspace::new();
+    let mut newton = |mode: StampMode, x0: &[f64], o: &NewtonOptions| {
+        sys.newton_with(mode, x0, &state, o, "op", &mut ws, false)
+    };
 
     // 1. Plain Newton.
-    if let Ok(x) = sys.newton(mode(1.0), &x0, &state, opts, "op") {
+    if let Ok(x) = newton(mode(1.0), &x0, opts) {
         return Ok(x);
     }
 
@@ -130,7 +137,7 @@ pub(crate) fn solve_system(
     let mut gmin = 1e-2;
     while gmin >= opts.gmin {
         let staged = NewtonOptions { gmin, ..*opts };
-        match sys.newton(mode(1.0), &x, &state, &staged, "op") {
+        match newton(mode(1.0), &x, &staged) {
             Ok(next) => x = next,
             Err(_) => {
                 ok = false;
@@ -152,10 +159,10 @@ pub(crate) fn solve_system(
             gmin: opts.gmin.max(1e-9),
             ..*opts
         };
-        x = sys.newton(mode(scale), &x, &state, &staged, "op")?;
+        x = newton(mode(scale), &x, &staged)?;
     }
     // Final polish at full sources and nominal gmin.
-    sys.newton(mode(1.0), &x, &state, opts, "op")
+    newton(mode(1.0), &x, opts)
 }
 
 #[cfg(test)]
@@ -249,7 +256,14 @@ mod tests {
         ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
         ckt.add(Vsource::dc("VG", g, Circuit::GROUND, 0.8));
         ckt.add(Resistor::new("RD", vdd, d, 1e3));
-        ckt.add(Mosfet::new("M1", d, g, Circuit::GROUND, Circuit::GROUND, params.clone()));
+        ckt.add(Mosfet::new(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            params.clone(),
+        ));
         let op = solve(&ckt).unwrap();
         let vd = op.voltage(d);
         assert!(vd > 0.0 && vd < 1.8, "vd = {vd}");
@@ -309,9 +323,6 @@ mod tests {
         ckt.add(Isource::dc("I1", Circuit::GROUND, a, 1e-3));
         ckt.add(Resistor::new("R1", a, Circuit::GROUND, 1e3));
         let op = solve(&ckt).unwrap();
-        assert!(matches!(
-            op.current("I1"),
-            Err(SpiceError::NotFound { .. })
-        ));
+        assert!(matches!(op.current("I1"), Err(SpiceError::NotFound { .. })));
     }
 }

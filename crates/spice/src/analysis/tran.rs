@@ -6,7 +6,7 @@
 //! point with sources evaluated at `t = 0`.
 
 use super::op::solve_system;
-use super::{NewtonOptions, System};
+use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::{Integration, StampMode};
 use crate::SpiceError;
@@ -34,6 +34,12 @@ pub struct TranConfig {
     /// Rejection threshold for adaptive mode, in units of the Newton
     /// tolerance band (`reltol·|x| + vntol`).
     pub lte_factor: f64,
+    /// Reuse cached linear-element stamps and (on linear circuits) the
+    /// LU factorization across timesteps sharing a step size; see
+    /// [`crate::element::Element::is_nonlinear`] and DESIGN.md. Disable
+    /// to force the historical assemble-and-factor-every-iteration path
+    /// (bit-identical to it on linear circuits either way).
+    pub reuse_factorization: bool,
 }
 
 impl TranConfig {
@@ -55,6 +61,7 @@ impl TranConfig {
             max_halvings: 10,
             adaptive: false,
             lte_factor: 10.0,
+            reuse_factorization: true,
         }
     }
 
@@ -62,6 +69,14 @@ impl TranConfig {
     #[must_use]
     pub fn adaptive(mut self) -> Self {
         self.adaptive = true;
+        self
+    }
+
+    /// Disables cross-timestep stamp/factorization caching (reference
+    /// path for equivalence testing and benchmarking).
+    #[must_use]
+    pub fn without_factor_reuse(mut self) -> Self {
+        self.reuse_factorization = false;
         self
     }
 
@@ -163,6 +178,9 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
 
     let mut t = 0.0;
     let mut x = x0;
+    // One workspace for the whole run: matrices, LU factors and cached
+    // linear stamps survive from step to step.
+    let mut ws = NewtonWorkspace::new();
     // Previous accepted point for the linear predictor (adaptive mode).
     let mut x_prev: Option<(Vec<f64>, f64)> = None; // (solution, dt used)
     while t < config.t_stop - 1e-18 {
@@ -174,7 +192,15 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
                 dt,
                 method: config.method,
             };
-            match sys.newton(mode, &x, &state, &config.newton, "tran") {
+            match sys.newton_with(
+                mode,
+                &x,
+                &state,
+                &config.newton,
+                "tran",
+                &mut ws,
+                config.reuse_factorization,
+            ) {
                 Ok(x_new) => {
                     // LTE check: deviation from the linear predictor.
                     if config.adaptive && halvings < config.max_halvings {
@@ -183,8 +209,8 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
                             let mut worst: f64 = 0.0;
                             for i in 0..sys.n_nodes() {
                                 let pred = x[i] + (x[i] - xp[i]) * ratio;
-                                let band = config.newton.reltol * x_new[i].abs()
-                                    + config.newton.vntol;
+                                let band =
+                                    config.newton.reltol * x_new[i].abs() + config.newton.vntol;
                                 worst = worst.max((x_new[i] - pred).abs() / band);
                             }
                             if worst > config.lte_factor {
@@ -288,8 +314,7 @@ mod tests {
         let v = res.voltage(n1);
         let times = res.times();
         // Measure period between the last two rising zero crossings.
-        let crossings =
-            cml_numeric::interp::level_crossings(times, &v, 0.0).unwrap();
+        let crossings = cml_numeric::interp::level_crossings(times, &v, 0.0).unwrap();
         assert!(crossings.len() >= 4, "expected several crossings");
         let last = crossings[crossings.len() - 1] - crossings[crossings.len() - 3];
         assert!(
@@ -330,7 +355,9 @@ mod tests {
         let ckt = build();
         let amp = |res: &TranResult| {
             let v = res.voltage(res_node(res));
-            v.iter().skip(v.len() / 2).fold(0.0f64, |m, &x| m.max(x.abs()))
+            v.iter()
+                .skip(v.len() / 2)
+                .fold(0.0f64, |m, &x| m.max(x.abs()))
         };
         fn res_node(_res: &TranResult) -> NodeId {
             NodeId::from_raw(1)

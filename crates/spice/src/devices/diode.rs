@@ -100,6 +100,10 @@ impl Element for Diode {
         vec![self.a, self.k]
     }
 
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
     fn state_size(&self) -> usize {
         2
     }
@@ -208,8 +212,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "saturation current")]
     fn invalid_is_panics() {
-        let mut p = DiodeParams::default();
-        p.is = 0.0;
+        let p = DiodeParams {
+            is: 0.0,
+            ..DiodeParams::default()
+        };
         let _ = Diode::new("D1", NodeId::from_raw(1), NodeId::GROUND, p);
     }
 

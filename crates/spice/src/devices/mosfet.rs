@@ -85,7 +85,10 @@ impl MosParams {
             return Err(format!("kp must be positive, got {}", self.kp));
         }
         if !(self.vth0.is_finite() && self.vth0 >= 0.0) {
-            return Err(format!("vth0 must be a non-negative magnitude, got {}", self.vth0));
+            return Err(format!(
+                "vth0 must be a non-negative magnitude, got {}",
+                self.vth0
+            ));
         }
         if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
             return Err(format!("lambda must be non-negative, got {}", self.lambda));
@@ -276,6 +279,10 @@ impl Element for Mosfet {
         vec![self.d, self.g, self.s, self.b]
     }
 
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
     fn state_size(&self) -> usize {
         2 * N_CAPS
     }
@@ -331,15 +338,31 @@ impl Element for Mosfet {
     }
 
     fn update_state(&self, ctx: &StampCtx<'_>, state_next: &mut [f64]) {
-        let (vd, vg, vs, vb) = (
-            ctx.v(self.d),
-            ctx.v(self.g),
-            ctx.v(self.s),
-            ctx.v(self.b),
+        let (vd, vg, vs, vb) = (ctx.v(self.d), ctx.v(self.g), ctx.v(self.s), ctx.v(self.b));
+        DeviceCap::update(
+            ctx,
+            self.params.cgs(),
+            vg,
+            vs,
+            &ctx.state[0..2],
+            &mut state_next[0..2],
         );
-        DeviceCap::update(ctx, self.params.cgs(), vg, vs, &ctx.state[0..2], &mut state_next[0..2]);
-        DeviceCap::update(ctx, self.params.cgd(), vg, vd, &ctx.state[2..4], &mut state_next[2..4]);
-        DeviceCap::update(ctx, self.params.cjunc(), vd, vb, &ctx.state[4..6], &mut state_next[4..6]);
+        DeviceCap::update(
+            ctx,
+            self.params.cgd(),
+            vg,
+            vd,
+            &ctx.state[2..4],
+            &mut state_next[2..4],
+        );
+        DeviceCap::update(
+            ctx,
+            self.params.cjunc(),
+            vd,
+            vb,
+            &ctx.state[4..6],
+            &mut state_next[4..6],
+        );
     }
 
     fn stamp_ac(&self, x_op: &[f64], _bb: usize, omega: f64, out: &mut AcStamper<'_>) {

@@ -93,9 +93,14 @@ impl StampCtx<'_> {
 
 /// Write access to the real MNA matrix and right-hand side, with
 /// ground-aware indexing.
+///
+/// The matrix side is optional: analyses that have a still-valid cached
+/// Jacobian (see factorization reuse in `analysis`) construct the stamper
+/// with [`Stamper::rhs_only`] and every matrix write is dropped, so
+/// elements assemble just the right-hand side.
 #[derive(Debug)]
 pub struct Stamper<'a> {
-    matrix: &'a mut DenseMatrix,
+    matrix: Option<&'a mut DenseMatrix>,
     rhs: &'a mut [f64],
     n_nodes: usize,
 }
@@ -104,7 +109,18 @@ impl<'a> Stamper<'a> {
     /// Creates a stamper over an MNA system with `n_nodes` non-ground nodes.
     pub fn new(matrix: &'a mut DenseMatrix, rhs: &'a mut [f64], n_nodes: usize) -> Self {
         Stamper {
-            matrix,
+            matrix: Some(matrix),
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Creates a stamper that assembles only the right-hand side,
+    /// discarding matrix writes (used when a cached factorization of the
+    /// unchanged Jacobian is being reused).
+    pub fn rhs_only(rhs: &'a mut [f64], n_nodes: usize) -> Self {
+        Stamper {
+            matrix: None,
             rhs,
             n_nodes,
         }
@@ -117,10 +133,11 @@ impl<'a> Stamper<'a> {
     }
 
     /// Adds `v` at matrix position (`r`, `c`); either index may be a ground
-    /// node (`None`), in which case the write is dropped.
+    /// node (`None`), in which case the write is dropped. In rhs-only mode
+    /// all matrix writes are dropped.
     pub fn mat(&mut self, r: Option<usize>, c: Option<usize>, v: f64) {
-        if let (Some(r), Some(c)) = (r, c) {
-            self.matrix[(r, c)] += v;
+        if let (Some(m), Some(r), Some(c)) = (self.matrix.as_deref_mut(), r, c) {
+            m[(r, c)] += v;
         }
     }
 
@@ -249,6 +266,20 @@ pub trait Element: fmt::Debug + Send + Sync {
     /// Initializes transient state from a converged DC solution `x`.
     fn init_state(&self, _ctx: &StampCtx<'_>, _state: &mut [f64]) {}
 
+    /// Whether this element's stamp depends on the Newton guess `ctx.x`.
+    ///
+    /// When this returns `false` (the default), the element promises that
+    /// its **entire** stamp — matrix *and* RHS — is a function of
+    /// `ctx.mode` and `ctx.state` only, never of `ctx.x`. The analysis
+    /// drivers exploit the promise to cache linear-element stamps and
+    /// reuse matrix factorizations across Newton iterations and
+    /// timesteps; a violating element would silently converge to wrong
+    /// answers, so nonlinear devices (MOSFET, diode) must override this
+    /// to return `true`.
+    fn is_nonlinear(&self) -> bool {
+        false
+    }
+
     /// Stamps the element's (linearized) contribution for the mode in
     /// `ctx.mode`.
     fn stamp(&self, ctx: &StampCtx<'_>, out: &mut Stamper<'_>);
@@ -259,13 +290,7 @@ pub trait Element: fmt::Debug + Send + Sync {
 
     /// Stamps the small-signal contribution at angular frequency `omega`,
     /// linearized around the operating point `x_op`.
-    fn stamp_ac(
-        &self,
-        x_op: &[f64],
-        branch_base: usize,
-        omega: f64,
-        out: &mut AcStamper<'_>,
-    );
+    fn stamp_ac(&self, x_op: &[f64], branch_base: usize, omega: f64, out: &mut AcStamper<'_>);
 
     /// DC power dissipated by the element at operating point `x_op`, in
     /// watts; `None` when the notion does not apply. Sources report the

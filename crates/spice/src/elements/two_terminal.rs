@@ -67,7 +67,10 @@ impl Element for Resistor {
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
         format!(
             "R{} {} {} {:.6e}",
-            self.name, node_name(self.a), node_name(self.b), self.ohms
+            self.name,
+            node_name(self.a),
+            node_name(self.b),
+            self.ohms
         )
     }
 }
@@ -170,7 +173,10 @@ impl Element for Capacitor {
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
         format!(
             "C{} {} {} {:.6e}",
-            self.name, node_name(self.a), node_name(self.b), self.farads
+            self.name,
+            node_name(self.a),
+            node_name(self.b),
+            self.farads
         )
     }
 }
@@ -278,13 +284,20 @@ impl Element for Inductor {
         out.mat(b, Some(br), -Complex64::ONE);
         out.mat(Some(br), a, Complex64::ONE);
         out.mat(Some(br), b, -Complex64::ONE);
-        out.mat(Some(br), Some(br), Complex64::new(0.0, -omega * self.henries));
+        out.mat(
+            Some(br),
+            Some(br),
+            Complex64::new(0.0, -omega * self.henries),
+        );
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
         format!(
             "L{} {} {} {:.6e}",
-            self.name, node_name(self.a), node_name(self.b), self.henries
+            self.name,
+            node_name(self.a),
+            node_name(self.b),
+            self.henries
         )
     }
 }

@@ -200,7 +200,7 @@ mod tests {
         let falling = w.eval(1e-9 + 1e-10 + 4e-10 + 5e-11);
         assert!((falling - 0.5).abs() < 1e-9); // mid-fall
         assert_eq!(w.eval(1e-9 + 9e-10), 0.0); // back low
-        // Periodicity.
+                                               // Periodicity.
         assert!((w.eval(1e-9 + 5e-11) - w.eval(2e-9 + 5e-11)).abs() < 1e-9);
     }
 

@@ -41,7 +41,7 @@ fn main() {
             m.height * 1e3,
             m.rms_jitter * 1e12
         );
-        if best.map_or(true, |(_, w)| m.width > w) {
+        if best.is_none_or(|(_, w)| m.width > w) {
             best = Some((v1, m.width));
         }
     }

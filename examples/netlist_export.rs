@@ -22,7 +22,13 @@ fn main() {
             let cfg = cml_buffer::CmlBufferConfig::paper_default();
             let input = DiffPort::named(&mut ckt, "in");
             let output = DiffPort::named(&mut ckt, "out");
-            add_diff_drive(&mut ckt, "VIN", input, cml_buffer::output_common_mode(&cfg), None);
+            add_diff_drive(
+                &mut ckt,
+                "VIN",
+                input,
+                cml_buffer::output_common_mode(&cfg),
+                None,
+            );
             cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
         }
         "equalizer" => {
@@ -33,13 +39,25 @@ fn main() {
             equalizer::build(&mut ckt, &pdk, &cfg, "eq", input, output, vdd);
         }
         "bmvr" => {
-            bmvr::build(&mut ckt, &pdk, &bmvr::BmvrConfig::paper_default(), "bmvr", vdd);
+            bmvr::build(
+                &mut ckt,
+                &pdk,
+                &bmvr::BmvrConfig::paper_default(),
+                "bmvr",
+                vdd,
+            );
         }
         "la" => {
             let cfg = limiting_amp::LimitingAmpConfig::paper_default();
             let input = DiffPort::named(&mut ckt, "in");
             let output = DiffPort::named(&mut ckt, "out");
-            add_diff_drive(&mut ckt, "VIN", input, limiting_amp::common_mode(&cfg), None);
+            add_diff_drive(
+                &mut ckt,
+                "VIN",
+                input,
+                limiting_amp::common_mode(&cfg),
+                None,
+            );
             limiting_amp::build(&mut ckt, &pdk, &cfg, "la", input, output, vdd);
         }
         other => {

@@ -1,0 +1,25 @@
+# Development task runner. Same gates as .github/workflows/ci.yml.
+
+# Run every CI gate locally.
+ci: fmt-check clippy test
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --all -- --check
+
+# Reformat in place.
+fmt:
+    cargo fmt --all
+
+# Lint gate (warnings are errors).
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 verification: release build + full test suite.
+test:
+    cargo build --release
+    cargo test -q
+
+# Regenerate the PR performance benchmark artifact.
+bench-pr1:
+    cargo run --release -p cml-bench --bin bench_pr1

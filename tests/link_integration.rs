@@ -70,9 +70,7 @@ fn behavioural_buffer_matches_transistor_cell() {
 #[test]
 fn spice_transient_roundtrip_through_rc() {
     let bits: Vec<bool> = Prbs::prbs7().take(64).collect();
-    let pwl = NrzConfig::new(UI, 0.4)
-        .with_offset(0.9)
-        .render_pwl(&bits);
+    let pwl = NrzConfig::new(UI, 0.4).with_offset(0.9).render_pwl(&bits);
 
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
@@ -85,7 +83,11 @@ fn spice_transient_roundtrip_through_rc() {
         cml_spice::analysis::tran::run(&ckt, &TranConfig::new(64.0 * UI, 2e-12)).expect("tran");
     let wave = cml_sig::UniformWave::from_series(tran.times(), &tran.voltage(out), 2e-12);
     let m = EyeDiagram::fold(&wave.skip_initial(1e-9), UI).metrics();
-    assert!(m.opening > 0.85, "clean RC eye should be open: {}", m.opening);
+    assert!(
+        m.opening > 0.85,
+        "clean RC eye should be open: {}",
+        m.opening
+    );
     assert!((measure::swing(&wave) - 0.4).abs() < 0.05);
 }
 

@@ -124,6 +124,28 @@ proptest! {
     }
 }
 
+/// Pinned regression for `resample_preserves_knots`, from
+/// `proptest_invariants.proptest-regressions` (cc 65b723d6, shrunk input:
+/// 31 zeros followed by one nonzero sample). The final knot sits exactly
+/// on the resampled wave's last grid point; reading it back must return
+/// the knot value, not an extrapolation past the end of the fine grid.
+#[test]
+fn resample_preserves_knots_regression_end_of_wave() {
+    let mut data = vec![0.0f64; 31];
+    data.push(1.1149279790554254);
+    let w = UniformWave::new(0.0, 1e-12, data.clone());
+    let times = w.times();
+    let fine = UniformWave::from_series(&times, w.samples(), 0.25e-12);
+    for (i, &v) in data.iter().enumerate() {
+        let err = (fine.value_at(w.time_at(i)) - v).abs();
+        assert!(
+            err < 1e-9,
+            "knot {i}: err {err:e} (fine.len() = {})",
+            fine.len()
+        );
+    }
+}
+
 proptest! {
     /// A random RC ladder driven by DC settles to the source voltage at
     /// every node (no DC drop through capacitors, conservation through

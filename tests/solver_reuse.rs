@@ -1,0 +1,114 @@
+//! Equivalence tests for the transient factorization-reuse fast path.
+//!
+//! `TranConfig` defaults to reusing cached linear-element stamps and (on
+//! linear circuits) LU factorizations across timesteps; these tests pin
+//! the contract that the optimization changes wall-clock only, never
+//! results: a reuse-enabled run must match the assemble-everything
+//! reference path bit-for-bit on linear circuits and to ≤ 1e-12 on
+//! nonlinear (MOSFET) circuits, where split linear/nonlinear stamping
+//! reorders floating-point additions.
+
+use cml_core::cells::cml_buffer::{self, CmlBufferConfig};
+use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
+use cml_pdk::Pdk018;
+use cml_spice::analysis::tran::{self, TranConfig, TranResult};
+use cml_spice::prelude::*;
+
+fn rc_ladder(n_stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add(Vsource::new(
+        "V1",
+        prev,
+        Circuit::GROUND,
+        Waveform::step(0.0, 1.0, 10e-12, 5e-12),
+    ));
+    for i in 0..n_stages {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Resistor::new(&format!("R{i}"), prev, node, 150.0));
+        ckt.add(Capacitor::new(
+            &format!("C{i}"),
+            node,
+            Circuit::GROUND,
+            40e-15,
+        ));
+        prev = node;
+    }
+    ckt
+}
+
+fn max_solution_diff(a: &TranResult, b: &TranResult, nodes: &[NodeId]) -> f64 {
+    assert_eq!(a.times(), b.times(), "accepted time grids must match");
+    let mut worst = 0.0f64;
+    for &node in nodes {
+        let va = a.voltage(node);
+        let vb = b.voltage(node);
+        for (x, y) in va.iter().zip(&vb) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    worst
+}
+
+/// Linear circuit: the cached-factorization path runs the *same* stamps
+/// through the *same* LU in the same order, so the result is bit-for-bit
+/// identical, across both integration methods and the adaptive LTE path.
+#[test]
+fn rc_ladder_reuse_is_bit_identical() {
+    let ckt = rc_ladder(20);
+    let nodes: Vec<NodeId> = (0..20)
+        .map(|i| ckt.find_node(&format!("n{i}")).unwrap())
+        .collect();
+    let configs = [
+        TranConfig::new(3e-9, 2e-12),
+        TranConfig::new(3e-9, 2e-12).backward_euler(),
+        TranConfig::new(3e-9, 10e-12).adaptive(),
+    ];
+    for (k, cfg) in configs.iter().enumerate() {
+        let with = tran::run(&ckt, cfg).expect("reuse run");
+        let without = tran::run(&ckt, &cfg.clone().without_factor_reuse()).expect("plain run");
+        let worst = max_solution_diff(&with, &without, &nodes);
+        assert_eq!(worst, 0.0, "config {k}: paths diverge by {worst:e}");
+    }
+}
+
+/// Nonlinear circuit (the paper's CML buffer cell): split stamping
+/// reorders additions, so allow last-ulp accumulation — but no more.
+#[test]
+fn cml_buffer_reuse_matches_reference() {
+    let cfg = CmlBufferConfig::paper_default();
+    let pdk = Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let output = DiffPort::named(&mut ckt, "out");
+    let vcm = cml_buffer::output_common_mode(&cfg);
+    // A differential step through the buffer: enough signal to move the
+    // pair well away from its symmetric operating point.
+    let step = Waveform::Pwl(vec![
+        (0.0, vcm - 0.1),
+        (50e-12, vcm - 0.1),
+        (60e-12, vcm + 0.1),
+        (1.0, vcm + 0.1),
+    ]);
+    add_diff_drive(&mut ckt, "VIN", input, vcm, Some(step));
+    cml_buffer::build(&mut ckt, &pdk, &cfg, "buf", input, output, vdd);
+    ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 30e-15));
+    ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
+
+    let tcfg = TranConfig::new(0.3e-9, 1e-12);
+    let with = tran::run(&ckt, &tcfg).expect("reuse run");
+    let without = tran::run(&ckt, &tcfg.clone().without_factor_reuse()).expect("plain run");
+    let worst = max_solution_diff(&with, &without, &[output.p, output.n, input.p]);
+    assert!(worst <= 1e-12, "paths diverge by {worst:e}");
+    // Sanity: the buffer actually switched, so the comparison is not
+    // between two all-zero waveforms.
+    let swing = with
+        .differential(output.p, output.n)
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(
+        swing.1 - swing.0 > 0.1,
+        "buffer output never moved: {swing:?}"
+    );
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same call surface (`Criterion`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`/`finish`, `BenchmarkId`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`) with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine:
+//! each benchmark warms up briefly, then times batches until a sampling
+//! window elapses and reports the mean iteration time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    warmup: Duration,
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(50),
+            window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            window: self.window,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warmup: self.parent.warmup,
+            window: self.parent.window,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.result);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim has
+    /// nothing to flush but keeps the call site valid).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    #[must_use]
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    window: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size aiming for ~1ms per batch so Instant
+        // overhead stays negligible even for nanosecond routines.
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let sample_start = Instant::now();
+        while sample_start.elapsed() < self.window {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.result = Some(total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX));
+    }
+}
+
+fn report(name: &str, result: Option<Duration>) {
+    match result {
+        Some(d) => println!("bench {name:<40} {d:>12.3?}/iter"),
+        None => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness=false bench targets with
+            // `--test` style args; keep startup cheap there by honoring
+            // the conventional `--test` flag as a no-op quick exit.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            window: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1u64 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            window: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        let n = 4usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses (`StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`,
+//! `Rng::gen`, `Rng::gen_bool`).
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! cannot be fetched. This shim keeps the same API shape and the same
+//! determinism guarantees (identical seed → identical stream), but the
+//! stream itself differs from upstream `rand` (xoshiro256++ here versus
+//! ChaCha12 upstream). Nothing in the workspace depends on the exact
+//! stream values, only on per-seed determinism.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A random number generator seedable from a `u64` (API-compatible subset
+/// of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64,
+                // irrelevant for simulation workloads.
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = low + (high - low) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= high {
+            high - (high - low) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// High-level sampling helpers (API-compatible subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range, e.g. `rng.gen_range(0.0..1.0)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Deterministic per seed, 2^256 − 1 period.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(1u32..128);
+            assert!((1..128).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for structs with named fields, targeting the
+//! vendored `serde` shim's `Value`-tree traits.
+//!
+//! Written against the bare `proc_macro` API (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly what this workspace derives:
+//! non-generic structs with named fields whose types implement the shim's
+//! `Serialize`/`Deserialize` traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Minimal struct shape extracted from the derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `struct Name { field: Ty, .. }` out of a derive input stream,
+/// skipping attributes, visibility and doc comments.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip leading attributes (`#[...]`) and visibility.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip optional `pub(...)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("vendored serde_derive supports only structs".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no struct found in derive input")?;
+
+    // Find the brace-delimited field group (skipping generics would go
+    // here, but the workspace derives only non-generic structs).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("vendored serde_derive supports only named-field structs".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("vendored serde_derive does not support generic structs".into())
+            }
+            Some(_) => continue,
+            None => return Err("struct has no body".into()),
+        }
+    };
+
+    // Fields: attribute* visibility? ident `:` type-tokens (`,` | end).
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("expected field name, found {other}")),
+            None => break,
+        }
+        // Consume up to and including the next top-level comma. Depth
+        // tracking handles commas inside generic types like `Vec<(A, B)>`;
+        // angle brackets never nest across a top-level comma in practice.
+        let mut angle_depth = 0i32;
+        for tt in toks.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth <= 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+/// Derives the vendored shim's `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => {
+            return format!("compile_error!(\"derive(Serialize): {e}\");")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    let entries: Vec<String> = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+        entries = entries.join("\n")
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored shim's `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => {
+            return format!("compile_error!(\"derive(Deserialize): {e}\");")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    let entries: Vec<String> = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(v.get(\"{f}\")\
+                     .ok_or_else(|| serde::Error::msg(\"missing field `{f}`\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n{entries}\n}})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+        entries = entries.join("\n")
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}

@@ -1,0 +1,389 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! `to_string`, `to_string_pretty` and `from_str`, over the vendored
+//! `serde` shim's `Value` tree.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Error, Value};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's tree-backed impls; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's tree-backed impls.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if n.is_finite() {
+        if n == n.trunc() && n.abs() < 1e15 {
+            // Integral values print without a fraction, like upstream.
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        // JSON has no Inf/NaN; upstream errors, the shim emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_close) = match indent {
+        Some(w) => ("\n", " ".repeat(w * (depth + 1)), " ".repeat(w * depth)),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error::msg("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::msg("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3");
+        assert_eq!(from_str::<f64>("2.5e-3").unwrap(), 2.5e-3);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.0f64, -2.5, 3e9];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let v = parse(r#"{"a": [1, 2], "b": {"c": "x", "d": null}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(&Value::Str("x".into()))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Value::Null));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = Value::Obj(vec![
+            ("x".into(), Value::Num(1.0)),
+            ("y".into(), Value::Arr(vec![Value::Num(2.0)])),
+        ]);
+        let mut out = String::new();
+        super::write_value(&v, &mut out, Some(2), 0);
+        assert!(out.contains("\n  \"x\": 1"));
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_and_escapes_roundtrip() {
+        let s = "héllo \"wörld\" \t µ".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("nul").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! PR benchmark: sparse-MNA solve path and LTE-adaptive transient
+//! stepping on a transistor-level eye workload.
+//!
+//! Builds the full input interface (equalizer → buffer → LA → output
+//! buffer, ~100 MNA unknowns), drives it with a 10 Gb/s PRBS-7 NRZ
+//! pattern and times three solver configurations:
+//!
+//! 1. **dense-fixed** — dense LU, fixed 1 ps grid (the pre-PR path,
+//!    forced via `sparse_threshold = usize::MAX`);
+//! 2. **sparse-fixed** — sparse LU with symbolic reuse on the *same*
+//!    grid (results must agree with dense to ≤ 1e-9);
+//! 3. **sparse-adaptive** — sparse LU plus the LTE step controller
+//!    (eye height/width must stay within 1 % of the fixed-grid eye).
+//!
+//! Also re-times the PR-1 parallel sweep with a worker count resolved
+//! from `available_parallelism().max(2)` — the PR-1 run recorded
+//! `threads: 1` on a single-CPU host and never exercised the fan-out —
+//! and writes everything to `BENCH_pr2.json` in the current directory.
+//!
+//! Run with: `cargo run --release --bin bench_pr2 [--smoke] [--threads N]`
+
+use cml_core::cells::input_interface::InputInterfaceConfig;
+use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};
+use cml_core::montecarlo;
+use cml_pdk::Pdk018;
+use cml_sig::eye::{EyeDiagram, EyeMetrics};
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_sig::UniformWave;
+use cml_spice::analysis::tran::{self, TranConfig, TranResult};
+use cml_spice::prelude::*;
+use serde::Value;
+use std::time::Instant;
+
+/// 10 Gb/s unit interval.
+const UI: f64 = 100e-12;
+
+struct Workload {
+    ckt: Circuit,
+    out: DiffPort,
+    t_stop: f64,
+    skip: f64,
+}
+
+/// Transistor-level receive chain with a PRBS-7 differential drive.
+fn build_workload(n_bits: usize) -> Workload {
+    let pdk = Pdk018::typical();
+    let cfg = InputInterfaceConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    let vcm = cfg.equalizer.input_common_mode();
+    let bits: Vec<bool> = Prbs::prbs7().take(n_bits).collect();
+    let pwl = NrzConfig::new(UI, 0.2).with_offset(vcm).render_pwl(&bits);
+    add_diff_drive(&mut ckt, "VIN", input, vcm, Some(Waveform::Pwl(pwl)));
+    input_interface::build(&mut ckt, &pdk, &cfg, "rx", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    Workload {
+        ckt,
+        out,
+        t_stop: n_bits as f64 * UI,
+        skip: 4.0 * UI,
+    }
+}
+
+/// Runs one transient and reports wall-clock plus the result.
+fn timed_run(w: &Workload, cfg: &TranConfig) -> (f64, TranResult) {
+    let t0 = Instant::now();
+    let res = tran::run(&w.ckt, cfg).expect("transient");
+    (t0.elapsed().as_secs_f64() * 1e3, res)
+}
+
+/// Worst sample difference of the differential output between two runs
+/// on identical time grids.
+fn max_diff(w: &Workload, a: &TranResult, b: &TranResult) -> f64 {
+    assert_eq!(a.times(), b.times(), "grids must match for comparison");
+    let va = a.differential(w.out.p, w.out.n);
+    let vb = b.differential(w.out.p, w.out.n);
+    va.iter()
+        .zip(&vb)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Folds the differential output into an eye (resampling first — the
+/// adaptive grid is non-uniform).
+fn eye_of(w: &Workload, res: &TranResult) -> EyeMetrics {
+    let v = res.differential(w.out.p, w.out.n);
+    let wave = UniformWave::from_series(res.times(), &v, 1e-12);
+    EyeDiagram::fold(&wave.skip_initial(w.skip), UI).metrics()
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-30)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_bits = if smoke { 8 } else { 40 };
+    let w = build_workload(n_bits);
+    println!(
+        "eye workload: transistor-level input interface, PRBS-7, {n_bits} bits @ 10 Gb/s{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let fixed = TranConfig::new(w.t_stop, 1e-12);
+    let mut dense_cfg = fixed.clone();
+    dense_cfg.newton.sparse_threshold = usize::MAX;
+    let mut sparse_cfg = fixed.clone();
+    sparse_cfg.newton.sparse_threshold = 1;
+    let mut adaptive_cfg = TranConfig::new(w.t_stop, 1e-12).adaptive();
+    adaptive_cfg.newton.sparse_threshold = 1;
+
+    let (dense_ms, dense_res) = timed_run(&w, &dense_cfg);
+    let (sparse_ms, sparse_res) = timed_run(&w, &sparse_cfg);
+    let (adaptive_ms, adaptive_res) = timed_run(&w, &adaptive_cfg);
+
+    let diff = max_diff(&w, &dense_res, &sparse_res);
+    let eye_fixed = eye_of(&w, &dense_res);
+    let eye_adaptive = eye_of(&w, &adaptive_res);
+    let height_rel = rel_diff(eye_adaptive.height, eye_fixed.height);
+    let width_rel = rel_diff(eye_adaptive.width, eye_fixed.width);
+    let speedup_sparse = dense_ms / sparse_ms;
+    let speedup_adaptive = dense_ms / adaptive_ms;
+
+    println!(
+        "  dense fixed    {dense_ms:9.1} ms  ({} points)",
+        dense_res.len()
+    );
+    println!(
+        "  sparse fixed   {sparse_ms:9.1} ms  speedup {speedup_sparse:.2}x | max diff vs dense {diff:.2e}"
+    );
+    println!(
+        "  sparse adaptive{adaptive_ms:9.1} ms  speedup {speedup_adaptive:.2}x  ({} points)",
+        adaptive_res.len()
+    );
+    println!(
+        "  eye: fixed {:.1} mV x {:.1} ps | adaptive {:.1} mV x {:.1} ps (rel diff {:.3} / {:.3})",
+        eye_fixed.height * 1e3,
+        eye_fixed.width * 1e12,
+        eye_adaptive.height * 1e3,
+        eye_adaptive.width * 1e12,
+        height_rel,
+        width_rel
+    );
+
+    assert!(
+        diff <= 1e-9,
+        "sparse/dense divergence {diff:.3e} exceeds 1e-9"
+    );
+    assert!(
+        height_rel < 0.01 && width_rel < 0.01,
+        "adaptive eye drifted: height rel {height_rel:.4}, width rel {width_rel:.4}"
+    );
+
+    // --- Sweep re-measurement (PR-1 recorded threads: 1 on a 1-CPU
+    // host, so its speedup never exercised the fan-out path). ---
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let sweep_threads = cml_runner::threads_flag(std::env::args())
+        .unwrap_or(host_threads)
+        .max(2);
+    let n_trials = if smoke { 20_000 } else { 200_000 };
+    println!(
+        "sweep: Monte-Carlo offset study, {n_trials} trials, host {host_threads} hw threads, fan-out {sweep_threads}"
+    );
+    let t0 = Instant::now();
+    let serial = montecarlo::paper_default_study_par(n_trials, 0xC0FFEE, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let parallel = montecarlo::paper_default_study_par(n_trials, 0xC0FFEE, sweep_threads);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let identical = serial == parallel;
+    println!(
+        "  serial {serial_ms:9.1} ms | {sweep_threads} threads {parallel_ms:9.1} ms | speedup {:.2}x | identical: {identical}",
+        serial_ms / parallel_ms
+    );
+    assert!(identical, "parallel sweep changed the aggregate");
+
+    let report = obj(vec![
+        ("bench", Value::Str("bench_pr2".into())),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "eye_workload",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!(
+                        "input interface (transistor level), PRBS-7 {n_bits} bits @ 10 Gb/s, dt 1 ps"
+                    )),
+                ),
+                ("dense_fixed_ms", Value::Num(dense_ms)),
+                ("sparse_fixed_ms", Value::Num(sparse_ms)),
+                ("sparse_adaptive_ms", Value::Num(adaptive_ms)),
+                ("speedup_sparse_fixed", Value::Num(speedup_sparse)),
+                ("speedup_sparse_adaptive", Value::Num(speedup_adaptive)),
+                ("sparse_dense_max_diff", Value::Num(diff)),
+                ("fixed_points", Value::Num(dense_res.len() as f64)),
+                ("adaptive_points", Value::Num(adaptive_res.len() as f64)),
+                ("eye_height_fixed_v", Value::Num(eye_fixed.height)),
+                ("eye_height_adaptive_v", Value::Num(eye_adaptive.height)),
+                ("eye_width_fixed_s", Value::Num(eye_fixed.width)),
+                ("eye_width_adaptive_s", Value::Num(eye_adaptive.width)),
+                ("eye_height_rel_diff", Value::Num(height_rel)),
+                ("eye_width_rel_diff", Value::Num(width_rel)),
+            ]),
+        ),
+        (
+            "sweep_heavy",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!("montecarlo offset study, {n_trials} trials")),
+                ),
+                ("host_threads", Value::Num(host_threads as f64)),
+                ("threads", Value::Num(sweep_threads as f64)),
+                ("serial_ms", Value::Num(serial_ms)),
+                ("parallel_ms", Value::Num(parallel_ms)),
+                ("speedup", Value::Num(serial_ms / parallel_ms)),
+                ("results_identical", Value::Bool(identical)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr2.json");
+    std::fs::write("BENCH_pr2.json", format!("{json}\n")).expect("write BENCH_pr2.json");
+    println!("wrote BENCH_pr2.json");
+}

@@ -33,6 +33,17 @@ pub enum NumericError {
     EmptyInput,
     /// Interpolation abscissae were not strictly increasing.
     UnsortedAbscissae,
+    /// A stamped entry fell outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -51,6 +62,17 @@ impl fmt::Display for NumericError {
             NumericError::EmptyInput => write!(f, "input slice was empty"),
             NumericError::UnsortedAbscissae => {
                 write!(f, "interpolation abscissae must be strictly increasing")
+            }
+            NumericError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
+                )
             }
         }
     }
@@ -76,6 +98,12 @@ mod tests {
             NumericError::NonPowerOfTwo { len: 12 },
             NumericError::EmptyInput,
             NumericError::UnsortedAbscissae,
+            NumericError::IndexOutOfBounds {
+                row: 5,
+                col: 0,
+                rows: 4,
+                cols: 4,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -10,6 +10,8 @@
 //!   partial pivoting, the linear-solver core of modified nodal analysis,
 //! * [`sparse`] — a triplet-based sparse builder with CSR conversion for the
 //!   larger transient systems,
+//! * [`SparseLu`] — left-looking sparse LU with threshold pivoting and a
+//!   replayable refactorization path for Newton loops on a fixed pattern,
 //! * [`fft`] — radix-2 complex FFT / inverse FFT plus real-signal helpers,
 //!   used to synthesize channel impulse responses from loss profiles,
 //! * [`interp`] — linear and monotone cubic (PCHIP) interpolation for
@@ -43,11 +45,13 @@ mod error;
 pub mod fft;
 pub mod interp;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod stats;
 
 pub use complex::Complex64;
 pub use dense::{lu, ComplexMatrix, DenseMatrix, LuFactors};
 pub use error::NumericError;
+pub use sparse_lu::SparseLu;
 
 /// Relative comparison of two floats with a combined absolute/relative
 /// tolerance, the convention used across the simulator's convergence checks.

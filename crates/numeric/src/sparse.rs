@@ -29,7 +29,7 @@ pub struct Triplet {
 /// let mut m = TripletMatrix::new(2, 2);
 /// m.add(0, 0, 1.0);
 /// m.add(0, 0, 2.0); // duplicates accumulate
-/// let csr = m.to_csr();
+/// let csr = m.to_csr().unwrap();
 /// assert_eq!(csr.get(0, 0), 3.0);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -71,11 +71,12 @@ impl TripletMatrix {
     /// Stamps `val` at `(row, col)`. Duplicates are accumulated at
     /// compression time.
     ///
-    /// # Panics
-    ///
-    /// Panics if the position is out of bounds.
+    /// Out-of-bounds positions are accepted here and rejected with
+    /// [`NumericError::IndexOutOfBounds`] when the builder is compressed
+    /// ([`to_csr`](Self::to_csr)) or materialized
+    /// ([`to_dense`](Self::to_dense)), so a hot stamping loop carries no
+    /// per-entry branch that can panic.
     pub fn add(&mut self, row: usize, col: usize, val: f64) {
-        assert!(row < self.rows && col < self.cols, "stamp out of bounds");
         self.entries.push(Triplet { row, col, val });
     }
 
@@ -84,9 +85,30 @@ impl TripletMatrix {
         self.entries.clear();
     }
 
-    /// Compresses to CSR, summing duplicates and dropping explicit zeros.
-    #[must_use]
-    pub fn to_csr(&self) -> CsrMatrix {
+    /// Returns the first out-of-bounds entry, if any.
+    fn check_bounds(&self) -> Result<(), NumericError> {
+        for t in &self.entries {
+            if t.row >= self.rows || t.col >= self.cols {
+                return Err(NumericError::IndexOutOfBounds {
+                    row: t.row,
+                    col: t.col,
+                    rows: self.rows,
+                    cols: self.cols,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compresses to CSR, summing duplicates and dropping entries whose
+    /// accumulated value is exactly zero.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::IndexOutOfBounds`] if any stamped entry lies
+    /// outside the matrix shape.
+    pub fn to_csr(&self) -> Result<CsrMatrix, NumericError> {
+        self.check_bounds()?;
         let mut sorted = self.entries.clone();
         sorted.sort_by_key(|a| (a.row, a.col));
         let mut row_ptr = vec![0usize; self.rows + 1];
@@ -113,23 +135,28 @@ impl TripletMatrix {
         for r in 0..self.rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        CsrMatrix {
+        Ok(CsrMatrix {
             rows: self.rows,
             cols: self.cols,
             row_ptr,
             col_idx,
             vals,
-        }
+        })
     }
 
     /// Materializes as a dense matrix (used below the sparse threshold).
-    #[must_use]
-    pub fn to_dense(&self) -> DenseMatrix {
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::IndexOutOfBounds`] if any stamped entry lies
+    /// outside the matrix shape.
+    pub fn to_dense(&self) -> Result<DenseMatrix, NumericError> {
+        self.check_bounds()?;
         let mut m = DenseMatrix::zeros(self.rows, self.cols);
         for t in &self.entries {
             m[(t.row, t.col)] += t.val;
         }
-        m
+        Ok(m)
     }
 }
 
@@ -152,6 +179,55 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Builds a CSR matrix with the given nonzero *pattern* and all values
+    /// zero. Duplicate positions collapse to a single slot.
+    ///
+    /// This is the entry point for stamp-pointer caching: the circuit
+    /// engine records every position an element ever writes, builds the
+    /// pattern once, and then re-stamps values into the reserved slots
+    /// (found via [`find`](Self::find)) on every Newton iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::IndexOutOfBounds`] if any position lies outside
+    /// `rows × cols`.
+    pub fn from_pattern(
+        rows: usize,
+        cols: usize,
+        positions: &[(usize, usize)],
+    ) -> Result<Self, NumericError> {
+        for &(r, c) in positions {
+            if r >= rows || c >= cols {
+                return Err(NumericError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize)> = positions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        for &(r, c) in &sorted {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let nnz = col_idx.len();
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals: vec![0.0; nnz],
+        })
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -173,12 +249,56 @@ impl CsrMatrix {
     /// Value at `(row, col)`; zero if not stored.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> f64 {
+        match self.find(row, col) {
+            Some(slot) => self.vals[slot],
+            None => 0.0,
+        }
+    }
+
+    /// Flat index of the stored slot at `(row, col)`, if present.
+    ///
+    /// The returned index addresses [`vals`](Self::vals) /
+    /// [`vals_mut`](Self::vals_mut) and stays valid for the lifetime of
+    /// the pattern (values may change, the structure may not).
+    #[must_use]
+    pub fn find(&self, row: usize, col: usize) -> Option<usize> {
+        if row >= self.rows {
+            return None;
+        }
         let lo = self.row_ptr[row];
         let hi = self.row_ptr[row + 1];
-        match self.col_idx[lo..hi].binary_search(&col) {
-            Ok(i) => self.vals[lo + i],
-            Err(_) => 0.0,
-        }
+        self.col_idx[lo..hi]
+            .binary_search(&col)
+            .ok()
+            .map(|i| lo + i)
+    }
+
+    /// Row-pointer array (`rows + 1` entries).
+    #[must_use]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored entry, row-major, sorted within rows.
+    #[must_use]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, parallel to [`col_idx`](Self::col_idx).
+    #[must_use]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable stored values; the sparsity pattern itself is immutable.
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Resets every stored value to zero, keeping the pattern.
+    pub fn clear_vals(&mut self) {
+        self.vals.fill(0.0);
     }
 
     /// Matrix–vector product `A·x`.
@@ -242,7 +362,7 @@ mod tests {
         m.add(1, 2, 1.5);
         m.add(1, 2, 2.5);
         m.add(0, 0, 1.0);
-        let csr = m.to_csr();
+        let csr = m.to_csr().unwrap();
         assert_eq!(csr.get(1, 2), 4.0);
         assert_eq!(csr.get(0, 0), 1.0);
         assert_eq!(csr.get(2, 2), 0.0);
@@ -254,7 +374,7 @@ mod tests {
         let mut m = TripletMatrix::new(2, 2);
         m.add(0, 1, 3.0);
         m.add(0, 1, -3.0);
-        let csr = m.to_csr();
+        let csr = m.to_csr().unwrap();
         assert_eq!(csr.nnz(), 0);
         assert_eq!(csr.get(0, 1), 0.0);
     }
@@ -272,8 +392,8 @@ mod tests {
             m.add(r, c, v);
         }
         let x = [1.0, 2.0, 3.0];
-        let dense = m.to_dense().mul_vec(&x).unwrap();
-        let sparse = m.to_csr().mul_vec(&x).unwrap();
+        let dense = m.to_dense().unwrap().mul_vec(&x).unwrap();
+        let sparse = m.to_csr().unwrap().mul_vec(&x).unwrap();
         assert_eq!(dense, sparse);
     }
 
@@ -292,18 +412,49 @@ mod tests {
             m.add(r, c, v);
         }
         let b = [1.0, 2.0, 3.0];
-        let xd = m.to_dense().solve(&b).unwrap();
-        let xs = m.to_csr().solve(&b).unwrap();
+        let xd = m.to_dense().unwrap().solve(&b).unwrap();
+        let xs = m.to_csr().unwrap().solve(&b).unwrap();
         for (a, b) in xd.iter().zip(&xs) {
             assert!((a - b).abs() < 1e-12);
         }
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn out_of_bounds_stamp_panics() {
+    fn out_of_bounds_stamp_rejected() {
         let mut m = TripletMatrix::new(2, 2);
         m.add(2, 0, 1.0);
+        let err = m.to_csr().unwrap_err();
+        assert_eq!(
+            err,
+            NumericError::IndexOutOfBounds {
+                row: 2,
+                col: 0,
+                rows: 2,
+                cols: 2,
+            }
+        );
+        assert!(m.to_dense().is_err());
+    }
+
+    #[test]
+    fn from_pattern_dedups_and_finds_slots() {
+        let csr = CsrMatrix::from_pattern(3, 3, &[(2, 1), (0, 0), (2, 1), (1, 2), (2, 2)]).unwrap();
+        assert_eq!(csr.nnz(), 4);
+        assert!(csr.vals().iter().all(|&v| v == 0.0));
+        let slot = csr.find(2, 1).expect("stored");
+        assert_eq!(csr.find(0, 1), None);
+        let mut csr = csr;
+        csr.vals_mut()[slot] = 7.5;
+        assert_eq!(csr.get(2, 1), 7.5);
+        csr.clear_vals();
+        assert_eq!(csr.get(2, 1), 0.0);
+        assert_eq!(csr.nnz(), 4, "clearing values keeps the pattern");
+    }
+
+    #[test]
+    fn from_pattern_rejects_out_of_bounds() {
+        let err = CsrMatrix::from_pattern(2, 2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, NumericError::IndexOutOfBounds { .. }));
     }
 
     #[test]
@@ -311,7 +462,7 @@ mod tests {
         let mut m = TripletMatrix::new(2, 3);
         m.add(1, 0, 5.0);
         m.add(0, 2, 7.0);
-        let csr = m.to_csr();
+        let csr = m.to_csr().unwrap();
         let got: Vec<_> = csr.iter().collect();
         assert_eq!(got, vec![(0, 2, 7.0), (1, 0, 5.0)]);
     }

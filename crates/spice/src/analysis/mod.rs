@@ -10,10 +10,30 @@ pub mod op;
 pub mod tran;
 
 use crate::circuit::{Circuit, NodeId};
-use crate::element::{AcStamper, Integration, StampCtx, StampMode, Stamper};
+use crate::element::{AcStamper, Element, Integration, StampCtx, StampMode, StampSlots, Stamper};
 use crate::SpiceError;
-use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix, LuFactors};
+use cml_numeric::sparse::CsrMatrix;
+use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix, LuFactors, SparseLu};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Matrix dimension at and above which the solver switches from dense to
+/// sparse LU when no override is given. Chosen so the paper's individual
+/// cells (a few dozen unknowns) stay on the dense path, which wins on
+/// tiny systems, while full-link chains go sparse.
+const DEFAULT_SPARSE_THRESHOLD: usize = 50;
+
+/// Resolves the process-wide default sparse threshold, honouring the
+/// `CML_SPARSE_THRESHOLD` environment variable (read once).
+fn default_sparse_threshold() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("CML_SPARSE_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(DEFAULT_SPARSE_THRESHOLD)
+    })
+}
 
 /// Newton iteration limits and tolerances (SPICE-like defaults).
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +50,12 @@ pub struct NewtonOptions {
     pub max_step: f64,
     /// Conductance added from every node to ground for matrix conditioning.
     pub gmin: f64,
+    /// MNA dimension at and above which real (DC/transient) solves use
+    /// the sparse LU path instead of dense. Defaults to the
+    /// `CML_SPARSE_THRESHOLD` environment variable when set, else 50.
+    /// Set to `usize::MAX` to force dense, to 1 to force sparse. AC
+    /// analysis always solves dense (complex systems stay small).
+    pub sparse_threshold: usize,
 }
 
 impl Default for NewtonOptions {
@@ -41,6 +67,7 @@ impl Default for NewtonOptions {
             abstol: 1e-9,
             max_step: 0.5,
             gmin: 1e-12,
+            sparse_threshold: default_sparse_threshold(),
         }
     }
 }
@@ -51,6 +78,69 @@ impl Default for NewtonOptions {
 /// [`crate::element::Element::is_nonlinear`]), so factorizations can be
 /// reused across Newton iterations and timesteps that share this key.
 type MatKey = (u64, Integration, u64);
+
+/// Which stamp-mode family a sparsity pattern was discovered under.
+/// Reactive elements stamp companion conductances only in transient
+/// mode, so DC and transient Jacobians have different patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    Dc,
+    Tran,
+}
+
+impl ModeKind {
+    fn of(mode: StampMode) -> Self {
+        match mode {
+            StampMode::Dc { .. } => ModeKind::Dc,
+            StampMode::Tran { .. } => ModeKind::Tran,
+        }
+    }
+}
+
+/// Sparse-path state cached in the Newton workspace: the fixed-pattern
+/// CSR Jacobian, its LU (symbolic analysis + pivot order frozen after
+/// the first factorization), the cached linear-element values, and one
+/// stamp-pointer cache per assembly-pass shape.
+#[derive(Debug)]
+struct SparseState {
+    /// Fixed-pattern Jacobian; only `vals` change between solves.
+    mat: CsrMatrix,
+    /// Sparse LU with replayable refactorization.
+    lu: SparseLu,
+    /// Cached guess-independent values (linear stamps + gmin) for the
+    /// key in `NewtonWorkspace::lin_key`, parallel to `mat.vals()`.
+    lin_vals: Vec<f64>,
+    /// Value-slot of each node diagonal, for the gmin stamp.
+    diag_slots: Vec<usize>,
+    /// Stamp-pointer caches: full assembly, linear-only assembly, and
+    /// the nonlinear top-up pass.
+    slots_full: StampSlots,
+    slots_lin: StampSlots,
+    slots_nonlin: StampSlots,
+    /// Mode family the pattern was discovered under.
+    kind: ModeKind,
+}
+
+/// Internal error type for one Newton attempt: either a real solver
+/// error, or "the sparsity pattern was missing a written position" —
+/// the caller reacts to the latter by rebuilding the pattern (and, if
+/// it happens again, permanently falling back to dense).
+enum AttemptError {
+    Spice(SpiceError),
+    PatternMiss,
+}
+
+impl From<SpiceError> for AttemptError {
+    fn from(e: SpiceError) -> Self {
+        AttemptError::Spice(e)
+    }
+}
+
+impl From<cml_numeric::NumericError> for AttemptError {
+    fn from(e: cml_numeric::NumericError) -> Self {
+        AttemptError::Spice(e.into())
+    }
+}
 
 /// Reusable buffers for [`System::newton_with`]: the MNA matrix, its LU
 /// factors, the cached linear-element stamps and the iteration vectors.
@@ -80,6 +170,15 @@ pub(crate) struct NewtonWorkspace {
     /// meaningful on circuits with no nonlinear devices, where the full
     /// Jacobian *is* the linear matrix).
     factored_key: Option<MatKey>,
+    /// Sparse-path state; `None` until the first solve at or above the
+    /// sparse threshold (or after a pattern invalidation).
+    sparse: Option<SparseState>,
+    /// Set when the sparse path misbehaved twice (pattern misses) —
+    /// every further solve in this workspace stays dense.
+    sparse_disabled: bool,
+    /// Whether the previous solve ran sparse; a flip invalidates the
+    /// linear-stamp caches (they live in different buffers per path).
+    last_solve_sparse: Option<bool>,
 }
 
 impl NewtonWorkspace {
@@ -94,6 +193,9 @@ impl NewtonWorkspace {
             factors: LuFactors::default(),
             lin_key: None,
             factored_key: None,
+            sparse: None,
+            sparse_disabled: false,
+            last_solve_sparse: None,
         }
     }
 }
@@ -165,26 +267,23 @@ impl<'a> System<'a> {
     fn ctx<'b>(
         &self,
         idx: usize,
+        e: &dyn Element,
         x: &'b [f64],
         state: &'b [f64],
         mode: StampMode,
-    ) -> (StampCtx<'b>, usize) {
-        let e = self.ckt.elements().nth(idx).expect("element index");
+    ) -> StampCtx<'b> {
         let sb = self.state_bases[idx];
         let sl = e.state_size();
         // DC solves pass an empty arena (state is only meaningful in
         // transient mode); fall back to an empty slice there.
         let state_slice = state.get(sb..sb + sl).unwrap_or(&[]);
-        (
-            StampCtx {
-                x,
-                state: state_slice,
-                branch_base: self.branch_bases[idx],
-                n_nodes: self.n_nodes,
-                mode,
-            },
-            idx,
-        )
+        StampCtx {
+            x,
+            state: state_slice,
+            branch_base: self.branch_bases[idx],
+            n_nodes: self.n_nodes,
+            mode,
+        }
     }
 
     /// Assembles the Jacobian and RHS at guess `x`.
@@ -201,7 +300,7 @@ impl<'a> System<'a> {
         rhs.clear();
         rhs.resize(self.dim(), 0.0);
         for (idx, e) in self.ckt.elements().enumerate() {
-            let (ctx, _) = self.ctx(idx, x, state, mode);
+            let ctx = self.ctx(idx, e, x, state, mode);
             let mut stamper = Stamper::new(matrix, rhs, self.n_nodes);
             e.stamp(&ctx, &mut stamper);
         }
@@ -233,7 +332,7 @@ impl<'a> System<'a> {
             if e.is_nonlinear() {
                 continue;
             }
-            let (ctx, _) = self.ctx(idx, &[], state, mode);
+            let ctx = self.ctx(idx, e, &[], state, mode);
             let mut stamper = Stamper::new(matrix, rhs, self.n_nodes);
             e.stamp(&ctx, &mut stamper);
         }
@@ -252,7 +351,7 @@ impl<'a> System<'a> {
             if e.is_nonlinear() {
                 continue;
             }
-            let (ctx, _) = self.ctx(idx, &[], state, mode);
+            let ctx = self.ctx(idx, e, &[], state, mode);
             let mut stamper = Stamper::rhs_only(rhs, self.n_nodes);
             e.stamp(&ctx, &mut stamper);
         }
@@ -272,10 +371,135 @@ impl<'a> System<'a> {
             if !e.is_nonlinear() {
                 continue;
             }
-            let (ctx, _) = self.ctx(idx, x, state, mode);
+            let ctx = self.ctx(idx, e, x, state, mode);
             let mut stamper = Stamper::new(matrix, rhs, self.n_nodes);
             e.stamp(&ctx, &mut stamper);
         }
+    }
+
+    /// Discovers the Jacobian sparsity pattern with one recording stamp
+    /// pass at `x0`, then builds the fixed-pattern CSR matrix and its
+    /// sparse LU. The recorded position set is symmetrized (devices like
+    /// MOSFETs keep a stable position *set* across operating regions,
+    /// but individual entries can migrate across the diagonal on a
+    /// drain/source swap) and every diagonal is added (the conditioning
+    /// gmin lands there, and structural diagonal zeros would force
+    /// avoidable pivoting). Returns `None` when a pattern cannot be
+    /// built; the caller then disables the sparse path.
+    fn build_sparse(&self, x0: &[f64], state: &[f64], mode: StampMode) -> Option<SparseState> {
+        let dim = self.dim();
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        let mut scratch_rhs = vec![0.0; dim];
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let ctx = self.ctx(idx, e, x0, state, mode);
+            let mut stamper = Stamper::pattern(&mut positions, &mut scratch_rhs, self.n_nodes);
+            e.stamp(&ctx, &mut stamper);
+        }
+        let n_recorded = positions.len();
+        for i in 0..n_recorded {
+            let (r, c) = positions[i];
+            positions.push((c, r));
+        }
+        positions.extend((0..dim).map(|i| (i, i)));
+        let mat = CsrMatrix::from_pattern(dim, dim, &positions).ok()?;
+        let lu = SparseLu::new(&mat).ok()?;
+        let diag_slots: Option<Vec<usize>> = (0..self.n_nodes).map(|i| mat.find(i, i)).collect();
+        let nnz = mat.vals().len();
+        Some(SparseState {
+            mat,
+            lu,
+            lin_vals: vec![0.0; nnz],
+            diag_slots: diag_slots?,
+            slots_full: StampSlots::default(),
+            slots_lin: StampSlots::default(),
+            slots_nonlin: StampSlots::default(),
+            kind: ModeKind::of(mode),
+        })
+    }
+
+    /// Sparse analogue of [`System::assemble`]: every stamp accumulates
+    /// directly into its reserved CSR value slot.
+    fn assemble_sparse_full(
+        &self,
+        x: &[f64],
+        state: &[f64],
+        mode: StampMode,
+        gmin: f64,
+        sp: &mut SparseState,
+        rhs: &mut Vec<f64>,
+    ) -> Result<(), AttemptError> {
+        sp.mat.clear_vals();
+        rhs.clear();
+        rhs.resize(self.dim(), 0.0);
+        sp.slots_full.begin_pass();
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let ctx = self.ctx(idx, e, x, state, mode);
+            let mut stamper = Stamper::sparse(&mut sp.mat, &mut sp.slots_full, rhs, self.n_nodes);
+            e.stamp(&ctx, &mut stamper);
+        }
+        if sp.slots_full.missing() {
+            return Err(AttemptError::PatternMiss);
+        }
+        for &s in &sp.diag_slots {
+            sp.mat.vals_mut()[s] += gmin;
+        }
+        Ok(())
+    }
+
+    /// Sparse analogue of [`System::assemble_linear`]; passes the same
+    /// empty guess slice as the loud linearity-contract check.
+    fn assemble_sparse_linear(
+        &self,
+        state: &[f64],
+        mode: StampMode,
+        gmin: f64,
+        sp: &mut SparseState,
+        rhs: &mut Vec<f64>,
+    ) -> Result<(), AttemptError> {
+        sp.mat.clear_vals();
+        rhs.clear();
+        rhs.resize(self.dim(), 0.0);
+        sp.slots_lin.begin_pass();
+        for (idx, e) in self.ckt.elements().enumerate() {
+            if e.is_nonlinear() {
+                continue;
+            }
+            let ctx = self.ctx(idx, e, &[], state, mode);
+            let mut stamper = Stamper::sparse(&mut sp.mat, &mut sp.slots_lin, rhs, self.n_nodes);
+            e.stamp(&ctx, &mut stamper);
+        }
+        if sp.slots_lin.missing() {
+            return Err(AttemptError::PatternMiss);
+        }
+        for &s in &sp.diag_slots {
+            sp.mat.vals_mut()[s] += gmin;
+        }
+        Ok(())
+    }
+
+    /// Sparse analogue of [`System::stamp_nonlinear`]: tops up the copied
+    /// linear values with the nonlinear-device linearizations at `x`.
+    fn stamp_sparse_nonlinear(
+        &self,
+        x: &[f64],
+        state: &[f64],
+        mode: StampMode,
+        sp: &mut SparseState,
+        rhs: &mut [f64],
+    ) -> Result<(), AttemptError> {
+        sp.slots_nonlin.begin_pass();
+        for (idx, e) in self.ckt.elements().enumerate() {
+            if !e.is_nonlinear() {
+                continue;
+            }
+            let ctx = self.ctx(idx, e, x, state, mode);
+            let mut stamper = Stamper::sparse(&mut sp.mat, &mut sp.slots_nonlin, rhs, self.n_nodes);
+            e.stamp(&ctx, &mut stamper);
+        }
+        if sp.slots_nonlin.missing() {
+            return Err(AttemptError::PatternMiss);
+        }
+        Ok(())
     }
 
     /// Reuse key for the current solve, or `None` when the mode does not
@@ -308,6 +532,14 @@ impl<'a> System<'a> {
     /// nonlinear devices the split stamping reorders floating-point
     /// additions and may differ from the interleaved order at the last
     /// ulp (well inside Newton tolerances). See DESIGN.md.
+    ///
+    /// Systems at or above [`NewtonOptions::sparse_threshold`] unknowns
+    /// solve through the sparse LU path (fixed-pattern CSR Jacobian,
+    /// stamp-pointer caching, replayed numeric refactorization — see
+    /// DESIGN.md §8). A stamp that misses the cached pattern triggers one
+    /// pattern rebuild; a second miss permanently falls back to dense
+    /// for this workspace, so correctness never depends on discovery
+    /// having seen every position.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn newton_with(
         &self,
@@ -319,12 +551,68 @@ impl<'a> System<'a> {
         ws: &mut NewtonWorkspace,
         reuse: bool,
     ) -> Result<Vec<f64>, SpiceError> {
+        let mut rebuilds = 0;
+        loop {
+            match self.newton_attempt(mode, x0, state, opts, analysis, ws, reuse) {
+                Ok(x) => return Ok(x),
+                Err(AttemptError::Spice(e)) => return Err(e),
+                Err(AttemptError::PatternMiss) => {
+                    // An element stamped a position absent from the cached
+                    // pattern. Rebuild once from the current guess; a
+                    // second miss means the pattern is guess-dependent in
+                    // a way discovery can't capture — stay dense.
+                    ws.sparse = None;
+                    ws.lin_key = None;
+                    ws.factored_key = None;
+                    rebuilds += 1;
+                    if rebuilds >= 2 {
+                        ws.sparse_disabled = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One Newton solve attempt on either the dense or the sparse path.
+    #[allow(clippy::too_many_arguments)]
+    fn newton_attempt(
+        &self,
+        mode: StampMode,
+        x0: &[f64],
+        state: &[f64],
+        opts: &NewtonOptions,
+        analysis: &'static str,
+        ws: &mut NewtonWorkspace,
+        reuse: bool,
+    ) -> Result<Vec<f64>, AttemptError> {
         let dim = self.dim();
         if ws.matrix.rows() != dim || ws.matrix.cols() != dim {
             ws.matrix = DenseMatrix::zeros(dim, dim);
             ws.lin_matrix = DenseMatrix::zeros(dim, dim);
             ws.lin_key = None;
             ws.factored_key = None;
+            ws.sparse = None;
+        }
+        let use_sparse = !ws.sparse_disabled && dim > 0 && dim >= opts.sparse_threshold;
+        if use_sparse {
+            let fresh = matches!(&ws.sparse,
+                Some(sp) if sp.kind == ModeKind::of(mode) && sp.mat.rows() == dim);
+            if !fresh {
+                ws.sparse = self.build_sparse(x0, state, mode);
+                ws.lin_key = None;
+                ws.factored_key = None;
+                if ws.sparse.is_none() {
+                    ws.sparse_disabled = true;
+                }
+            }
+        }
+        let run_sparse = use_sparse && ws.sparse.is_some();
+        if ws.last_solve_sparse != Some(run_sparse) {
+            // The dense/sparse choice flipped; the linear caches live in
+            // different buffers per path, so both keys are stale.
+            ws.lin_key = None;
+            ws.factored_key = None;
+            ws.last_solve_sparse = Some(run_sparse);
         }
         let key = if reuse {
             Self::mat_key(mode, opts.gmin)
@@ -336,6 +624,13 @@ impl<'a> System<'a> {
                 // Matrix still valid; only sources / companion history
                 // moved, and those live purely in the RHS.
                 self.stamp_linear_rhs(state, mode, &mut ws.lin_rhs);
+            } else if run_sparse {
+                let sp = ws.sparse.as_mut().expect("run_sparse implies state");
+                self.assemble_sparse_linear(state, mode, opts.gmin, sp, &mut ws.lin_rhs)?;
+                sp.lin_vals.clear();
+                sp.lin_vals.extend_from_slice(sp.mat.vals());
+                ws.lin_key = Some(k);
+                ws.factored_key = None;
             } else {
                 self.assemble_linear(state, mode, opts.gmin, &mut ws.lin_matrix, &mut ws.lin_rhs);
                 ws.lin_key = Some(k);
@@ -347,29 +642,57 @@ impl<'a> System<'a> {
         ws.x.extend_from_slice(x0);
         let mut worst = f64::INFINITY;
         for _iter in 0..opts.max_iter {
-            match key {
-                Some(k) if !self.has_nonlinear => {
-                    // Fully linear system: the cached linear matrix *is*
-                    // the Jacobian and its factorization survives across
-                    // timesteps with the same key.
-                    if ws.factored_key != Some(k) {
-                        ws.factors.refactor(&ws.lin_matrix)?;
-                        ws.factored_key = Some(k);
+            if run_sparse {
+                let sp = ws.sparse.as_mut().expect("run_sparse implies state");
+                ws.x_new.resize(dim, 0.0);
+                match key {
+                    Some(k) if !self.has_nonlinear => {
+                        if ws.factored_key != Some(k) {
+                            sp.mat.vals_mut().copy_from_slice(&sp.lin_vals);
+                            sp.lu.refactor(&sp.mat)?;
+                            ws.factored_key = Some(k);
+                        }
+                        sp.lu.solve_into(&ws.lin_rhs, &mut ws.x_new)?;
                     }
-                    ws.factors.solve_into(&ws.lin_rhs, &mut ws.x_new)?;
+                    Some(_) => {
+                        sp.mat.vals_mut().copy_from_slice(&sp.lin_vals);
+                        ws.rhs.clear();
+                        ws.rhs.extend_from_slice(&ws.lin_rhs);
+                        self.stamp_sparse_nonlinear(&ws.x, state, mode, sp, &mut ws.rhs)?;
+                        sp.lu.refactor(&sp.mat)?;
+                        sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
+                    }
+                    None => {
+                        self.assemble_sparse_full(&ws.x, state, mode, opts.gmin, sp, &mut ws.rhs)?;
+                        sp.lu.refactor(&sp.mat)?;
+                        sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
+                    }
                 }
-                Some(_) => {
-                    ws.matrix.copy_from(&ws.lin_matrix);
-                    ws.rhs.clear();
-                    ws.rhs.extend_from_slice(&ws.lin_rhs);
-                    self.stamp_nonlinear(&ws.x, state, mode, &mut ws.matrix, &mut ws.rhs);
-                    ws.factors.refactor(&ws.matrix)?;
-                    ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
-                }
-                None => {
-                    self.assemble(&ws.x, state, mode, opts.gmin, &mut ws.matrix, &mut ws.rhs);
-                    ws.factors.refactor(&ws.matrix)?;
-                    ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
+            } else {
+                match key {
+                    Some(k) if !self.has_nonlinear => {
+                        // Fully linear system: the cached linear matrix *is*
+                        // the Jacobian and its factorization survives across
+                        // timesteps with the same key.
+                        if ws.factored_key != Some(k) {
+                            ws.factors.refactor(&ws.lin_matrix)?;
+                            ws.factored_key = Some(k);
+                        }
+                        ws.factors.solve_into(&ws.lin_rhs, &mut ws.x_new)?;
+                    }
+                    Some(_) => {
+                        ws.matrix.copy_from(&ws.lin_matrix);
+                        ws.rhs.clear();
+                        ws.rhs.extend_from_slice(&ws.lin_rhs);
+                        self.stamp_nonlinear(&ws.x, state, mode, &mut ws.matrix, &mut ws.rhs);
+                        ws.factors.refactor(&ws.matrix)?;
+                        ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
+                    }
+                    None => {
+                        self.assemble(&ws.x, state, mode, opts.gmin, &mut ws.matrix, &mut ws.rhs);
+                        ws.factors.refactor(&ws.matrix)?;
+                        ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
+                    }
                 }
             }
             // Convergence check + damping, updating the iterate in place.
@@ -399,7 +722,8 @@ impl<'a> System<'a> {
                     analysis,
                     iterations: opts.max_iter,
                     residual: f64::INFINITY,
-                });
+                }
+                .into());
             }
             if converged && undamped {
                 return Ok(ws.x.clone());
@@ -409,7 +733,8 @@ impl<'a> System<'a> {
             analysis,
             iterations: opts.max_iter,
             residual: worst,
-        })
+        }
+        .into())
     }
 
     /// Initializes the transient state arena from a DC solution.

@@ -1,9 +1,21 @@
 //! Transient analysis.
 //!
-//! Fixed nominal timestep with automatic step halving on Newton failure
-//! (up to a retry budget), trapezoidal or backward-Euler companion models,
-//! warm-started Newton per step. The initial condition is the operating
-//! point with sources evaluated at `t = 0`.
+//! Two stepping modes share the same companion models (trapezoidal or
+//! backward-Euler) and warm-started Newton solves:
+//!
+//! * **Fixed** (default): the nominal timestep everywhere, with automatic
+//!   step halving on Newton failure up to a retry budget.
+//! * **Adaptive** ([`TranConfig::adaptive`]): local-truncation-error
+//!   control. Each accepted solution is compared against a polynomial
+//!   predictor extrapolated from the previous accepted points; steps
+//!   whose deviation exceeds the error band are rejected and halved,
+//!   and quiet stretches grow the step back up to a cap. Source corners
+//!   (PWL knots, pulse edges) are breakpoints: the controller lands a
+//!   step exactly on each one and restarts small, so edges are never
+//!   straddled. See DESIGN.md §8.
+//!
+//! The initial condition is the operating point with sources evaluated
+//! at `t = 0`.
 
 use super::op::solve_system;
 use super::{NewtonOptions, NewtonWorkspace, System};
@@ -26,10 +38,16 @@ pub struct TranConfig {
     /// Maximum consecutive step halvings before giving up.
     pub max_halvings: u32,
     /// Local-truncation-error control: when `true`, each step's solution
-    /// is compared against a linear predictor from the two previous
-    /// accepted points, and steps whose normalized deviation exceeds
-    /// `lte_factor` tolerance bands are rejected and retried at half the
-    /// step (SPICE-style predictor/corrector error control).
+    /// is compared against a polynomial predictor (quadratic through the
+    /// three previous accepted points once available, linear before
+    /// that). Steps whose normalized deviation exceeds `lte_factor`
+    /// tolerance bands are rejected and retried at half the step, down
+    /// to `dt / 4096`; comfortably accurate steps grow back by doubling,
+    /// up to `max(dt, t_stop / 50)`. Source-waveform corners become
+    /// breakpoints the controller lands on exactly, restarting with a
+    /// small step (`dt / 64`) and a cleared predictor history on the far
+    /// side. `dt` remains the first-step size and the scale all limits
+    /// derive from.
     pub adaptive: bool,
     /// Rejection threshold for adaptive mode, in units of the Newton
     /// tolerance band (`reltol·|x| + vntol`).
@@ -167,9 +185,30 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
 
     // Initial condition: DC solve with waveforms evaluated at t = 0.
     let x0 = solve_system(&sys, &config.newton, Some(0.0))?;
-    let mut state = sys.init_state(&x0);
-    let mut state_next = vec![0.0; sys.state_len()];
+    let state = sys.init_state(&x0);
 
+    let (times, sols) = if config.adaptive {
+        adaptive_loop(ckt, &sys, config, x0, state)?
+    } else {
+        fixed_loop(&sys, config, x0, state)?
+    };
+
+    Ok(TranResult {
+        times,
+        sols,
+        branch_names: sys.branch_names().clone(),
+    })
+}
+
+/// Fixed-step transient loop: the nominal `dt` everywhere, halving only
+/// on Newton failure.
+fn fixed_loop(
+    sys: &System<'_>,
+    config: &TranConfig,
+    x0: Vec<f64>,
+    mut state: Vec<f64>,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
+    let mut state_next = vec![0.0; sys.state_len()];
     let n_steps_estimate = (config.t_stop / config.dt).ceil() as usize + 1;
     let mut times = Vec::with_capacity(n_steps_estimate);
     let mut sols = Vec::with_capacity(n_steps_estimate);
@@ -181,8 +220,6 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
     // One workspace for the whole run: matrices, LU factors and cached
     // linear stamps survive from step to step.
     let mut ws = NewtonWorkspace::new();
-    // Previous accepted point for the linear predictor (adaptive mode).
-    let mut x_prev: Option<(Vec<f64>, f64)> = None; // (solution, dt used)
     while t < config.t_stop - 1e-18 {
         let mut dt = config.dt.min(config.t_stop - t);
         let mut halvings = 0;
@@ -202,27 +239,8 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
                 config.reuse_factorization,
             ) {
                 Ok(x_new) => {
-                    // LTE check: deviation from the linear predictor.
-                    if config.adaptive && halvings < config.max_halvings {
-                        if let Some((ref xp, dt_prev)) = x_prev {
-                            let ratio = dt / dt_prev;
-                            let mut worst: f64 = 0.0;
-                            for i in 0..sys.n_nodes() {
-                                let pred = x[i] + (x[i] - xp[i]) * ratio;
-                                let band =
-                                    config.newton.reltol * x_new[i].abs() + config.newton.vntol;
-                                worst = worst.max((x_new[i] - pred).abs() / band);
-                            }
-                            if worst > config.lte_factor {
-                                halvings += 1;
-                                dt /= 2.0;
-                                continue;
-                            }
-                        }
-                    }
                     sys.update_state(&x_new, &state, mode, &mut state_next);
                     std::mem::swap(&mut state, &mut state_next);
-                    x_prev = Some((x.clone(), dt));
                     x = x_new;
                     t += dt;
                     times.push(t);
@@ -239,12 +257,185 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
             }
         }
     }
+    Ok((times, sols))
+}
 
-    Ok(TranResult {
-        times,
-        sols,
-        branch_names: sys.branch_names().clone(),
-    })
+/// Smallest step the LTE controller will shrink to, as a divisor of the
+/// nominal `dt`.
+const MAX_SHRINK: f64 = 4096.0;
+
+/// Step divisor used to restart integration just after a breakpoint.
+const BP_RESTART_DIV: f64 = 64.0;
+
+/// LTE-controlled adaptive transient loop.
+///
+/// The controller keeps a working step `dt` that it halves on rejection
+/// (solution too far from the polynomial predictor) and doubles on
+/// comfortably accurate steps. Source-waveform corners are collected up
+/// front as breakpoints; a step that would cross one is truncated to
+/// land exactly on it, and the predictor history is cleared on the far
+/// side since the derivative is discontinuous there.
+fn adaptive_loop(
+    ckt: &Circuit,
+    sys: &System<'_>,
+    config: &TranConfig,
+    x0: Vec<f64>,
+    mut state: Vec<f64>,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
+    let t_stop = config.t_stop;
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for e in ckt.elements() {
+        e.breakpoints(t_stop, &mut breakpoints);
+    }
+    breakpoints.sort_by(f64::total_cmp);
+    breakpoints.dedup();
+    breakpoints.retain(|&b| b > 0.0 && b < t_stop);
+    let mut bp_idx = 0usize;
+
+    let dt_min = config.dt / MAX_SHRINK;
+    let dt_max = config.dt.max(t_stop / 50.0);
+    let dt_bp_restart = (config.dt / BP_RESTART_DIV).max(dt_min);
+
+    let mut state_next = vec![0.0; sys.state_len()];
+    let mut times = vec![0.0];
+    let mut sols = vec![x0.clone()];
+    let mut t = 0.0;
+    let mut x = x0;
+    let mut ws = NewtonWorkspace::new();
+    let mut dt = config.dt;
+    // Number of trailing accepted points the predictor may extrapolate
+    // from; reset to 1 at breakpoints (the corner point itself is valid,
+    // anything older is on the wrong side of a slope discontinuity).
+    let mut hist_valid: usize = 1;
+
+    while t < t_stop - 1e-18 {
+        while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + 1e-18 {
+            bp_idx += 1;
+        }
+        let mut dt_step = dt.min(t_stop - t);
+        let mut lands_on_bp = false;
+        if let Some(&bp) = breakpoints.get(bp_idx) {
+            if t + dt_step >= bp - 1e-18 {
+                dt_step = bp - t;
+                lands_on_bp = true;
+            }
+        }
+        let mut halvings = 0;
+        let mut rejected = false;
+        loop {
+            let mode = StampMode::Tran {
+                time: t + dt_step,
+                dt: dt_step,
+                method: config.method,
+            };
+            match sys.newton_with(
+                mode,
+                &x,
+                &state,
+                &config.newton,
+                "tran",
+                &mut ws,
+                config.reuse_factorization,
+            ) {
+                Ok(x_new) => {
+                    let mut worst = 0.0f64;
+                    if hist_valid >= 2 {
+                        worst = predictor_deviation(
+                            sys,
+                            &times,
+                            &sols,
+                            hist_valid,
+                            t + dt_step,
+                            &x_new,
+                            &config.newton,
+                        );
+                        if worst > config.lte_factor
+                            && dt_step > dt_min * (1.0 + 1e-9)
+                            && halvings < config.max_halvings
+                        {
+                            halvings += 1;
+                            rejected = true;
+                            lands_on_bp = false;
+                            dt_step = (dt_step / 2.0).max(dt_min);
+                            continue;
+                        }
+                    }
+                    sys.update_state(&x_new, &state, mode, &mut state_next);
+                    std::mem::swap(&mut state, &mut state_next);
+                    x = x_new;
+                    t += dt_step;
+                    times.push(t);
+                    sols.push(x.clone());
+                    if lands_on_bp {
+                        hist_valid = 1;
+                        dt = dt_bp_restart;
+                    } else {
+                        hist_valid += 1;
+                        if rejected {
+                            // Continue at the scale the rejection found;
+                            // quiet steps will grow it back.
+                            dt = dt_step;
+                        } else if worst < config.lte_factor / 4.0 {
+                            dt = (dt * 2.0).min(dt_max);
+                        }
+                    }
+                    break;
+                }
+                Err(e) => {
+                    halvings += 1;
+                    if halvings > config.max_halvings {
+                        return Err(e);
+                    }
+                    rejected = true;
+                    lands_on_bp = false;
+                    dt_step /= 2.0;
+                }
+            }
+        }
+    }
+    Ok((times, sols))
+}
+
+/// Worst normalized deviation of `x_new` from the polynomial predictor
+/// extrapolated to `t_new`: quadratic through the last three accepted
+/// points when the history allows, linear through the last two otherwise.
+/// Only node voltages participate (branch currents scale too wildly for
+/// the voltage band). The unit is Newton tolerance bands, so `1.0` means
+/// "off by exactly `reltol·|v| + vntol`".
+fn predictor_deviation(
+    sys: &System<'_>,
+    times: &[f64],
+    sols: &[Vec<f64>],
+    hist_valid: usize,
+    t_new: f64,
+    x_new: &[f64],
+    newton: &NewtonOptions,
+) -> f64 {
+    let n = times.len();
+    let (t2, x2) = (times[n - 1], &sols[n - 1]);
+    let (t1, x1) = (times[n - 2], &sols[n - 2]);
+    let mut worst = 0.0f64;
+    if hist_valid >= 3 {
+        let (t0, x0) = (times[n - 3], &sols[n - 3]);
+        // Lagrange extrapolation of the quadratic through the three
+        // trailing points.
+        let l0 = ((t_new - t1) * (t_new - t2)) / ((t0 - t1) * (t0 - t2));
+        let l1 = ((t_new - t0) * (t_new - t2)) / ((t1 - t0) * (t1 - t2));
+        let l2 = ((t_new - t0) * (t_new - t1)) / ((t2 - t0) * (t2 - t1));
+        for i in 0..sys.n_nodes() {
+            let pred = l0 * x0[i] + l1 * x1[i] + l2 * x2[i];
+            let band = newton.reltol * x_new[i].abs() + newton.vntol;
+            worst = worst.max((x_new[i] - pred).abs() / band);
+        }
+    } else {
+        let ratio = (t_new - t2) / (t2 - t1);
+        for i in 0..sys.n_nodes() {
+            let pred = x2[i] + (x2[i] - x1[i]) * ratio;
+            let band = newton.reltol * x_new[i].abs() + newton.vntol;
+            worst = worst.max((x_new[i] - pred).abs() / band);
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -508,5 +699,52 @@ mod adaptive_tests {
             adapt.len(),
             fixed.len()
         );
+    }
+
+    /// The controller lands a step exactly on every source corner.
+    #[test]
+    fn adaptive_lands_on_source_breakpoints() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 2e-9, 1e-11),
+        ));
+        ckt.add(Resistor::new("R1", vin, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        let res = run(&ckt, &TranConfig::new(8e-9, 0.5e-9).adaptive()).unwrap();
+        for corner in [2e-9, 2e-9 + 1e-11] {
+            assert!(
+                res.times().iter().any(|&t| (t - corner).abs() < 1e-15),
+                "no accepted point at corner {corner:.3e}"
+            );
+        }
+    }
+
+    /// On a quiet circuit the step grows past the nominal dt, so the
+    /// adaptive run takes far fewer points than the fixed grid.
+    #[test]
+    fn adaptive_grows_steps_when_quiet() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 1.0));
+            ckt.add(Resistor::new("R1", a, Circuit::GROUND, 1e3));
+            ckt.add(Capacitor::new("C1", a, Circuit::GROUND, 1e-12));
+            ckt
+        };
+        let fixed = run(&build(), &TranConfig::new(100e-9, 0.1e-9)).unwrap();
+        let adapt = run(&build(), &TranConfig::new(100e-9, 0.1e-9).adaptive()).unwrap();
+        assert!(
+            adapt.len() * 5 < fixed.len(),
+            "adaptive {} should be far below fixed {}",
+            adapt.len(),
+            fixed.len()
+        );
+        // Same endpoint either way.
+        assert!((adapt.times().last().unwrap() - 100e-9).abs() < 1e-15);
     }
 }

@@ -8,6 +8,7 @@
 //! current) in a flat arena owned by the analysis, sliced per element.
 
 use crate::circuit::NodeId;
+use cml_numeric::sparse::CsrMatrix;
 use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix};
 use std::fmt;
 
@@ -91,16 +92,74 @@ impl StampCtx<'_> {
     }
 }
 
+/// Cached stamp-pointer sequence for one sparse assembly pass.
+///
+/// While stamping into a [`CsrMatrix`], the stamper records the flat
+/// value-slot of every matrix write in call order. On the next pass over
+/// the same elements, each write is satisfied by the cached slot after a
+/// cheap `(row, col)` check — no binary search, no triplet rebuild. A
+/// mismatch (e.g. a MOSFET reordering its drain/source writes between
+/// Newton iterations) self-heals via binary search on the CSR row, so
+/// correctness never depends on the cache being right.
+#[derive(Debug, Default, Clone)]
+pub struct StampSlots {
+    seq: Vec<(usize, usize, usize)>,
+    cursor: usize,
+    missing: bool,
+}
+
+impl StampSlots {
+    /// Starts a new assembly pass at the head of the cached sequence.
+    pub fn begin_pass(&mut self) {
+        self.cursor = 0;
+        self.missing = false;
+    }
+
+    /// Whether a write in the last pass hit a position absent from the
+    /// matrix pattern — the signal for the analysis driver to rebuild
+    /// the pattern (or fall back to dense assembly).
+    #[must_use]
+    pub fn missing(&self) -> bool {
+        self.missing
+    }
+
+    /// Drops the cached sequence (used when the pattern is rebuilt).
+    pub fn clear(&mut self) {
+        self.seq.clear();
+        self.cursor = 0;
+        self.missing = false;
+    }
+}
+
+/// Where matrix writes of a [`Stamper`] go.
+#[derive(Debug)]
+enum MatSink<'a> {
+    /// Discard matrix writes (RHS-only assembly over a cached Jacobian).
+    Discard,
+    /// Accumulate into a dense MNA matrix.
+    Dense(&'a mut DenseMatrix),
+    /// Record `(row, col)` of every write; values are discarded. Used
+    /// once per topology to discover the sparsity pattern.
+    Pattern(&'a mut Vec<(usize, usize)>),
+    /// Accumulate into the reserved slots of a fixed-pattern CSR matrix,
+    /// with stamp-pointer caching through `slots`.
+    Sparse {
+        mat: &'a mut CsrMatrix,
+        slots: &'a mut StampSlots,
+    },
+}
+
 /// Write access to the real MNA matrix and right-hand side, with
 /// ground-aware indexing.
 ///
-/// The matrix side is optional: analyses that have a still-valid cached
+/// The matrix side is pluggable: analyses that have a still-valid cached
 /// Jacobian (see factorization reuse in `analysis`) construct the stamper
-/// with [`Stamper::rhs_only`] and every matrix write is dropped, so
-/// elements assemble just the right-hand side.
+/// with [`Stamper::rhs_only`] and every matrix write is dropped; the
+/// sparse solve path uses [`Stamper::pattern`] once per topology and
+/// [`Stamper::sparse`] on every subsequent assembly.
 #[derive(Debug)]
 pub struct Stamper<'a> {
-    matrix: Option<&'a mut DenseMatrix>,
+    matrix: MatSink<'a>,
     rhs: &'a mut [f64],
     n_nodes: usize,
 }
@@ -109,7 +168,7 @@ impl<'a> Stamper<'a> {
     /// Creates a stamper over an MNA system with `n_nodes` non-ground nodes.
     pub fn new(matrix: &'a mut DenseMatrix, rhs: &'a mut [f64], n_nodes: usize) -> Self {
         Stamper {
-            matrix: Some(matrix),
+            matrix: MatSink::Dense(matrix),
             rhs,
             n_nodes,
         }
@@ -120,7 +179,39 @@ impl<'a> Stamper<'a> {
     /// unchanged Jacobian is being reused).
     pub fn rhs_only(rhs: &'a mut [f64], n_nodes: usize) -> Self {
         Stamper {
-            matrix: None,
+            matrix: MatSink::Discard,
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Creates a stamper that records the `(row, col)` position of every
+    /// matrix write into `positions` instead of accumulating values —
+    /// the pattern-discovery pass of the sparse solve path.
+    pub fn pattern(
+        positions: &'a mut Vec<(usize, usize)>,
+        rhs: &'a mut [f64],
+        n_nodes: usize,
+    ) -> Self {
+        Stamper {
+            matrix: MatSink::Pattern(positions),
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Creates a stamper that accumulates matrix writes directly into the
+    /// reserved nonzero slots of `matrix` (a fixed-pattern CSR built by
+    /// the analysis), using — and maintaining — the stamp-pointer cache
+    /// in `slots`. Call [`StampSlots::begin_pass`] before each assembly.
+    pub fn sparse(
+        matrix: &'a mut CsrMatrix,
+        slots: &'a mut StampSlots,
+        rhs: &'a mut [f64],
+        n_nodes: usize,
+    ) -> Self {
+        Stamper {
+            matrix: MatSink::Sparse { mat: matrix, slots },
             rhs,
             n_nodes,
         }
@@ -136,8 +227,35 @@ impl<'a> Stamper<'a> {
     /// node (`None`), in which case the write is dropped. In rhs-only mode
     /// all matrix writes are dropped.
     pub fn mat(&mut self, r: Option<usize>, c: Option<usize>, v: f64) {
-        if let (Some(m), Some(r), Some(c)) = (self.matrix.as_deref_mut(), r, c) {
-            m[(r, c)] += v;
+        let (Some(r), Some(c)) = (r, c) else { return };
+        match &mut self.matrix {
+            MatSink::Discard => {}
+            MatSink::Dense(m) => m[(r, c)] += v,
+            MatSink::Pattern(p) => p.push((r, c)),
+            MatSink::Sparse { mat, slots } => {
+                let cur = slots.cursor;
+                if let Some(&(er, ec, es)) = slots.seq.get(cur) {
+                    if er == r && ec == c {
+                        mat.vals_mut()[es] += v;
+                        slots.cursor = cur + 1;
+                        return;
+                    }
+                }
+                // Cache miss: the write order changed since the cache was
+                // recorded. Repair this position and keep going.
+                match mat.find(r, c) {
+                    Some(s) => {
+                        mat.vals_mut()[s] += v;
+                        if cur < slots.seq.len() {
+                            slots.seq[cur] = (r, c, s);
+                        } else {
+                            slots.seq.push((r, c, s));
+                        }
+                        slots.cursor = cur + 1;
+                    }
+                    None => slots.missing = true,
+                }
+            }
         }
     }
 
@@ -287,6 +405,13 @@ pub trait Element: fmt::Debug + Send + Sync {
     /// Writes the element's next-timestep state after a converged step.
     /// `ctx.x` holds the converged solution; `ctx.state` the previous state.
     fn update_state(&self, _ctx: &StampCtx<'_>, _state_next: &mut [f64]) {}
+
+    /// Appends the times in `[0, t_stop]` at which this element's
+    /// behaviour has a corner (PWL knots, pulse edges, …). The adaptive
+    /// transient controller lands a step exactly on every breakpoint so
+    /// sharp source edges are never straddled by a large step. Stateless
+    /// smooth elements keep the empty default.
+    fn breakpoints(&self, _t_stop: f64, _out: &mut Vec<f64>) {}
 
     /// Stamps the small-signal contribution at angular frequency `omega`,
     /// linearized around the operating point `x_op`.

@@ -89,6 +89,10 @@ impl Element for Vsource {
         out.rhs(Some(br), source_value(&self.waveform, ctx.mode));
     }
 
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        self.waveform.breakpoints(t_stop, out);
+    }
+
     fn stamp_ac(&self, _x_op: &[f64], bb: usize, _omega: f64, out: &mut AcStamper<'_>) {
         let (a, b) = (self.a.index(), self.b.index());
         let br = out.branch(bb);
@@ -177,6 +181,10 @@ impl Element for Isource {
     fn stamp(&self, ctx: &StampCtx<'_>, out: &mut Stamper<'_>) {
         let i = source_value(&self.waveform, ctx.mode);
         out.current_source(self.a.index(), self.b.index(), i);
+    }
+
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        self.waveform.breakpoints(t_stop, out);
     }
 
     fn stamp_ac(&self, _x_op: &[f64], _bb: usize, _omega: f64, out: &mut AcStamper<'_>) {

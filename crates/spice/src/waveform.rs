@@ -157,6 +157,60 @@ impl Waveform {
             Waveform::Pwl(pts) => pts.first().map(|p| p.0),
         }
     }
+
+    /// Appends every slope discontinuity in `[0, t_stop]` to `out`: PWL
+    /// knots, the four corners of each pulse period, the start of a
+    /// delayed sinusoid. The adaptive transient controller lands a step
+    /// exactly on each of these so source corners are never straddled.
+    pub fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        // Cap runaway periodic sources; past this the controller's own
+        // rejection logic is cheaper than an edge list.
+        const MAX_PERIODS: usize = 100_000;
+        match self {
+            Waveform::Dc(_) => {}
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                if *period <= 0.0 {
+                    return;
+                }
+                let mut start = *delay;
+                for _ in 0..MAX_PERIODS {
+                    if start > t_stop {
+                        break;
+                    }
+                    for corner in [
+                        start,
+                        start + rise,
+                        start + rise + width,
+                        start + rise + width + fall,
+                    ] {
+                        if (0.0..=t_stop).contains(&corner) {
+                            out.push(corner);
+                        }
+                    }
+                    start += period;
+                }
+            }
+            Waveform::Sine { delay, .. } => {
+                if (0.0..=t_stop).contains(delay) && *delay > 0.0 {
+                    out.push(*delay);
+                }
+            }
+            Waveform::Pwl(pts) => {
+                out.extend(
+                    pts.iter()
+                        .map(|p| p.0)
+                        .filter(|t| (0.0..=t_stop).contains(t)),
+                );
+            }
+        }
+    }
 }
 
 impl Default for Waveform {

@@ -1,7 +1,7 @@
 # Development task runner. Same gates as .github/workflows/ci.yml.
 
 # Run every CI gate locally.
-ci: fmt-check clippy test
+ci: fmt-check clippy test bench-smoke
 
 # Formatting gate.
 fmt-check:
@@ -23,3 +23,12 @@ test:
 # Regenerate the PR performance benchmark artifact.
 bench-pr1:
     cargo run --release -p cml-bench --bin bench_pr1
+
+# Regenerate the sparse-solver / adaptive-stepping benchmark artifact.
+bench-pr2:
+    cargo run --release -p cml-bench --bin bench_pr2
+
+# Quick benchmark sanity gate (tiny workload; asserts the sparse and
+# dense solvers agree to <= 1e-9 and the adaptive eye stays honest).
+bench-smoke:
+    cargo run --release -p cml-bench --bin bench_pr2 -- --smoke

@@ -1,0 +1,150 @@
+//! PR benchmark: pre-simulation lint overhead on the PRBS-7 eye
+//! workload.
+//!
+//! The PR 3 linter runs as a mandatory precheck inside every analysis
+//! entry point, so its cost is paid on each `op`/`dc`/`ac`/`tran` call.
+//! This benchmark builds the same transistor-level input-interface
+//! workload as `bench_pr2` (~100 MNA unknowns, 10 Gb/s PRBS-7 drive),
+//! then measures:
+//!
+//! 1. **lint full** — a complete `lint()` pass (all severities),
+//!    averaged over many repetitions;
+//! 2. **lint precheck** — the error-only `precheck()` path the analyses
+//!    actually call;
+//! 3. **dense-fixed transient** — the PR 2 baseline solve
+//!    (`sparse_threshold = usize::MAX`, 1 ps grid) whose runtime the
+//!    lint must stay under 1 % of.
+//!
+//! Asserts `precheck_ms / dense_ms < 1 %` and writes `BENCH_pr3.json`
+//! in the current directory.
+//!
+//! Run with: `cargo run --release --bin bench_pr3 [--smoke]`
+
+use cml_core::cells::input_interface::InputInterfaceConfig;
+use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};
+use cml_pdk::Pdk018;
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_spice::analysis::tran::{self, TranConfig};
+use cml_spice::lint;
+use cml_spice::prelude::*;
+use serde::Value;
+use std::time::Instant;
+
+/// 10 Gb/s unit interval.
+const UI: f64 = 100e-12;
+
+/// Transistor-level receive chain with a PRBS-7 differential drive —
+/// the same workload shape as `bench_pr2`.
+fn build_workload(n_bits: usize) -> (Circuit, f64) {
+    let pdk = Pdk018::typical();
+    let cfg = InputInterfaceConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    let vcm = cfg.equalizer.input_common_mode();
+    let bits: Vec<bool> = Prbs::prbs7().take(n_bits).collect();
+    let pwl = NrzConfig::new(UI, 0.2).with_offset(vcm).render_pwl(&bits);
+    add_diff_drive(&mut ckt, "VIN", input, vcm, Some(Waveform::Pwl(pwl)));
+    input_interface::build(&mut ckt, &pdk, &cfg, "rx", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    (ckt, n_bits as f64 * UI)
+}
+
+/// Average wall-clock of `f` over `reps` runs, in milliseconds.
+fn avg_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_bits = if smoke { 8 } else { 40 };
+    let reps = if smoke { 20 } else { 200 };
+    let (ckt, t_stop) = build_workload(n_bits);
+    let n_elems = ckt.elements().count();
+    println!(
+        "lint workload: transistor-level input interface, {n_elems} elements, \
+         PRBS-7 {n_bits} bits @ 10 Gb/s{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // The workload must itself be error-clean, or the transient below
+    // would be rejected before it ever solves.
+    let report = lint::lint(&ckt);
+    assert!(
+        !report.has_errors(),
+        "workload fails its own lint:\n{}",
+        report.render(lint::Severity::Error)
+    );
+
+    let full_ms = avg_ms(reps, || {
+        let r = lint::lint(&ckt);
+        assert!(!r.has_errors());
+    });
+    let precheck_ms = avg_ms(reps, || {
+        lint::precheck(&ckt).expect("clean workload");
+    });
+
+    // Dense-fixed baseline (PR 2's reference configuration). The lint
+    // precheck runs inside this call too, so the measured ratio is if
+    // anything pessimistic.
+    let mut dense_cfg = TranConfig::new(t_stop, 1e-12);
+    dense_cfg.newton.sparse_threshold = usize::MAX;
+    let t0 = Instant::now();
+    let res = tran::run(&ckt, &dense_cfg).expect("transient");
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let overhead = precheck_ms / dense_ms;
+    println!("  lint full      {full_ms:9.4} ms (avg of {reps})");
+    println!("  lint precheck  {precheck_ms:9.4} ms (avg of {reps})");
+    println!("  dense transient{dense_ms:9.1} ms  ({} points)", res.len());
+    println!(
+        "  precheck overhead: {:.4} % of dense solve",
+        overhead * 1e2
+    );
+    assert!(
+        overhead < 0.01,
+        "lint precheck overhead {:.3} % exceeds the 1 % budget",
+        overhead * 1e2
+    );
+
+    let json_report = obj(vec![
+        ("bench", Value::Str("bench_pr3".into())),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "workload",
+            Value::Str(format!(
+                "input interface (transistor level), {n_elems} elements, \
+                 PRBS-7 {n_bits} bits @ 10 Gb/s, dt 1 ps"
+            )),
+        ),
+        ("lint_reps", Value::Num(reps as f64)),
+        ("lint_full_ms", Value::Num(full_ms)),
+        ("lint_precheck_ms", Value::Num(precheck_ms)),
+        ("dense_fixed_tran_ms", Value::Num(dense_ms)),
+        ("precheck_overhead_frac", Value::Num(overhead)),
+        ("overhead_budget_frac", Value::Num(0.01)),
+        (
+            "diagnostics_on_workload",
+            Value::Num(report.diagnostics.len() as f64),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&json_report).expect("render BENCH_pr3.json");
+    std::fs::write("BENCH_pr3.json", format!("{json}\n")).expect("write BENCH_pr3.json");
+    println!("wrote BENCH_pr3.json");
+}

@@ -138,6 +138,8 @@ pub fn build(
         cfg.r_startup,
     ));
 
+    crate::cells::debug_assert_unique_names(ckt, prefix);
+
     vref
 }
 

@@ -187,6 +187,7 @@ pub fn build(
             cfg.neg_miller,
         ));
     }
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 /// Output common-mode voltage this buffer settles to (next stage's input

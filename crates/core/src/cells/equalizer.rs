@@ -267,6 +267,7 @@ pub fn build(
             cfg.i_fb,
         ));
     }
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 #[cfg(test)]

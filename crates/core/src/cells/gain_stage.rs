@@ -182,6 +182,7 @@ pub fn build(
             cfg.neg_miller,
         ));
     }
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 /// Output common mode: `VDD − (I_tail·(1+fb)/2)·R_load`, minus the PMOS

@@ -111,6 +111,7 @@ pub fn build(
         output,
         vdd,
     );
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 #[cfg(test)]

@@ -216,6 +216,7 @@ pub fn build(
             oc.i_corr,
         ));
     }
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 /// The LA's nominal port common-mode voltage.

@@ -80,6 +80,23 @@ pub fn add_supply(ckt: &mut Circuit, volts: f64) -> NodeId {
     vdd
 }
 
+/// Debug-build guard called at the end of every cell generator: asserts
+/// the circuit's element names are still unique after the cell appended
+/// its devices (the lint class a generator can most plausibly introduce
+/// — e.g. two instances sharing a prefix). Full structural lint runs on
+/// the *complete* circuit in the analysis precheck instead, because a
+/// half-built circuit legitimately has undriven ports and would false-
+/// positive the connectivity passes here.
+pub fn debug_assert_unique_names(ckt: &Circuit, cell: &str) {
+    if cfg!(debug_assertions) {
+        let dupes = cml_spice::lint::duplicate_element_names(ckt);
+        assert!(
+            dupes.is_empty(),
+            "cell '{cell}' left duplicate element names in the circuit: {dupes:?}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

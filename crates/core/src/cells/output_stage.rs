@@ -614,6 +614,7 @@ pub fn build_output_interface(
             boost / v_xor_full,
         ));
     }
+    crate::cells::debug_assert_unique_names(ckt, prefix);
 }
 
 #[cfg(test)]

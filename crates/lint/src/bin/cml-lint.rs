@@ -1,0 +1,197 @@
+//! `cml-lint` — lint SPICE netlists (or the paper's generated blocks)
+//! without running any simulation.
+//!
+//! ```text
+//! cml-lint [--format text|json] [--level error|warning|info]
+//!          [--builtin buffer|equalizer|bmvr|la|all] [--codes]
+//!          [FILES... | -]
+//! ```
+//!
+//! Each positional argument is a netlist file in the dialect emitted by
+//! `Circuit::netlist()` (`-` reads stdin). Exit status: 0 when every
+//! input lints free of error-level diagnostics, 1 when any input has
+//! errors, 2 on usage or parse failure.
+
+use cml_lint::{
+    builtin_circuit, lint, parse_netlist, report_to_json, LintCode, Severity, BUILTIN_NAMES,
+};
+use serde::Value;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    min: Severity,
+    builtins: Vec<String>,
+    files: Vec<String>,
+    codes: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: cml-lint [--format text|json] [--level error|warning|info]\n\
+     \x20               [--builtin buffer|equalizer|bmvr|la|all] [--codes] [FILES... | -]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        min: Severity::Info,
+        builtins: Vec::new(),
+        files: Vec::new(),
+        codes: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--level" => match it.next().map(String::as_str) {
+                Some("error") => opts.min = Severity::Error,
+                Some("warning") => opts.min = Severity::Warning,
+                Some("info") => opts.min = Severity::Info,
+                other => return Err(format!("--level expects error|warning|info, got {other:?}")),
+            },
+            "--builtin" => match it.next().map(String::as_str) {
+                Some("all") => opts
+                    .builtins
+                    .extend(BUILTIN_NAMES.iter().map(|s| (*s).to_string())),
+                Some(name) if BUILTIN_NAMES.contains(&name) => {
+                    opts.builtins.push(name.to_string());
+                }
+                other => {
+                    return Err(format!(
+                        "--builtin expects {}|all, got {other:?}",
+                        BUILTIN_NAMES.join("|")
+                    ))
+                }
+            },
+            "--codes" => opts.codes = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if !opts.codes && opts.files.is_empty() && opts.builtins.is_empty() {
+        return Err("no inputs: give netlist files, '-', or --builtin".to_string());
+    }
+    Ok(opts)
+}
+
+fn print_code_table() {
+    for code in LintCode::ALL {
+        println!(
+            "{}  {:<7}  {}",
+            code.as_str(),
+            code.severity(),
+            code.title()
+        );
+    }
+}
+
+/// Lints one named circuit; returns (had_errors, json fragment).
+fn lint_one(label: &str, ckt: &cml_spice::Circuit, opts: &Options) -> (bool, Value) {
+    let report = lint(ckt);
+    let had_errors = report.has_errors();
+    if !opts.json {
+        let body = report.render(opts.min);
+        let shown = report.at_least(opts.min).count();
+        if shown == 0 {
+            println!("{label}: clean");
+        } else {
+            println!(
+                "{label}: {} error(s), {} warning(s), {} info(s)",
+                report.count(Severity::Error),
+                report.count(Severity::Warning),
+                report.count(Severity::Info)
+            );
+            print!("{body}");
+        }
+    }
+    let mut obj = vec![("input".to_string(), Value::Str(label.to_string()))];
+    if let Value::Obj(fields) = report_to_json(&report, opts.min) {
+        obj.extend(fields);
+    }
+    (had_errors, Value::Obj(obj))
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cml-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.codes {
+        print_code_table();
+        if opts.files.is_empty() && opts.builtins.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let mut results: Vec<Value> = Vec::new();
+    let mut any_errors = false;
+    for name in &opts.builtins {
+        let Some(ckt) = builtin_circuit(name) else {
+            eprintln!("cml-lint: unknown builtin '{name}'");
+            return ExitCode::from(2);
+        };
+        let (errs, json) = lint_one(&format!("builtin:{name}"), &ckt, &opts);
+        any_errors |= errs;
+        results.push(json);
+    }
+    for path in &opts.files {
+        let text = match read_input(path) {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("cml-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let ckt = match parse_netlist(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cml-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (errs, json) = lint_one(path, &ckt, &opts);
+        any_errors |= errs;
+        results.push(json);
+    }
+
+    if opts.json {
+        match serde_json::to_string_pretty(&Value::Arr(results)) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cml-lint: json: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if any_errors {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test for the linter's central soundness claim: any randomly
+//! generated circuit that passes error-level lint has a solvable DC
+//! system — `op()` never comes back with `Singular` (or panics) on a
+//! circuit the linter waved through. Conversely, when the linter rejects
+//! a circuit, the rejection must be a typed `LintRejected`, never a
+//! panic.
+
+use cml_lint::lint;
+use cml_spice::prelude::*;
+use cml_spice::SpiceError;
+use proptest::prelude::*;
+
+const NODE_POOL: [&str; 5] = ["n0", "n1", "n2", "n3", "n4"];
+
+/// Builds a random linear circuit from a seed: elements drawn from
+/// {R, C, V, I} with random terminals over a small node pool (ground
+/// included), unique names, sane values.
+fn random_circuit(seed: u64, n_elems: usize) -> Circuit {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as u32
+    };
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = NODE_POOL.iter().map(|n| ckt.node(n)).collect();
+    let pick_node = |r: u32| -> NodeId {
+        let i = (r as usize) % (nodes.len() + 1);
+        if i == nodes.len() {
+            Circuit::GROUND
+        } else {
+            nodes[i]
+        }
+    };
+    for k in 0..n_elems {
+        let a = pick_node(next());
+        let b = pick_node(next());
+        match next() % 4 {
+            0 => ckt.add(Resistor::new(
+                &format!("R{k}"),
+                a,
+                b,
+                10.0 + f64::from(next() % 100_000),
+            )),
+            1 => ckt.add(Capacitor::new(&format!("C{k}"), a, b, 1e-12)),
+            2 => ckt.add(Vsource::dc(
+                &format!("V{k}"),
+                a,
+                b,
+                f64::from(next() % 300) / 100.0,
+            )),
+            _ => ckt.add(Isource::dc(
+                &format!("I{k}"),
+                a,
+                b,
+                f64::from(next() % 1000) * 1e-5,
+            )),
+        }
+    }
+    ckt
+}
+
+proptest! {
+    /// Error-level-clean circuits solve; rejected circuits fail typed.
+    #[test]
+    fn lint_clean_implies_solvable_dc(
+        seed in any::<u64>(),
+        n_elems in 1usize..12,
+    ) {
+        let ckt = random_circuit(seed, n_elems);
+        let report = lint(&ckt);
+        let result = op::solve(&ckt);
+        if report.has_errors() {
+            // The precheck must reject with the structured error —
+            // never a panic, never a bare Singular from inside Newton.
+            prop_assert!(
+                matches!(result, Err(SpiceError::LintRejected { .. })),
+                "lint found errors but op returned {result:?}"
+            );
+        } else {
+            // The linter passed it: the DC system must be solvable.
+            prop_assert!(
+                !matches!(result, Err(SpiceError::Singular { .. })),
+                "lint-clean circuit came back singular: {result:?}\nnetlist:\n{}",
+                ckt.netlist()
+            );
+            prop_assert!(
+                !matches!(result, Err(SpiceError::LintRejected { .. })),
+                "full lint clean but precheck rejected: {result:?}"
+            );
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   used to synthesize channel impulse responses from loss profiles,
 //! * [`interp`] — linear and monotone cubic (PCHIP) interpolation for
 //!   waveform resampling,
+//! * [`matching`] — maximum bipartite matching / structural rank of a
+//!   sparse pattern, used by the netlist linter to predict MNA
+//!   singularity before any factorization is attempted,
 //! * [`stats`] — summary statistics and histogramming used by the eye
 //!   diagram and jitter measurements.
 //!
@@ -44,6 +47,7 @@ mod dense;
 mod error;
 pub mod fft;
 pub mod interp;
+pub mod matching;
 pub mod sparse;
 pub mod sparse_lu;
 pub mod stats;

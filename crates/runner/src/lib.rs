@@ -13,6 +13,8 @@
 //! CLI flag wins, then the `CML_THREADS` environment variable, then the
 //! machine's available parallelism.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the default worker-thread count.

@@ -74,6 +74,7 @@ impl AcResult {
 /// [`SpiceError::Singular`] if the small-signal system is singular at some
 /// frequency.
 pub fn sweep(ckt: &Circuit, x_op: &[f64], freqs: &[f64]) -> Result<AcResult, SpiceError> {
+    crate::lint::precheck(ckt)?;
     let sys = System::new(ckt);
     let gmin = NewtonOptions::default().gmin;
     let mut sols = Vec::with_capacity(freqs.len());

@@ -625,7 +625,11 @@ impl<'a> System<'a> {
                 // moved, and those live purely in the RHS.
                 self.stamp_linear_rhs(state, mode, &mut ws.lin_rhs);
             } else if run_sparse {
-                let sp = ws.sparse.as_mut().expect("run_sparse implies state");
+                let Some(sp) = ws.sparse.as_mut() else {
+                    return Err(AttemptError::Spice(SpiceError::Internal {
+                        message: "sparse solve selected without sparse workspace".to_string(),
+                    }));
+                };
                 self.assemble_sparse_linear(state, mode, opts.gmin, sp, &mut ws.lin_rhs)?;
                 sp.lin_vals.clear();
                 sp.lin_vals.extend_from_slice(sp.mat.vals());
@@ -643,7 +647,11 @@ impl<'a> System<'a> {
         let mut worst = f64::INFINITY;
         for _iter in 0..opts.max_iter {
             if run_sparse {
-                let sp = ws.sparse.as_mut().expect("run_sparse implies state");
+                let Some(sp) = ws.sparse.as_mut() else {
+                    return Err(AttemptError::Spice(SpiceError::Internal {
+                        message: "sparse solve selected without sparse workspace".to_string(),
+                    }));
+                };
                 ws.x_new.resize(dim, 0.0);
                 match key {
                     Some(k) if !self.has_nonlinear => {

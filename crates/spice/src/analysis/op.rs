@@ -97,6 +97,7 @@ pub fn solve_with(
     opts: &NewtonOptions,
     at_time: Option<f64>,
 ) -> Result<OpResult, SpiceError> {
+    crate::lint::precheck(ckt)?;
     let sys = System::new(ckt);
     let x = solve_system(&sys, opts, at_time)?;
     Ok(OpResult {

@@ -181,6 +181,7 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
             message: "t_stop and dt must be positive".into(),
         });
     }
+    crate::lint::precheck(ckt)?;
     let sys = System::new(ckt);
 
     // Initial condition: DC solve with waveforms evaluated at t = 0.

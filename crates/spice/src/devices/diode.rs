@@ -6,7 +6,7 @@
 
 use super::DeviceCap;
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, Element, StampCtx, StampMode, Stamper};
+use crate::element::{AcStamper, DcCoupling, Element, ElementKind, StampCtx, StampMode, Stamper};
 
 /// Maximum exponent argument before linear extrapolation takes over.
 const MAX_EXP_ARG: f64 = 40.0;
@@ -147,6 +147,14 @@ impl Element for Diode {
         let vk = self.k.index().map_or(0.0, |i| x_op[i]);
         let (i, _) = self.iv(va - vk);
         Some((va - vk) * i)
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Diode
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        vec![DcCoupling::Conductive(self.a, self.k)]
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {

@@ -12,7 +12,8 @@
 
 use super::DeviceCap;
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, Element, StampCtx, StampMode, Stamper};
+use crate::element::{AcStamper, DcCoupling, Element, ElementKind, StampCtx, StampMode, Stamper};
+use crate::lint::LintCode;
 use std::fmt;
 
 /// Channel polarity.
@@ -396,6 +397,30 @@ impl Element for Mosfet {
         let vd = self.d.index().map_or(0.0, |i| x_op[i]);
         let vs = self.s.index().map_or(0.0, |i| x_op[i]);
         Some((vd - vs) * self.drain_current(x_op))
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Mosfet
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        // Only the channel conducts at DC: the gate is an open circuit
+        // and the bulk junctions are modelled as capacitances only.
+        vec![DcCoupling::Conductive(self.d, self.s)]
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        if self.d == self.s {
+            vec![(
+                LintCode::MosfetDegenerate,
+                format!(
+                    "mosfet '{}' has drain and source on the same node",
+                    self.name
+                ),
+            )]
+        } else {
+            Vec::new()
+        }
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {

@@ -357,6 +357,52 @@ impl<'a> AcStamper<'a> {
     }
 }
 
+/// Coarse element classification, used by the netlist linter
+/// ([`crate::lint`]) and other diagnostics to reason about an element
+/// without downcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// Linear resistor.
+    Resistor,
+    /// Linear capacitor.
+    Capacitor,
+    /// Linear inductor.
+    Inductor,
+    /// Independent voltage source.
+    VoltageSource,
+    /// Independent current source.
+    CurrentSource,
+    /// Voltage-controlled voltage source.
+    Vcvs,
+    /// Voltage-controlled current source.
+    Vccs,
+    /// MOSFET device.
+    Mosfet,
+    /// Diode device.
+    Diode,
+    /// Anything else (custom or behavioural elements).
+    Other,
+}
+
+/// How a pair of element terminals is coupled at DC, as seen by the
+/// netlist linter's connectivity and loop analyses ([`crate::lint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcCoupling {
+    /// A finite, generically nonzero DC conductance links the two nodes
+    /// (resistor, diode, MOSFET channel, VCCS output that can hold its
+    /// node).
+    Conductive(NodeId, NodeId),
+    /// The element forces the DC voltage difference between the two
+    /// nodes through a branch-current unknown (voltage source, inductor
+    /// as a DC short, VCVS output branch). Loops of such couplings make
+    /// the MNA system singular.
+    VoltageDefined(NodeId, NodeId),
+    /// A guess-independent current is pushed between the nodes with no
+    /// matrix entries at all (independent current source). Cutsets made
+    /// only of such couplings leave the island's potential undefined.
+    CurrentInjection(NodeId, NodeId),
+}
+
 /// A circuit element that can stamp itself into the MNA system.
 ///
 /// Implementors live in [`crate::elements`] and [`crate::devices`]. The
@@ -422,6 +468,46 @@ pub trait Element: fmt::Debug + Send + Sync {
     /// power they *deliver* as negative dissipation.
     fn dc_power(&self, _x_op: &[f64], _branch_base: usize) -> Option<f64> {
         None
+    }
+
+    /// Coarse classification of this element for diagnostics. Custom
+    /// elements may keep the [`ElementKind::Other`] default.
+    fn kind(&self) -> ElementKind {
+        ElementKind::Other
+    }
+
+    /// DC couplings between this element's terminals, consumed by the
+    /// netlist linter's connectivity, loop and cutset analyses.
+    ///
+    /// The default is deliberately generous — every terminal pair is
+    /// reported [`DcCoupling::Conductive`] — so that unknown custom
+    /// elements can never cause false-positive "no DC path" errors;
+    /// genuinely broken topologies are still caught by the structural
+    /// rank check, which works from the recorded stamp pattern alone.
+    /// Built-in elements override this with their true couplings.
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        let nodes = self.nodes();
+        let mut out = Vec::new();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                out.push(DcCoupling::Conductive(nodes[i], nodes[j]));
+            }
+        }
+        out
+    }
+
+    /// DC value of an independent source, `None` for everything else.
+    /// Used by the linter's bias-path heuristics.
+    fn dc_source_value(&self) -> Option<f64> {
+        None
+    }
+
+    /// Element-local sanity findings (degenerate connections, dead
+    /// sources, implausible parameter magnitudes) as `(code, message)`
+    /// pairs; the linter wraps them into full diagnostics. The default
+    /// reports nothing.
+    fn lint_self(&self) -> Vec<(crate::lint::LintCode, String)> {
+        Vec::new()
     }
 
     /// SPICE-netlist card for this element, using `node_name` to render

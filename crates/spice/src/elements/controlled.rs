@@ -5,7 +5,8 @@
 //! limiting-amplifier models of `cml-core`.
 
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, Element, StampCtx, Stamper};
+use crate::element::{AcStamper, DcCoupling, Element, ElementKind, StampCtx, Stamper};
+use crate::lint::LintCode;
 use cml_numeric::Complex64;
 
 /// Voltage-controlled voltage source: `v(a,b) = gain · v(cp,cn)`.
@@ -87,6 +88,16 @@ impl Element for Vcvs {
         out.mat(Some(br), cp, -g);
         out.mat(Some(br), cn, g);
     }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Vcvs
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        // Only the output branch holds a DC relation; the control pair is
+        // sensed with infinite impedance.
+        vec![DcCoupling::VoltageDefined(self.a, self.b)]
+    }
 }
 
 /// Voltage-controlled current source: current `gm · v(cp,cn)` flows from
@@ -155,6 +166,28 @@ impl Element for Vccs {
             self.cn.index(),
             self.gm,
         );
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Vccs
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        // Generously treat the output pair as conductive so a VCCS-loaded
+        // node is not flagged as having no DC path; a genuinely unheld
+        // output column is still caught by the structural-rank pass.
+        vec![DcCoupling::Conductive(self.a, self.b)]
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        if self.gm == 0.0 {
+            vec![(
+                LintCode::DeadSource,
+                format!("vccs '{}' has zero transconductance", self.name),
+            )]
+        } else {
+            Vec::new()
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Independent voltage and current sources.
 
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, Element, StampCtx, StampMode, Stamper};
+use crate::element::{AcStamper, DcCoupling, Element, ElementKind, StampCtx, StampMode, Stamper};
+use crate::lint::LintCode;
 use crate::waveform::Waveform;
 use cml_numeric::Complex64;
 
@@ -111,6 +112,32 @@ impl Element for Vsource {
         Some((va - vb) * i)
     }
 
+    fn kind(&self) -> ElementKind {
+        ElementKind::VoltageSource
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        vec![DcCoupling::VoltageDefined(self.a, self.b)]
+    }
+
+    fn dc_source_value(&self) -> Option<f64> {
+        Some(self.waveform.dc_value())
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        if matches!(self.waveform, Waveform::Dc(v) if v == 0.0) && self.ac_mag == 0.0 {
+            vec![(
+                LintCode::DeadSource,
+                format!(
+                    "voltage source '{}' is 0 V DC with no AC magnitude",
+                    self.name
+                ),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
         format!(
             "V{} {} {} DC {:.6e}",
@@ -197,6 +224,32 @@ impl Element for Isource {
         let va = self.a.index().map_or(0.0, |i| x_op[i]);
         let vb = self.b.index().map_or(0.0, |i| x_op[i]);
         Some((va - vb) * self.waveform.dc_value())
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::CurrentSource
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        vec![DcCoupling::CurrentInjection(self.a, self.b)]
+    }
+
+    fn dc_source_value(&self) -> Option<f64> {
+        Some(self.waveform.dc_value())
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        if matches!(self.waveform, Waveform::Dc(v) if v == 0.0) && self.ac_mag == 0.0 {
+            vec![(
+                LintCode::DeadSource,
+                format!(
+                    "current source '{}' is 0 A DC with no AC magnitude",
+                    self.name
+                ),
+            )]
+        } else {
+            Vec::new()
+        }
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {

@@ -1,7 +1,10 @@
 //! Resistors, capacitors and inductors.
 
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, Element, Integration, StampCtx, StampMode, Stamper};
+use crate::element::{
+    AcStamper, DcCoupling, Element, ElementKind, Integration, StampCtx, StampMode, Stamper,
+};
+use crate::lint::LintCode;
 use cml_numeric::Complex64;
 
 /// A linear resistor between two nodes.
@@ -62,6 +65,37 @@ impl Element for Resistor {
         let va = self.a.index().map_or(0.0, |i| x_op[i]);
         let vb = self.b.index().map_or(0.0, |i| x_op[i]);
         Some((va - vb) * (va - vb) / self.ohms)
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Resistor
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        vec![DcCoupling::Conductive(self.a, self.b)]
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        let mut out = Vec::new();
+        if self.a == self.b {
+            out.push((
+                LintCode::SelfLoop,
+                format!(
+                    "resistor '{}' has both terminals on the same node",
+                    self.name
+                ),
+            ));
+        }
+        if self.ohms > 1e9 || self.ohms < 1e-3 {
+            out.push((
+                LintCode::ExtremeParameter,
+                format!(
+                    "resistance {:.3e} ohm is outside [1 mohm, 1 Gohm]",
+                    self.ohms
+                ),
+            ));
+        }
+        out
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
@@ -168,6 +202,34 @@ impl Element for Capacitor {
 
     fn stamp_ac(&self, _x_op: &[f64], _bb: usize, omega: f64, out: &mut AcStamper<'_>) {
         out.capacitance(self.a.index(), self.b.index(), self.farads, omega);
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Capacitor
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        Vec::new() // open at DC
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        let mut out = Vec::new();
+        if self.a == self.b {
+            out.push((
+                LintCode::SelfLoop,
+                format!(
+                    "capacitor '{}' has both terminals on the same node",
+                    self.name
+                ),
+            ));
+        }
+        if self.farads > 1e-3 {
+            out.push((
+                LintCode::ExtremeParameter,
+                format!("capacitance {:.3e} F exceeds 1 mF", self.farads),
+            ));
+        }
+        out
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {
@@ -289,6 +351,34 @@ impl Element for Inductor {
             Some(br),
             Complex64::new(0.0, -omega * self.henries),
         );
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::Inductor
+    }
+
+    fn dc_couplings(&self) -> Vec<DcCoupling> {
+        vec![DcCoupling::VoltageDefined(self.a, self.b)] // DC short
+    }
+
+    fn lint_self(&self) -> Vec<(LintCode, String)> {
+        let mut out = Vec::new();
+        if self.a == self.b {
+            out.push((
+                LintCode::SelfLoop,
+                format!(
+                    "inductor '{}' has both terminals on the same node",
+                    self.name
+                ),
+            ));
+        }
+        if self.henries > 1.0 {
+            out.push((
+                LintCode::ExtremeParameter,
+                format!("inductance {:.3e} H exceeds 1 H", self.henries),
+            ));
+        }
+        out
     }
 
     fn card(&self, node_name: &dyn Fn(NodeId) -> String) -> String {

@@ -43,6 +43,21 @@ pub enum SpiceError {
     },
     /// An underlying numeric kernel failed in a way not covered above.
     Numeric(NumericError),
+    /// The pre-simulation lint precheck found error-level structural
+    /// defects; the solve was not attempted. Set `CML_LINT=off` to
+    /// bypass the precheck (the solve will then typically fail with
+    /// [`SpiceError::Singular`] instead, without the diagnosis).
+    LintRejected {
+        /// The error-level diagnostics, sorted as in
+        /// [`crate::lint::LintReport`].
+        diagnostics: Vec<crate::lint::Diagnostic>,
+    },
+    /// An internal invariant of the analysis engine was violated — a bug
+    /// in the simulator, not in the user's circuit.
+    Internal {
+        /// Description of the broken invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -66,6 +81,20 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
             SpiceError::Numeric(e) => write!(f, "numeric error: {e}"),
+            SpiceError::LintRejected { diagnostics } => {
+                write!(
+                    f,
+                    "netlist rejected by pre-simulation lint ({} error(s); CML_LINT=off to bypass)",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            SpiceError::Internal { message } => {
+                write!(f, "internal simulator error: {message}")
+            }
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod devices;
 pub mod element;
 pub mod elements;
 mod error;
+pub mod lint;
 pub mod waveform;
 
 pub use circuit::{Circuit, NodeId};

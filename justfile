@@ -1,7 +1,7 @@
 # Development task runner. Same gates as .github/workflows/ci.yml.
 
 # Run every CI gate locally.
-ci: fmt-check clippy test bench-smoke
+ci: fmt-check clippy test lint-circuits bench-smoke
 
 # Formatting gate.
 fmt-check:
@@ -27,6 +27,15 @@ bench-pr1:
 # Regenerate the sparse-solver / adaptive-stepping benchmark artifact.
 bench-pr2:
     cargo run --release -p cml-bench --bin bench_pr2
+
+# Regenerate the lint-overhead benchmark artifact.
+bench-pr3:
+    cargo run --release -p cml-bench --bin bench_pr3
+
+# Static netlist DRC over every generated circuit block (fails on any
+# error-level diagnostic; `cml-lint --codes` documents the code table).
+lint-circuits:
+    cargo run --release -p cml-lint --bin cml-lint -- --builtin all
 
 # Quick benchmark sanity gate (tiny workload; asserts the sparse and
 # dense solvers agree to <= 1e-9 and the adaptive eye stays honest).

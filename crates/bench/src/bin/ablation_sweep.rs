@@ -31,8 +31,7 @@ fn buffer_bode(cfg: &CmlBufferConfig, c_load: f64) -> Bode {
     ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, c_load));
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
     let freqs = logspace(1e7, 60e9, 80);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("buffer ac");
-    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    cml_core::freq::differential_bode(&ckt, output, &freqs).expect("buffer ac")
 }
 
 fn la_bode(cfg: &LimitingAmpConfig) -> Bode {
@@ -46,8 +45,7 @@ fn la_bode(cfg: &LimitingAmpConfig) -> Bode {
     ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
     let freqs = logspace(1e6, 60e9, 120);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("la ac");
-    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    cml_core::freq::differential_bode(&ckt, output, &freqs).expect("la ac")
 }
 
 fn report(label: &str, bode: &Bode) {

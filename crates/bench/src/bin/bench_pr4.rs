@@ -1,0 +1,195 @@
+//! PR benchmark: sparse complex AC engine with shared symbolic analysis
+//! and parallel frequency sweeps.
+//!
+//! Builds the transistor-level four-stage limiting amplifier and times a
+//! wide AC sweep under three engine configurations:
+//!
+//! 1. **dense serial** — per-point dense complex LU (the pre-PR path,
+//!    forced via `sparse_threshold = usize::MAX`, one thread);
+//! 2. **sparse serial** — symbolic analysis recorded once, per-point
+//!    numeric refactorization replayed into the frozen pattern (results
+//!    must agree with dense to ≤ 1e-9);
+//! 3. **sparse parallel** — the same sparse replay with the frequency
+//!    grid partitioned across worker threads (results must be
+//!    bit-identical to the serial sparse sweep).
+//!
+//! Writes everything to `BENCH_pr4.json` in the current directory.
+//!
+//! Run with: `cargo run --release --bin bench_pr4 [--smoke] [--threads N]`
+
+use cml_core::cells::limiting_amp::{self, LimitingAmpConfig};
+use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
+use cml_numeric::logspace;
+use cml_spice::analysis::ac::{self, AcResult};
+use cml_spice::analysis::{op, NewtonOptions};
+use cml_spice::prelude::*;
+use serde::Value;
+use std::time::Instant;
+
+struct Workload {
+    ckt: Circuit,
+    out: DiffPort,
+    dim: usize,
+}
+
+/// Transistor-level limiting amplifier with a unit differential AC drive.
+fn build_workload() -> Workload {
+    let pdk = cml_pdk::Pdk018::typical();
+    let cfg = LimitingAmpConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(
+        &mut ckt,
+        "VIN",
+        input,
+        limiting_amp::common_mode(&cfg),
+        None,
+    );
+    limiting_amp::build(&mut ckt, &pdk, &cfg, "la", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    let dim = ckt.num_unknown_nodes();
+    Workload { ckt, out, dim }
+}
+
+/// Runs one AC sweep and reports wall-clock plus the result.
+fn timed_sweep(
+    w: &Workload,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+) -> (f64, AcResult) {
+    let t0 = Instant::now();
+    let res = ac::sweep_with(&w.ckt, x_op, freqs, opts, threads).expect("ac sweep");
+    (t0.elapsed().as_secs_f64() * 1e3, res)
+}
+
+/// Worst complex node-voltage difference between two sweeps across every
+/// unknown node and frequency point.
+fn max_diff(w: &Workload, n_freqs: usize, a: &AcResult, b: &AcResult) -> f64 {
+    let mut worst = 0.0f64;
+    for raw in 1..=w.ckt.num_unknown_nodes() {
+        let node = NodeId::from_raw(raw as u32);
+        for idx in 0..n_freqs {
+            worst = worst.max((a.voltage(node, idx) - b.voltage(node, idx)).abs());
+        }
+    }
+    worst
+}
+
+/// True when every complex sample of the two sweeps is bit-identical.
+fn bit_identical(w: &Workload, n_freqs: usize, a: &AcResult, b: &AcResult) -> bool {
+    for raw in 1..=w.ckt.num_unknown_nodes() {
+        let node = NodeId::from_raw(raw as u32);
+        for idx in 0..n_freqs {
+            let x = a.voltage(node, idx);
+            let y = b.voltage(node, idx);
+            if x.re.to_bits() != y.re.to_bits() || x.im.to_bits() != y.im.to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_points = if smoke { 120 } else { 2400 };
+    let w = build_workload();
+    let freqs = logspace(1e2, 60e9, n_points);
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let par_threads = cml_runner::threads_flag(std::env::args())
+        .unwrap_or(host_threads)
+        .max(4);
+    println!(
+        "AC workload: transistor-level limiting amplifier ({} unknowns), \
+         {n_points}-point sweep 100 Hz .. 60 GHz{}",
+        w.dim,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let dense_opts = NewtonOptions {
+        sparse_threshold: usize::MAX,
+        ..NewtonOptions::default()
+    };
+    let sparse_opts = NewtonOptions {
+        sparse_threshold: 1,
+        ..NewtonOptions::default()
+    };
+    let x_op = op::solve(&w.ckt).expect("operating point");
+
+    let (dense_ms, dense_res) = timed_sweep(&w, x_op.solution(), &freqs, &dense_opts, 1);
+    let (serial_ms, serial_res) = timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, 1);
+    let (par_ms, par_res) = timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, par_threads);
+
+    let diff = max_diff(&w, n_points, &dense_res, &serial_res);
+    let identical = bit_identical(&w, n_points, &serial_res, &par_res);
+    let speedup_serial = dense_ms / serial_ms;
+    let speedup_par = dense_ms / par_ms;
+    let gain = serial_res.differential_trace(w.out.p, w.out.n)[0].abs();
+
+    println!("  dense serial   {dense_ms:9.1} ms");
+    println!(
+        "  sparse serial  {serial_ms:9.1} ms  speedup {speedup_serial:.2}x | max diff vs dense {diff:.2e}"
+    );
+    println!(
+        "  sparse x{par_threads:<2}     {par_ms:9.1} ms  speedup {speedup_par:.2}x | bit-identical to serial: {identical}"
+    );
+    println!("  (DC differential gain {gain:.2} — sanity that the sweep solved the real cell)");
+
+    assert!(
+        diff <= 1e-9,
+        "sparse/dense AC divergence {diff:.3e} exceeds 1e-9"
+    );
+    assert!(identical, "parallel sweep is not bit-identical to serial");
+    // The ≥ 3x end-to-end gate only binds on the full workload: the smoke
+    // grid is small enough that process startup noise dominates.
+    if !smoke {
+        assert!(
+            speedup_par >= 3.0,
+            "sparse parallel speedup {speedup_par:.2}x below the 3x acceptance floor"
+        );
+    }
+
+    let report = obj(vec![
+        ("bench", Value::Str("bench_pr4".into())),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "ac_sweep",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!(
+                        "limiting amplifier (transistor level, {} unknowns), \
+                         {n_points}-point AC sweep 100 Hz .. 60 GHz",
+                        w.dim
+                    )),
+                ),
+                ("host_threads", Value::Num(host_threads as f64)),
+                ("parallel_threads", Value::Num(par_threads as f64)),
+                ("dense_serial_ms", Value::Num(dense_ms)),
+                ("sparse_serial_ms", Value::Num(serial_ms)),
+                ("sparse_parallel_ms", Value::Num(par_ms)),
+                ("speedup_sparse_serial", Value::Num(speedup_serial)),
+                ("speedup_sparse_parallel", Value::Num(speedup_par)),
+                ("sparse_dense_max_diff", Value::Num(diff)),
+                ("parallel_bit_identical", Value::Bool(identical)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr4.json");
+    std::fs::write("BENCH_pr4.json", format!("{json}\n")).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json");
+}

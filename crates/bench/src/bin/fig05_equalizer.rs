@@ -29,8 +29,7 @@ fn equalizer_bode(v_control: f64, active_feedback: bool) -> Bode {
     ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
     let freqs = logspace(1e7, 30e9, 61);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("equalizer AC solve");
-    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    cml_core::freq::differential_bode(&ckt, output, &freqs).expect("equalizer AC solve")
 }
 
 fn print_panel(title: &str, active_feedback: bool) {

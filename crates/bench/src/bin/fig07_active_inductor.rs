@@ -42,8 +42,7 @@ fn build_buffer(cfg: &CmlBufferConfig, step_input: bool) -> (Circuit, DiffPort) 
 fn buffer_bode(cfg: &CmlBufferConfig) -> Bode {
     let (ckt, output) = build_buffer(cfg, false);
     let freqs = logspace(1e7, 60e9, 81);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("buffer AC");
-    Bode::new(freqs, ac.differential_trace(output.p, output.n))
+    cml_core::freq::differential_bode(&ckt, output, &freqs).expect("buffer AC")
 }
 
 fn buffer_step(cfg: &CmlBufferConfig) -> UniformWave {

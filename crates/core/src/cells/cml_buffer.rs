@@ -219,9 +219,7 @@ mod tests {
             ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
         }
         let freqs = logspace(1e7, 60e9, 120);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
-        let diff = ac.differential_trace(output.p, output.n);
-        Bode::new(freqs, diff)
+        crate::freq::differential_bode(&ckt, output, &freqs).unwrap()
     }
 
     #[test]

@@ -288,8 +288,7 @@ mod tests {
         ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
         ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
         let freqs = logspace(1e7, 40e9, 140);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
-        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+        crate::freq::differential_bode(&ckt, output, &freqs).unwrap()
     }
 
     #[test]
@@ -366,7 +365,7 @@ mod tests {
         ckt.add(Resistor::new("RBn", cm, input.n, 1e5));
         ckt.add(Isource::dc("IIN", Circuit::GROUND, input.p, 0.0).with_ac(1.0));
         build(&mut ckt, &pdk, &cfg, "eq", input, output, vdd);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &[1e8]).unwrap();
+        let ac = crate::freq::response(&ckt, &[1e8]).unwrap();
         let zin = ac.voltage(input.p, 0).abs();
         assert!(
             zin > 30.0 && zin < 80.0,

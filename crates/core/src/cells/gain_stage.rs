@@ -211,8 +211,7 @@ mod tests {
         ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, c_load));
         ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, c_load));
         let freqs = logspace(1e7, 60e9, 120);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
-        Bode::new(freqs.clone(), ac.differential_trace(output.p, output.n))
+        crate::freq::differential_bode(&ckt, output, &freqs).unwrap()
     }
 
     #[test]
@@ -284,8 +283,7 @@ mod tests {
             last = out;
         }
         let freqs = logspace(1e7, 40e9, 60);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
-        let bode = Bode::new(freqs, ac.differential_trace(last.p, last.n));
+        let bode = crate::freq::differential_bode(&ckt, last, &freqs).unwrap();
         let dc = bode.dc_gain_db();
         assert!(dc > 40.0, "4-stage cascade gain = {dc} dB");
         // A plain cascade has plenty of gain but poor bandwidth — the

@@ -243,8 +243,7 @@ mod tests {
         ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 20e-15));
         ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 20e-15));
         let freqs = logspace(1e2, 60e9, 160);
-        let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).unwrap();
-        Bode::new(freqs, ac.differential_trace(output.p, output.n))
+        crate::freq::differential_bode(&ckt, output, &freqs).unwrap()
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod baselines;
 pub mod behav;
 pub mod cells;
 pub mod design;
+pub mod freq;
 pub mod montecarlo;
 pub mod power;
 pub mod report;

@@ -12,6 +12,8 @@
 //!   larger transient systems,
 //! * [`SparseLu`] — left-looking sparse LU with threshold pivoting and a
 //!   replayable refactorization path for Newton loops on a fixed pattern,
+//!   generic over [`Scalar`] (`f64` for DC/transient, [`Complex64`] for
+//!   the AC `G + jωC` systems),
 //! * [`fft`] — radix-2 complex FFT / inverse FFT plus real-signal helpers,
 //!   used to synthesize channel impulse responses from loss profiles,
 //! * [`interp`] — linear and monotone cubic (PCHIP) interpolation for
@@ -48,6 +50,7 @@ mod error;
 pub mod fft;
 pub mod interp;
 pub mod matching;
+mod scalar;
 pub mod sparse;
 pub mod sparse_lu;
 pub mod stats;
@@ -55,6 +58,7 @@ pub mod stats;
 pub use complex::Complex64;
 pub use dense::{lu, ComplexMatrix, DenseMatrix, LuFactors};
 pub use error::NumericError;
+pub use scalar::Scalar;
 pub use sparse_lu::SparseLu;
 
 /// Relative comparison of two floats with a combined absolute/relative

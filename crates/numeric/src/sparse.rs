@@ -7,6 +7,7 @@
 //! [`Triplet`] entries during stamping, then compress once to CSR for
 //! numerical work (or hand off to the dense solver below a size threshold).
 
+use crate::scalar::Scalar;
 use crate::{DenseMatrix, NumericError};
 
 /// A single `(row, col, value)` contribution.
@@ -168,24 +169,28 @@ impl Extend<Triplet> for TripletMatrix {
     }
 }
 
-/// Compressed-sparse-row matrix produced by [`TripletMatrix::to_csr`].
+/// Compressed-sparse-row matrix produced by [`TripletMatrix::to_csr`]
+/// (real values) or built directly from a pattern over any LU-capable
+/// scalar (`T = f64` for DC/transient Jacobians, `T = Complex64` for the
+/// AC `G + jωC` systems).
 #[derive(Debug, Clone, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<T = f64> {
     rows: usize,
     cols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
-    vals: Vec<f64>,
+    vals: Vec<T>,
 }
 
-impl CsrMatrix {
+impl<T: Scalar> CsrMatrix<T> {
     /// Builds a CSR matrix with the given nonzero *pattern* and all values
     /// zero. Duplicate positions collapse to a single slot.
     ///
     /// This is the entry point for stamp-pointer caching: the circuit
     /// engine records every position an element ever writes, builds the
     /// pattern once, and then re-stamps values into the reserved slots
-    /// (found via [`find`](Self::find)) on every Newton iteration.
+    /// (found via [`find`](Self::find)) on every Newton iteration or
+    /// AC frequency point.
     ///
     /// # Errors
     ///
@@ -224,7 +229,7 @@ impl CsrMatrix {
             cols,
             row_ptr,
             col_idx,
-            vals: vec![0.0; nnz],
+            vals: vec![T::ZERO; nnz],
         })
     }
 
@@ -248,10 +253,10 @@ impl CsrMatrix {
 
     /// Value at `(row, col)`; zero if not stored.
     #[must_use]
-    pub fn get(&self, row: usize, col: usize) -> f64 {
+    pub fn get(&self, row: usize, col: usize) -> T {
         match self.find(row, col) {
             Some(slot) => self.vals[slot],
-            None => 0.0,
+            None => T::ZERO,
         }
     }
 
@@ -287,18 +292,18 @@ impl CsrMatrix {
 
     /// Stored values, parallel to [`col_idx`](Self::col_idx).
     #[must_use]
-    pub fn vals(&self) -> &[f64] {
+    pub fn vals(&self) -> &[T] {
         &self.vals
     }
 
     /// Mutable stored values; the sparsity pattern itself is immutable.
-    pub fn vals_mut(&mut self) -> &mut [f64] {
+    pub fn vals_mut(&mut self) -> &mut [T] {
         &mut self.vals
     }
 
     /// Resets every stored value to zero, keeping the pattern.
     pub fn clear_vals(&mut self) {
-        self.vals.fill(0.0);
+        self.vals.fill(T::ZERO);
     }
 
     /// Matrix–vector product `A·x`.
@@ -306,16 +311,16 @@ impl CsrMatrix {
     /// # Errors
     ///
     /// [`NumericError::DimensionMismatch`] if `x.len() != cols`.
-    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+    pub fn mul_vec(&self, x: &[T]) -> Result<Vec<T>, NumericError> {
         if x.len() != self.cols {
             return Err(NumericError::DimensionMismatch {
                 expected: format!("vector of length {}", self.cols),
                 got: format!("{}", x.len()),
             });
         }
-        let mut y = vec![0.0; self.rows];
+        let mut y = vec![T::ZERO; self.rows];
         for (r, out) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.vals[k] * x[self.col_idx[k]];
             }
@@ -324,6 +329,15 @@ impl CsrMatrix {
         Ok(y)
     }
 
+    /// Iterates over stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |k| (r, self.col_idx[k], self.vals[k]))
+        })
+    }
+}
+
+impl CsrMatrix<f64> {
     /// Solves `A·x = b`.
     ///
     /// For the problem sizes in this project a dense factorization of the
@@ -342,13 +356,6 @@ impl CsrMatrix {
             }
         }
         dense.solve(b)
-    }
-
-    /// Iterates over stored entries as `(row, col, value)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.rows).flat_map(move |r| {
-            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |k| (r, self.col_idx[k], self.vals[k]))
-        })
     }
 }
 
@@ -453,7 +460,7 @@ mod tests {
 
     #[test]
     fn from_pattern_rejects_out_of_bounds() {
-        let err = CsrMatrix::from_pattern(2, 2, &[(0, 5)]).unwrap_err();
+        let err = CsrMatrix::<f64>::from_pattern(2, 2, &[(0, 5)]).unwrap_err();
         assert!(matches!(err, NumericError::IndexOutOfBounds { .. }));
     }
 

@@ -23,7 +23,16 @@
 //! Column ordering is a static minimum-degree flavoured heuristic
 //! (sparsest columns eliminated first, stable tie-break on index),
 //! computed once in [`SparseLu::new`] from the pattern alone.
+//!
+//! The solver is generic over the [`Scalar`] field: `SparseLu<f64>`
+//! (the default) factors real DC/transient Jacobians, while
+//! `SparseLu<Complex64>` factors the `G + jωC` systems of AC analysis.
+//! Pivot magnitudes are compared through [`Scalar::modulus`], which for
+//! `f64` is exactly `abs()` — the real instantiation performs the same
+//! arithmetic in the same order as the pre-generic solver, keeping
+//! DC/transient results bit-identical.
 
+use crate::scalar::Scalar;
 use crate::sparse::CsrMatrix;
 use crate::NumericError;
 
@@ -54,7 +63,7 @@ const DIAG_PREFERENCE: f64 = 1e-3;
 /// assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
-pub struct SparseLu {
+pub struct SparseLu<T: Scalar = f64> {
     n: usize,
     /// CSC column pointers of the input pattern.
     cp: Vec<usize>,
@@ -73,21 +82,21 @@ pub struct SparseLu {
     li: Vec<usize>,
     /// L row indices in original space (for refactor scatter).
     li_orig: Vec<usize>,
-    lx: Vec<f64>,
+    lx: Vec<T>,
     up: Vec<usize>,
     ui: Vec<usize>,
-    ux: Vec<f64>,
+    ux: Vec<T>,
     /// Per-column topologically ordered reach lists (original rows).
     reach_ptr: Vec<usize>,
     reach: Vec<usize>,
     // Scratch (kept across calls so the hot path never allocates).
-    x: Vec<f64>,
+    x: Vec<T>,
     xi: Vec<usize>,
     stack: Vec<usize>,
     pstack: Vec<usize>,
     mark: Vec<u64>,
     mark_gen: u64,
-    work: Vec<f64>,
+    work: Vec<T>,
     factored: bool,
 }
 
@@ -146,7 +155,7 @@ fn dfs(
     top
 }
 
-impl SparseLu {
+impl<T: Scalar> SparseLu<T> {
     /// Performs the symbolic setup (CSC pattern, column ordering,
     /// workspace) for `a`. No numeric work happens here; call
     /// [`factor`](Self::factor) before solving.
@@ -154,7 +163,7 @@ impl SparseLu {
     /// # Errors
     ///
     /// [`NumericError::DimensionMismatch`] if `a` is not square.
-    pub fn new(a: &CsrMatrix) -> Result<Self, NumericError> {
+    pub fn new(a: &CsrMatrix<T>) -> Result<Self, NumericError> {
         let n = a.rows();
         if a.cols() != n {
             return Err(NumericError::DimensionMismatch {
@@ -206,13 +215,13 @@ impl SparseLu {
             ux: Vec::with_capacity(4 * nnz),
             reach_ptr: vec![0; n + 1],
             reach: Vec::with_capacity(4 * nnz),
-            x: vec![0.0; n],
+            x: vec![T::ZERO; n],
             xi: vec![0; n],
             stack: Vec::with_capacity(n),
             pstack: Vec::with_capacity(n),
             mark: vec![0; n],
             mark_gen: 0,
-            work: vec![0.0; n],
+            work: vec![T::ZERO; n],
             factored: false,
         })
     }
@@ -229,7 +238,7 @@ impl SparseLu {
         self.li_orig.len() + self.ui.len()
     }
 
-    fn check_values(&self, a: &CsrMatrix) -> Result<(), NumericError> {
+    fn check_values(&self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
         if a.rows() != self.n || a.cols() != self.n || a.nnz() != self.cmap.len() {
             return Err(NumericError::DimensionMismatch {
                 expected: format!("{0}x{0} matrix with {1} nonzeros", self.n, self.cmap.len()),
@@ -250,7 +259,7 @@ impl SparseLu {
     ///   count differs from the pattern this solver was built for.
     /// - [`NumericError::SingularMatrix`] if no acceptable pivot exists
     ///   at some elimination step.
-    pub fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericError> {
+    pub fn factor(&mut self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
         self.check_values(a)?;
         let n = self.n;
         self.factored = false;
@@ -312,7 +321,7 @@ impl SparseLu {
                 let i = self.xi[t];
                 let kk = self.pinv[i];
                 if kk == NONE {
-                    let cand = self.x[i].abs();
+                    let cand = self.x[i].modulus();
                     if cand > amax {
                         amax = cand;
                         ipiv = i;
@@ -327,14 +336,14 @@ impl SparseLu {
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if ipiv == NONE || !(amax > PIVOT_TOL) || !amax.is_finite() {
                 for t in top..n {
-                    self.x[self.xi[t]] = 0.0;
+                    self.x[self.xi[t]] = T::ZERO;
                 }
                 return Err(NumericError::SingularMatrix {
                     column: k,
                     pivot: amax.max(0.0),
                 });
             }
-            if self.pinv[j] == NONE && self.x[j].abs() >= DIAG_PREFERENCE * amax {
+            if self.pinv[j] == NONE && self.x[j].modulus() >= DIAG_PREFERENCE * amax {
                 ipiv = j;
             }
             let pivot = self.x[ipiv];
@@ -344,14 +353,14 @@ impl SparseLu {
             self.pinv[ipiv] = k;
             self.pivot_row[k] = ipiv;
             self.li_orig.push(ipiv);
-            self.lx.push(1.0);
+            self.lx.push(T::ONE);
             for t in top..n {
                 let i = self.xi[t];
                 if self.pinv[i] == NONE {
                     self.li_orig.push(i);
                     self.lx.push(self.x[i] / pivot);
                 }
-                self.x[i] = 0.0; // keep the workspace all-zero invariant
+                self.x[i] = T::ZERO; // keep the workspace all-zero invariant
             }
             self.lp[k + 1] = self.li_orig.len();
             self.reach.extend_from_slice(&self.xi[top..n]);
@@ -375,7 +384,7 @@ impl SparseLu {
     /// # Errors
     ///
     /// Same as [`factor`](Self::factor).
-    pub fn refactor(&mut self, a: &CsrMatrix) -> Result<(), NumericError> {
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
         if !self.factored {
             return self.factor(a);
         }
@@ -386,7 +395,35 @@ impl SparseLu {
         }
     }
 
-    fn replay(&mut self, a: &CsrMatrix) -> Result<(), NumericError> {
+    /// Like [`refactor`](Self::refactor), but **never** falls back to a
+    /// full factorization: the frozen pivot order is replayed or the call
+    /// fails. Parallel sweep workers use this so every point is solved
+    /// with the *same* pivot order regardless of which worker processes
+    /// it — a silent re-pivot mid-sweep would make results depend on the
+    /// partitioning. On error the frozen structure is left intact (every
+    /// value slot is overwritten by the next replay), so the caller may
+    /// fall back to a dense solve for the offending point and keep
+    /// replaying subsequent ones.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumericError::DimensionMismatch`] if `a`'s shape or nonzero
+    ///   count differs from the frozen pattern, or no factorization
+    ///   exists yet.
+    /// - [`NumericError::SingularMatrix`] if a frozen pivot has become
+    ///   numerically unacceptable for `a`'s values.
+    pub fn refactor_frozen(&mut self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
+        if !self.factored {
+            return Err(NumericError::DimensionMismatch {
+                expected: "a frozen factorization (call factor first)".into(),
+                got: "unfactored SparseLu".into(),
+            });
+        }
+        self.check_values(a)?;
+        self.replay(a)
+    }
+
+    fn replay(&mut self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
         let avals = a.vals();
         for k in 0..self.n {
             let j = self.q[k];
@@ -411,15 +448,15 @@ impl SparseLu {
             let pivot = self.x[ipiv];
             // NaN-aware singularity guard, as in the full factorization.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            if !pivot.is_finite() || !(pivot.abs() > PIVOT_TOL) {
+            if !pivot.finite() || !(pivot.modulus() > PIVOT_TOL) {
                 // Restore the all-zero workspace invariant before the
                 // caller falls back to a full factorization.
                 for t in self.reach_ptr[k]..self.reach_ptr[k + 1] {
-                    self.x[self.reach[t]] = 0.0;
+                    self.x[self.reach[t]] = T::ZERO;
                 }
                 return Err(NumericError::SingularMatrix {
                     column: k,
-                    pivot: pivot.abs(),
+                    pivot: pivot.modulus(),
                 });
             }
             self.ux[ucur] = pivot;
@@ -431,7 +468,7 @@ impl SparseLu {
                     self.lx[lcur] = self.x[i] / pivot;
                     lcur += 1;
                 }
-                self.x[i] = 0.0;
+                self.x[i] = T::ZERO;
             }
             debug_assert_eq!(lcur, self.lp[k + 1]);
         }
@@ -450,7 +487,7 @@ impl SparseLu {
     ///
     /// [`NumericError::DimensionMismatch`] if `b` or `x_out` has the
     /// wrong length.
-    pub fn solve_into(&mut self, b: &[f64], x_out: &mut [f64]) -> Result<(), NumericError> {
+    pub fn solve_into(&mut self, b: &[T], x_out: &mut [T]) -> Result<(), NumericError> {
         assert!(self.factored, "SparseLu::solve_into before factor");
         let n = self.n;
         if b.len() != n || x_out.len() != n {
@@ -466,7 +503,7 @@ impl SparseLu {
         // Forward solve: L is unit lower triangular in pivot space.
         for j in 0..n {
             let xj = w[j];
-            if xj != 0.0 {
+            if xj != T::ZERO {
                 for p in self.lp[j] + 1..self.lp[j + 1] {
                     w[self.li[p]] -= self.lx[p] * xj;
                 }
@@ -476,7 +513,7 @@ impl SparseLu {
         for j in (0..n).rev() {
             let xj = w[j] / self.ux[self.up[j + 1] - 1];
             w[j] = xj;
-            if xj != 0.0 {
+            if xj != T::ZERO {
                 for p in self.up[j]..self.up[j + 1] - 1 {
                     w[self.ui[p]] -= self.ux[p] * xj;
                 }
@@ -498,8 +535,8 @@ impl SparseLu {
     /// # Errors
     ///
     /// [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
-    pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
-        let mut x = vec![0.0; self.n];
+    pub fn solve(&mut self, b: &[T]) -> Result<Vec<T>, NumericError> {
+        let mut x = vec![T::ZERO; self.n];
         self.solve_into(b, &mut x)?;
         Ok(x)
     }
@@ -509,7 +546,7 @@ impl SparseLu {
 mod tests {
     use super::*;
     use crate::sparse::TripletMatrix;
-    use crate::DenseMatrix;
+    use crate::{Complex64, ComplexMatrix, DenseMatrix};
 
     fn lcg(state: &mut u64) -> f64 {
         *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -663,7 +700,7 @@ mod tests {
         m.add(0, 0, 1.0);
         m.add(1, 0, 1.0);
         // Column 1 is structurally empty ⇒ singular.
-        let csr = CsrMatrix::from_pattern(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let csr = CsrMatrix::<f64>::from_pattern(2, 2, &[(0, 0), (1, 0)]).unwrap();
         let mut lu = SparseLu::new(&csr).unwrap();
         let err = lu.factor(&csr).unwrap_err();
         assert!(matches!(err, NumericError::SingularMatrix { .. }), "{err}");
@@ -671,8 +708,9 @@ mod tests {
 
     #[test]
     fn pattern_mismatch_rejected() {
-        let csr = CsrMatrix::from_pattern(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
-        let other = CsrMatrix::from_pattern(3, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]).unwrap();
+        let csr = CsrMatrix::<f64>::from_pattern(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let other =
+            CsrMatrix::<f64>::from_pattern(3, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]).unwrap();
         let mut lu = SparseLu::new(&csr).unwrap();
         assert!(matches!(
             lu.factor(&other),
@@ -721,5 +759,117 @@ mod tests {
         for (a, dd) in xs.iter().zip(&xd) {
             assert!((a - dd).abs() < 1e-10);
         }
+    }
+
+    /// Builds the complex `G + jωC`-shaped system used by the complex
+    /// instantiation tests: banded, diagonally dominant, with nonzero
+    /// imaginary parts everywhere.
+    fn complex_system(n: usize, seed: u64) -> CsrMatrix<Complex64> {
+        let mut st = seed | 1;
+        let mut positions = Vec::new();
+        for r in 0..n {
+            positions.push((r, r));
+            for off in 1..=2usize {
+                if r + off < n {
+                    positions.push((r, r + off));
+                    positions.push((r + off, r));
+                }
+            }
+        }
+        let mut m = CsrMatrix::<Complex64>::from_pattern(n, n, &positions).unwrap();
+        for slot in 0..m.nnz() {
+            let re = lcg(&mut st);
+            let im = lcg(&mut st);
+            m.vals_mut()[slot] = Complex64::new(re, im);
+        }
+        for r in 0..n {
+            let slot = m.find(r, r).unwrap();
+            m.vals_mut()[slot] += Complex64::new(n as f64, n as f64 * 0.5);
+        }
+        m
+    }
+
+    #[test]
+    fn complex_factor_matches_dense_complex() {
+        for seed in [3u64, 11, 77] {
+            let n = 10 + (seed as usize % 20);
+            let csr = complex_system(n, seed);
+            let mut lu = SparseLu::new(&csr).unwrap();
+            lu.factor(&csr).unwrap();
+            let mut st = seed.wrapping_add(5) | 1;
+            let b: Vec<Complex64> = (0..n)
+                .map(|_| Complex64::new(lcg(&mut st), lcg(&mut st)))
+                .collect();
+            let xs = lu.solve(&b).unwrap();
+            let mut dense = ComplexMatrix::zeros(n, n);
+            for (r, c, v) in csr.iter() {
+                dense.add_at(r, c, v);
+            }
+            let xd = dense.solve(&b).unwrap();
+            for (a, d) in xs.iter().zip(&xd) {
+                assert!((*a - *d).abs() < 1e-9, "seed {seed}: {a:?} vs {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_refactor_frozen_replays_new_values() {
+        let n = 16;
+        let csr = complex_system(n, 21);
+        let mut lu = SparseLu::new(&csr).unwrap();
+        lu.factor(&csr).unwrap();
+        // Same pattern, different values (a new frequency point).
+        let mut csr2 = csr.clone();
+        for v in csr2.vals_mut() {
+            *v *= Complex64::new(0.0, 2.0); // rotate and scale
+        }
+        for r in 0..n {
+            let slot = csr2.find(r, r).unwrap();
+            csr2.vals_mut()[slot] += Complex64::new(n as f64, 0.0);
+        }
+        lu.refactor_frozen(&csr2).unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let xs = lu.solve(&b).unwrap();
+        let mut dense = ComplexMatrix::zeros(n, n);
+        for (r, c, v) in csr2.iter() {
+            dense.add_at(r, c, v);
+        }
+        let xd = dense.solve(&b).unwrap();
+        for (a, d) in xs.iter().zip(&xd) {
+            assert!((*a - *d).abs() < 1e-9, "{a:?} vs {d:?}");
+        }
+    }
+
+    #[test]
+    fn refactor_frozen_errors_without_fallback() {
+        // Values that kill the frozen pivot must surface as an error, not
+        // a silent re-pivot — and the structure must survive for the next
+        // replay.
+        let mut m = TripletMatrix::new(2, 2);
+        m.add(0, 0, 4.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 4.0);
+        let csr = m.to_csr().unwrap();
+        let mut lu = SparseLu::new(&csr).unwrap();
+
+        // Not factored yet: frozen refactor is an API error.
+        assert!(lu.refactor_frozen(&csr).is_err());
+
+        lu.factor(&csr).unwrap();
+        let mut dead = csr.clone();
+        dead.vals_mut().copy_from_slice(&[0.0, 1.0, 1.0, 0.0]);
+        assert!(matches!(
+            lu.refactor_frozen(&dead),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        // Replay after the failure still works on good values.
+        let mut good = csr.clone();
+        good.vals_mut().copy_from_slice(&[2.0, 1.0, 1.0, 2.0]);
+        lu.refactor_frozen(&good).unwrap();
+        let x = lu.solve(&[3.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
     }
 }

@@ -4,18 +4,37 @@
 //! and solves one complex MNA system per frequency. The excitation is the
 //! set of sources constructed `.with_ac(magnitude)` — conventionally one
 //! source with magnitude 1, so node voltages *are* transfer functions.
+//!
+//! # Sparse path and parallel sweeps
+//!
+//! At or above [`NewtonOptions::sparse_threshold`] unknowns the sweep
+//! runs on a sparse complex LU: the `G + jωC` stamp pattern is recorded
+//! once per topology (it is frequency-independent), one reference
+//! factorization at the first frequency freezes the symbolic analysis
+//! and pivot order, and every subsequent point replays an in-place
+//! numeric refactorization — no DFS, no pivot search, no dense O(n³)
+//! elimination. The frequency grid is partitioned into chunks executed
+//! on `cml_runner::par_map`; each worker clones the reference
+//! factorization, so all points share one pivot order and results are
+//! bit-identical for any thread count. Any per-point failure (pattern
+//! miss or a dead frozen pivot) falls back to the dense solve for that
+//! point only — the self-heal ladder of the DC/transient sparse path,
+//! specialized to a sweep of independent solves.
 
-use super::{NewtonOptions, System};
+use super::{AcSparseState, NewtonOptions, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::SpiceError;
-use cml_numeric::Complex64;
+use cml_numeric::{Complex64, ComplexMatrix};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
 pub struct AcResult {
     freqs: Vec<f64>,
-    /// One complex solution vector per frequency.
-    sols: Vec<Vec<Complex64>>,
+    /// MNA dimension (node voltages + branch currents) of one solution.
+    dim: usize,
+    /// Complex solutions, flat: point `idx` occupies
+    /// `sols[idx * dim..(idx + 1) * dim]`.
+    sols: Vec<Complex64>,
 }
 
 impl AcResult {
@@ -29,7 +48,7 @@ impl AcResult {
     #[must_use]
     pub fn voltage(&self, node: NodeId, idx: usize) -> Complex64 {
         match node.index() {
-            Some(i) => self.sols[idx][i],
+            Some(i) => self.sols[idx * self.dim + i],
             None => Complex64::ZERO,
         }
     }
@@ -67,40 +86,176 @@ impl AcResult {
 }
 
 /// Runs an AC sweep over `freqs` (Hz) using the operating point `x_op`
-/// (the raw solution vector from [`super::op::OpResult::solution`]).
+/// (the raw solution vector from [`super::op::OpResult::solution`]),
+/// with default options and automatic thread-count resolution
+/// (`CML_THREADS`, else available parallelism).
 ///
 /// # Errors
 ///
 /// [`SpiceError::Singular`] if the small-signal system is singular at some
-/// frequency.
+/// frequency; [`SpiceError::LintRejected`] if the netlist fails the
+/// pre-simulation lint.
 pub fn sweep(ckt: &Circuit, x_op: &[f64], freqs: &[f64]) -> Result<AcResult, SpiceError> {
-    crate::lint::precheck(ckt)?;
-    let sys = System::new(ckt);
-    let gmin = NewtonOptions::default().gmin;
-    let mut sols = Vec::with_capacity(freqs.len());
-    // One matrix for the whole sweep, restamped (not reallocated) per
-    // frequency and consumed by the in-place complex elimination.
-    let mut matrix = cml_numeric::ComplexMatrix::zeros(sys.dim(), sys.dim());
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let mut x = Vec::new();
-        sys.solve_ac_into(x_op, omega, gmin, &mut matrix, &mut x)?;
-        sols.push(x);
-    }
-    Ok(AcResult {
-        freqs: freqs.to_vec(),
-        sols,
-    })
+    sweep_with(
+        ckt,
+        x_op,
+        freqs,
+        &NewtonOptions::default(),
+        cml_runner::threads(None),
+    )
 }
 
-/// Convenience: solve the operating point, then sweep.
+/// [`sweep`] with explicit options (the sparse crossover lives in
+/// [`NewtonOptions::sparse_threshold`]) and worker-thread count.
+/// Results are bit-identical for any `threads` value.
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_with(
+    ckt: &Circuit,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+) -> Result<AcResult, SpiceError> {
+    crate::lint::precheck(ckt)?;
+    sweep_prechecked(ckt, x_op, freqs, opts, threads)
+}
+
+/// Convenience: solve the operating point, then sweep — with default
+/// options and automatic thread-count resolution.
 ///
 /// # Errors
 ///
 /// Propagates operating-point and AC solve failures.
 pub fn sweep_auto(ckt: &Circuit, freqs: &[f64]) -> Result<AcResult, SpiceError> {
-    let op = super::op::solve(ckt)?;
-    sweep(ckt, op.solution(), freqs)
+    sweep_auto_with(
+        ckt,
+        freqs,
+        &NewtonOptions::default(),
+        cml_runner::threads(None),
+    )
+}
+
+/// [`sweep_auto`] with explicit options and worker-thread count.
+///
+/// The netlist lint runs exactly once (inside the operating-point
+/// solve); the sweep itself enters below the precheck.
+///
+/// # Errors
+///
+/// As [`sweep_auto`].
+pub fn sweep_auto_with(
+    ckt: &Circuit,
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+) -> Result<AcResult, SpiceError> {
+    let op = super::op::solve_with(ckt, opts, None)?;
+    sweep_prechecked(ckt, op.solution(), freqs, opts, threads)
+}
+
+/// The sweep engine, entered after the lint precheck has already run.
+fn sweep_prechecked(
+    ckt: &Circuit,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+) -> Result<AcResult, SpiceError> {
+    let sys = System::new(ckt);
+    let dim = sys.dim();
+    let gmin = opts.gmin;
+
+    // One reference sparse factorization for the whole sweep: recorded
+    // pattern, symbolic analysis and pivot order all frozen here, then
+    // cloned per worker. If the system is below the crossover, the
+    // pattern can't be built, or the first point's factorization fails,
+    // the whole sweep runs dense (which reports singularities with the
+    // established error).
+    let reference: Option<AcSparseState> =
+        if dim > 0 && dim >= opts.sparse_threshold && !freqs.is_empty() {
+            prepare_ac_sparse(&sys, x_op, freqs[0], gmin)
+        } else {
+            None
+        };
+
+    // Chunked fan-out: big enough chunks to amortize the per-chunk
+    // workspace clone, small enough to load-balance. Chunking affects
+    // only scheduling — every point is a pure function of (x_op, f).
+    let chunk_len = freqs
+        .len()
+        .div_ceil(threads.max(1) * 4)
+        .max(8)
+        .min(freqs.len().max(1));
+    let chunks: Vec<&[f64]> = freqs.chunks(chunk_len).collect();
+    let results = cml_runner::par_map(threads, &chunks, |_, chunk| {
+        solve_chunk(&sys, x_op, chunk, gmin, reference.as_ref())
+    });
+
+    let mut sols = Vec::with_capacity(freqs.len() * dim);
+    for r in results {
+        sols.extend(r?);
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        dim,
+        sols,
+    })
+}
+
+/// Builds and numerically factors the reference sparse state at the
+/// sweep's first frequency. `None` (→ dense sweep) when the pattern
+/// cannot be built or the reference factorization fails.
+fn prepare_ac_sparse(sys: &System<'_>, x_op: &[f64], f0: f64, gmin: f64) -> Option<AcSparseState> {
+    let omega0 = 2.0 * std::f64::consts::PI * f0;
+    let mut sp = sys.build_ac_sparse(x_op, omega0)?;
+    let mut rhs = Vec::new();
+    if !sys.assemble_ac_sparse(x_op, omega0, gmin, &mut sp, &mut rhs) {
+        return None;
+    }
+    sp.lu.factor(&sp.mat).ok()?;
+    Some(sp)
+}
+
+/// Solves one chunk of frequency points, returning the flat solutions.
+///
+/// Each chunk clones the reference factorization, so every point in
+/// every chunk replays the *same* frozen pivot order; a point whose
+/// replay fails (pattern miss or dead pivot) is solved dense instead.
+/// Both make each point's result independent of the chunking, which is
+/// what guarantees bit-identical sweeps across thread counts.
+fn solve_chunk(
+    sys: &System<'_>,
+    x_op: &[f64],
+    freqs: &[f64],
+    gmin: f64,
+    reference: Option<&AcSparseState>,
+) -> Result<Vec<Complex64>, SpiceError> {
+    let dim = sys.dim();
+    let mut out = Vec::with_capacity(freqs.len() * dim);
+    let mut sp = reference.cloned();
+    let mut dense: Option<ComplexMatrix> = None;
+    let mut rhs: Vec<Complex64> = Vec::with_capacity(dim);
+    let mut x: Vec<Complex64> = vec![Complex64::ZERO; dim];
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let solved_sparse = match sp.as_mut() {
+            Some(sp) => {
+                sys.assemble_ac_sparse(x_op, omega, gmin, sp, &mut rhs)
+                    && sp.lu.refactor_frozen(&sp.mat).is_ok()
+                    && sp.lu.solve_into(&rhs, &mut x).is_ok()
+            }
+            None => false,
+        };
+        if !solved_sparse {
+            let matrix = dense.get_or_insert_with(|| ComplexMatrix::zeros(dim, dim));
+            sys.solve_ac_into(x_op, omega, gmin, matrix, &mut x)?;
+        }
+        out.extend_from_slice(&x);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -233,5 +388,57 @@ mod tests {
         let mags = ac.magnitude_db(out);
         assert!(mags[0] > mags[50], "gain must roll off");
         assert!(mags.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    #[test]
+    fn sparse_matches_dense_and_threads_are_bit_identical() {
+        // RC ladder big enough to clear any forced threshold, swept on
+        // the dense path, the sparse path, and several thread counts.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 0.0).with_ac(1.0));
+        let mut prev = vin;
+        let mut last = vin;
+        for i in 0..40 {
+            let n = ckt.node(&format!("n{i}"));
+            ckt.add(Resistor::new(&format!("R{i}"), prev, n, 50.0));
+            ckt.add(Capacitor::new(&format!("C{i}"), n, Circuit::GROUND, 20e-15));
+            prev = n;
+            last = n;
+        }
+        let freqs = logspace(1e6, 50e9, 40);
+        let op = op::solve(&ckt).unwrap();
+        let dense_opts = NewtonOptions {
+            sparse_threshold: usize::MAX,
+            ..NewtonOptions::default()
+        };
+        let sparse_opts = NewtonOptions {
+            sparse_threshold: 1,
+            ..NewtonOptions::default()
+        };
+        let dense = sweep_with(&ckt, op.solution(), &freqs, &dense_opts, 1).unwrap();
+        let sparse1 = sweep_with(&ckt, op.solution(), &freqs, &sparse_opts, 1).unwrap();
+        for (i, _) in freqs.iter().enumerate() {
+            let d = dense.voltage(last, i);
+            let s = sparse1.voltage(last, i);
+            assert!((d - s).abs() < 1e-9, "point {i}: {d:?} vs {s:?}");
+        }
+        for threads in [2, 3, 8] {
+            let sp = sweep_with(&ckt, op.solution(), &freqs, &sparse_opts, threads).unwrap();
+            for (i, _) in freqs.iter().enumerate() {
+                let a = sparse1.voltage(last, i);
+                let b = sp.voltage(last, i);
+                assert_eq!(
+                    a.re.to_bits(),
+                    b.re.to_bits(),
+                    "threads {threads} point {i}"
+                );
+                assert_eq!(
+                    a.im.to_bits(),
+                    b.im.to_bits(),
+                    "threads {threads} point {i}"
+                );
+            }
+        }
     }
 }

@@ -50,11 +50,12 @@ pub struct NewtonOptions {
     pub max_step: f64,
     /// Conductance added from every node to ground for matrix conditioning.
     pub gmin: f64,
-    /// MNA dimension at and above which real (DC/transient) solves use
-    /// the sparse LU path instead of dense. Defaults to the
-    /// `CML_SPARSE_THRESHOLD` environment variable when set, else 50.
-    /// Set to `usize::MAX` to force dense, to 1 to force sparse. AC
-    /// analysis always solves dense (complex systems stay small).
+    /// MNA dimension at and above which solves use the sparse LU path
+    /// instead of dense — real `SparseLu<f64>` for DC/transient, complex
+    /// `SparseLu<Complex64>` on the `G + jωC` systems of AC sweeps.
+    /// Defaults to the `CML_SPARSE_THRESHOLD` environment variable when
+    /// set, else 50. Set to `usize::MAX` to force dense, to 1 to force
+    /// sparse.
     pub sparse_threshold: usize,
 }
 
@@ -815,6 +816,89 @@ impl<'a> System<'a> {
         matrix.solve_in_place(x)?;
         Ok(())
     }
+
+    /// Discovers the AC stamp pattern with one recording pass at `omega`
+    /// and builds the fixed-pattern complex CSR matrix plus its sparse
+    /// LU (symbolic analysis only; the caller runs the first numeric
+    /// factorization). The union pattern of `G + jωC` is
+    /// frequency-independent — every element writes its full footprint
+    /// at any `omega` — so one recording serves the whole sweep. As in
+    /// [`build_sparse`](Self::build_sparse), the position set is
+    /// symmetrized and every diagonal is added. Returns `None` when the
+    /// pattern cannot be built; the sweep then stays dense.
+    fn build_ac_sparse(&self, x_op: &[f64], omega: f64) -> Option<AcSparseState> {
+        let dim = self.dim();
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        let mut scratch_rhs = vec![Complex64::ZERO; dim];
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let mut stamper = AcStamper::pattern(&mut positions, &mut scratch_rhs, self.n_nodes);
+            e.stamp_ac(x_op, self.branch_bases[idx], omega, &mut stamper);
+        }
+        let n_recorded = positions.len();
+        for i in 0..n_recorded {
+            let (r, c) = positions[i];
+            positions.push((c, r));
+        }
+        positions.extend((0..dim).map(|i| (i, i)));
+        let mat = CsrMatrix::<Complex64>::from_pattern(dim, dim, &positions).ok()?;
+        let lu = SparseLu::new(&mat).ok()?;
+        let diag_slots: Option<Vec<usize>> = (0..self.n_nodes).map(|i| mat.find(i, i)).collect();
+        Some(AcSparseState {
+            mat,
+            lu,
+            slots: StampSlots::default(),
+            diag_slots: diag_slots?,
+        })
+    }
+
+    /// Sparse analogue of the assembly half of
+    /// [`solve_ac_into`](Self::solve_ac_into): restamps `G + jωC` at
+    /// `omega` into the reserved CSR slots and rebuilds the RHS. Returns
+    /// `false` on a pattern miss (an element wrote a position absent from
+    /// the recorded pattern); the caller then solves this point dense.
+    fn assemble_ac_sparse(
+        &self,
+        x_op: &[f64],
+        omega: f64,
+        gmin: f64,
+        sp: &mut AcSparseState,
+        rhs: &mut Vec<Complex64>,
+    ) -> bool {
+        sp.mat.clear_vals();
+        rhs.clear();
+        rhs.resize(self.dim(), Complex64::ZERO);
+        sp.slots.begin_pass();
+        for (idx, e) in self.ckt.elements().enumerate() {
+            let mut stamper = AcStamper::sparse(&mut sp.mat, &mut sp.slots, rhs, self.n_nodes);
+            e.stamp_ac(x_op, self.branch_bases[idx], omega, &mut stamper);
+        }
+        if sp.slots.missing() {
+            return false;
+        }
+        for &s in &sp.diag_slots {
+            sp.mat.vals_mut()[s] += Complex64::from_real(gmin);
+        }
+        true
+    }
+}
+
+/// Sparse AC sweep state: the fixed-pattern `G + jωC` matrix, its
+/// complex LU (pivot order frozen at the sweep's reference frequency),
+/// the stamp-pointer cache, and the node-diagonal slots for gmin.
+///
+/// `Clone` matters: the sweep factors one reference state, then every
+/// parallel worker clones it — same frozen pivot order everywhere — and
+/// replays numeric refactorizations per frequency point.
+#[derive(Debug, Clone)]
+pub(crate) struct AcSparseState {
+    /// Fixed-pattern complex MNA matrix; only `vals` change per point.
+    mat: CsrMatrix<Complex64>,
+    /// Complex sparse LU with a replay-only refactorization path.
+    lu: SparseLu<Complex64>,
+    /// Stamp-pointer cache for the per-point assembly pass.
+    slots: StampSlots,
+    /// Value-slot of each node diagonal, for the gmin stamp.
+    diag_slots: Vec<usize>,
 }
 
 /// Voltage lookup shared by all result types.

@@ -283,10 +283,34 @@ impl<'a> Stamper<'a> {
     }
 }
 
+/// Where matrix writes of an [`AcStamper`] go — the complex mirror of
+/// [`MatSink`], minus the discard mode (AC has no RHS-only reuse: the
+/// matrix changes at every frequency).
+#[derive(Debug)]
+enum AcMatSink<'a> {
+    /// Accumulate into a dense complex MNA matrix.
+    Dense(&'a mut ComplexMatrix),
+    /// Record `(row, col)` of every write; values are discarded. Used
+    /// once per topology to discover the frequency-independent union
+    /// pattern of `G + jωC`.
+    Pattern(&'a mut Vec<(usize, usize)>),
+    /// Accumulate into the reserved slots of a fixed-pattern complex CSR
+    /// matrix, with stamp-pointer caching through `slots`.
+    Sparse {
+        mat: &'a mut CsrMatrix<Complex64>,
+        slots: &'a mut StampSlots,
+    },
+}
+
 /// Write access to the complex small-signal MNA system.
+///
+/// Like [`Stamper`], the matrix side is pluggable: the sparse AC path
+/// discovers the stamp pattern once per topology via
+/// [`AcStamper::pattern`] and then re-stamps values into the reserved
+/// CSR slots via [`AcStamper::sparse`] at every frequency point.
 #[derive(Debug)]
 pub struct AcStamper<'a> {
-    matrix: &'a mut ComplexMatrix,
+    matrix: AcMatSink<'a>,
     rhs: &'a mut [Complex64],
     n_nodes: usize,
 }
@@ -295,7 +319,42 @@ impl<'a> AcStamper<'a> {
     /// Creates an AC stamper over a system with `n_nodes` non-ground nodes.
     pub fn new(matrix: &'a mut ComplexMatrix, rhs: &'a mut [Complex64], n_nodes: usize) -> Self {
         AcStamper {
-            matrix,
+            matrix: AcMatSink::Dense(matrix),
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Creates an AC stamper that records the `(row, col)` position of
+    /// every matrix write into `positions` instead of accumulating values
+    /// — the pattern-discovery pass of the sparse AC path. The recorded
+    /// union pattern is frequency-independent because every element
+    /// writes its full `G + jωC` footprint regardless of `omega`.
+    pub fn pattern(
+        positions: &'a mut Vec<(usize, usize)>,
+        rhs: &'a mut [Complex64],
+        n_nodes: usize,
+    ) -> Self {
+        AcStamper {
+            matrix: AcMatSink::Pattern(positions),
+            rhs,
+            n_nodes,
+        }
+    }
+
+    /// Creates an AC stamper that accumulates matrix writes directly into
+    /// the reserved nonzero slots of `matrix` (a fixed-pattern complex
+    /// CSR built by the analysis), using — and maintaining — the
+    /// stamp-pointer cache in `slots`. Call [`StampSlots::begin_pass`]
+    /// before each assembly.
+    pub fn sparse(
+        matrix: &'a mut CsrMatrix<Complex64>,
+        slots: &'a mut StampSlots,
+        rhs: &'a mut [Complex64],
+        n_nodes: usize,
+    ) -> Self {
+        AcStamper {
+            matrix: AcMatSink::Sparse { mat: matrix, slots },
             rhs,
             n_nodes,
         }
@@ -309,8 +368,34 @@ impl<'a> AcStamper<'a> {
 
     /// Adds `v` at (`r`, `c`), dropping ground writes.
     pub fn mat(&mut self, r: Option<usize>, c: Option<usize>, v: Complex64) {
-        if let (Some(r), Some(c)) = (r, c) {
-            self.matrix[(r, c)] += v;
+        let (Some(r), Some(c)) = (r, c) else { return };
+        match &mut self.matrix {
+            AcMatSink::Dense(m) => m[(r, c)] += v,
+            AcMatSink::Pattern(p) => p.push((r, c)),
+            AcMatSink::Sparse { mat, slots } => {
+                let cur = slots.cursor;
+                if let Some(&(er, ec, es)) = slots.seq.get(cur) {
+                    if er == r && ec == c {
+                        mat.vals_mut()[es] += v;
+                        slots.cursor = cur + 1;
+                        return;
+                    }
+                }
+                // Cache miss: repair this position and keep going, as in
+                // the real-valued stamper.
+                match mat.find(r, c) {
+                    Some(s) => {
+                        mat.vals_mut()[s] += v;
+                        if cur < slots.seq.len() {
+                            slots.seq[cur] = (r, c, s);
+                        } else {
+                            slots.seq.push((r, c, s));
+                        }
+                        slots.cursor = cur + 1;
+                    }
+                    None => slots.missing = true,
+                }
+            }
         }
     }
 
@@ -578,6 +663,62 @@ mod tests {
         assert_eq!(m[(0, 3)].re, -0.01);
         assert_eq!(m[(1, 2)].re, -0.01);
         assert_eq!(m[(1, 3)].re, 0.01);
+    }
+
+    #[test]
+    fn ac_sparse_sink_matches_dense() {
+        // Record the pattern, then stamp the same contributions into a
+        // dense matrix and into the fixed-pattern CSR: identical entries.
+        let n = 3;
+        let omega = 2.0 * std::f64::consts::PI * 1e9;
+        let stamp_all = |s: &mut AcStamper<'_>| {
+            s.conductance(Some(0), Some(1), 1e-3);
+            s.capacitance(Some(1), Some(2), 2e-12, omega);
+            s.transconductance(Some(2), None, Some(0), Some(1), 0.02);
+            s.rhs(Some(0), Complex64::ONE);
+        };
+
+        let mut positions = Vec::new();
+        let mut rhs_p = vec![Complex64::ZERO; n];
+        let mut rec = AcStamper::pattern(&mut positions, &mut rhs_p, n);
+        stamp_all(&mut rec);
+        let mut csr = CsrMatrix::<Complex64>::from_pattern(n, n, &positions).unwrap();
+        let mut slots = StampSlots::default();
+
+        let mut dense = ComplexMatrix::zeros(n, n);
+        let mut rhs_d = vec![Complex64::ZERO; n];
+        let mut ds = AcStamper::new(&mut dense, &mut rhs_d, n);
+        stamp_all(&mut ds);
+
+        // Two sparse passes: the first fills the slot cache, the second
+        // replays it; both must agree with the dense stamp.
+        for _ in 0..2 {
+            csr.clear_vals();
+            let mut rhs_s = vec![Complex64::ZERO; n];
+            slots.begin_pass();
+            let mut ss = AcStamper::sparse(&mut csr, &mut slots, &mut rhs_s, n);
+            stamp_all(&mut ss);
+            assert!(!slots.missing());
+            for r in 0..n {
+                for c in 0..n {
+                    assert_eq!(csr.get(r, c), dense[(r, c)], "({r},{c})");
+                }
+            }
+            assert_eq!(rhs_s, rhs_d);
+        }
+    }
+
+    #[test]
+    fn ac_sparse_sink_flags_missing_position() {
+        let mut positions = vec![(0usize, 0usize)];
+        let mut csr = CsrMatrix::<Complex64>::from_pattern(2, 2, &positions).unwrap();
+        positions.clear();
+        let mut slots = StampSlots::default();
+        let mut rhs = vec![Complex64::ZERO; 2];
+        slots.begin_pass();
+        let mut s = AcStamper::sparse(&mut csr, &mut slots, &mut rhs, 2);
+        s.mat(Some(1), Some(1), Complex64::ONE); // not in the pattern
+        assert!(slots.missing());
     }
 
     #[test]

@@ -34,7 +34,15 @@ fn buffer_bw(pdk: &Pdk018) -> f64 {
     ckt.add(Capacitor::new("CLP", output.p, Circuit::GROUND, 30e-15));
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
     let freqs = logspace(1e8, 60e9, 60);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs).expect("buffer ac");
+    // This runs inside a par_map corner worker: keep the inner AC sweep
+    // serial so the outer fan-out owns all the parallelism.
+    let ac = cml_spice::analysis::ac::sweep_auto_with(
+        &ckt,
+        &freqs,
+        &cml_spice::analysis::NewtonOptions::default(),
+        1,
+    )
+    .expect("buffer ac");
     Bode::new(freqs, ac.differential_trace(output.p, output.n))
         .bandwidth_3db()
         .unwrap_or(0.0)

@@ -32,12 +32,18 @@ bench-pr2:
 bench-pr3:
     cargo run --release -p cml-bench --bin bench_pr3
 
+# Regenerate the sparse complex AC / parallel sweep benchmark artifact.
+bench-pr4:
+    cargo run --release -p cml-bench --bin bench_pr4
+
 # Static netlist DRC over every generated circuit block (fails on any
 # error-level diagnostic; `cml-lint --codes` documents the code table).
 lint-circuits:
     cargo run --release -p cml-lint --bin cml-lint -- --builtin all
 
-# Quick benchmark sanity gate (tiny workload; asserts the sparse and
-# dense solvers agree to <= 1e-9 and the adaptive eye stays honest).
+# Quick benchmark sanity gate (tiny workloads; asserts the sparse and
+# dense solvers agree to <= 1e-9, the adaptive eye stays honest, and the
+# parallel AC sweep is bit-identical to the serial one).
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
+    cargo run --release -p cml-bench --bin bench_pr4 -- --smoke

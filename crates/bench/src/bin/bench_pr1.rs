@@ -13,6 +13,7 @@
 use cml_core::montecarlo;
 use cml_spice::analysis::tran::{self, TranConfig};
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 use serde::Value;
 use std::time::Instant;
 
@@ -50,6 +51,7 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 
 fn main() {
     let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+    let tel = Telemetry::enabled_with_env_sinks();
 
     // --- Transient-heavy: 40-stage RC ladder, 6000 trapezoidal steps. ---
     let ckt = rc_ladder(40);
@@ -62,7 +64,7 @@ fn main() {
     let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t0 = Instant::now();
-    let optimized = tran::run(&ckt, &cfg).expect("optimized tran");
+    let optimized = tran::run_traced(&ckt, &cfg, &tel).expect("optimized tran");
     let optimized_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let vb = baseline.voltage(end);
@@ -125,8 +127,12 @@ fn main() {
                 ("results_identical", Value::Bool(identical)),
             ]),
         ),
+        ("telemetry", tel.report().to_value()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr1.json");
     std::fs::write("BENCH_pr1.json", format!("{json}\n")).expect("write BENCH_pr1.json");
     println!("wrote BENCH_pr1.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -29,6 +29,7 @@ use cml_sig::prbs::Prbs;
 use cml_sig::UniformWave;
 use cml_spice::analysis::tran::{self, TranConfig, TranResult};
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 use serde::Value;
 use std::time::Instant;
 
@@ -66,9 +67,9 @@ fn build_workload(n_bits: usize) -> Workload {
 }
 
 /// Runs one transient and reports wall-clock plus the result.
-fn timed_run(w: &Workload, cfg: &TranConfig) -> (f64, TranResult) {
+fn timed_run(w: &Workload, cfg: &TranConfig, tel: &Telemetry) -> (f64, TranResult) {
     let t0 = Instant::now();
-    let res = tran::run(&w.ckt, cfg).expect("transient");
+    let res = tran::run_traced(&w.ckt, cfg, tel).expect("transient");
     (t0.elapsed().as_secs_f64() * 1e3, res)
 }
 
@@ -121,9 +122,10 @@ fn main() {
     let mut adaptive_cfg = TranConfig::new(w.t_stop, 1e-12).adaptive();
     adaptive_cfg.newton.sparse_threshold = 1;
 
-    let (dense_ms, dense_res) = timed_run(&w, &dense_cfg);
-    let (sparse_ms, sparse_res) = timed_run(&w, &sparse_cfg);
-    let (adaptive_ms, adaptive_res) = timed_run(&w, &adaptive_cfg);
+    let tel = Telemetry::enabled_with_env_sinks();
+    let (dense_ms, dense_res) = timed_run(&w, &dense_cfg, &Telemetry::disabled());
+    let (sparse_ms, sparse_res) = timed_run(&w, &sparse_cfg, &tel);
+    let (adaptive_ms, adaptive_res) = timed_run(&w, &adaptive_cfg, &tel);
 
     let diff = max_diff(&w, &dense_res, &sparse_res);
     let eye_fixed = eye_of(&w, &dense_res);
@@ -229,8 +231,12 @@ fn main() {
                 ("results_identical", Value::Bool(identical)),
             ]),
         ),
+        ("telemetry", tel.report().to_value()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr2.json");
     std::fs::write("BENCH_pr2.json", format!("{json}\n")).expect("write BENCH_pr2.json");
     println!("wrote BENCH_pr2.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -28,6 +28,7 @@ use cml_sig::prbs::Prbs;
 use cml_spice::analysis::tran::{self, TranConfig};
 use cml_spice::lint;
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 use serde::Value;
 use std::time::Instant;
 
@@ -105,8 +106,9 @@ fn main() {
     // anything pessimistic.
     let mut dense_cfg = TranConfig::new(t_stop, 1e-12);
     dense_cfg.newton.sparse_threshold = usize::MAX;
+    let tel = Telemetry::enabled_with_env_sinks();
     let t0 = Instant::now();
-    let res = tran::run(&ckt, &dense_cfg).expect("transient");
+    let res = tran::run_traced(&ckt, &dense_cfg, &tel).expect("transient");
     let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let overhead = precheck_ms / dense_ms;
@@ -143,8 +145,12 @@ fn main() {
             "diagnostics_on_workload",
             Value::Num(report.diagnostics.len() as f64),
         ),
+        ("telemetry", tel.report().to_value()),
     ]);
     let json = serde_json::to_string_pretty(&json_report).expect("render BENCH_pr3.json");
     std::fs::write("BENCH_pr3.json", format!("{json}\n")).expect("write BENCH_pr3.json");
     println!("wrote BENCH_pr3.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -23,6 +23,7 @@ use cml_numeric::logspace;
 use cml_spice::analysis::ac::{self, AcResult};
 use cml_spice::analysis::{op, NewtonOptions};
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 use serde::Value;
 use std::time::Instant;
 
@@ -61,9 +62,10 @@ fn timed_sweep(
     freqs: &[f64],
     opts: &NewtonOptions,
     threads: usize,
+    tel: &Telemetry,
 ) -> (f64, AcResult) {
     let t0 = Instant::now();
-    let res = ac::sweep_with(&w.ckt, x_op, freqs, opts, threads).expect("ac sweep");
+    let res = ac::sweep_traced(&w.ckt, x_op, freqs, opts, threads, tel).expect("ac sweep");
     (t0.elapsed().as_secs_f64() * 1e3, res)
 }
 
@@ -130,9 +132,12 @@ fn main() {
     };
     let x_op = op::solve(&w.ckt).expect("operating point");
 
-    let (dense_ms, dense_res) = timed_sweep(&w, x_op.solution(), &freqs, &dense_opts, 1);
-    let (serial_ms, serial_res) = timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, 1);
-    let (par_ms, par_res) = timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, par_threads);
+    let tel = Telemetry::enabled_with_env_sinks();
+    let off = Telemetry::disabled();
+    let (dense_ms, dense_res) = timed_sweep(&w, x_op.solution(), &freqs, &dense_opts, 1, &off);
+    let (serial_ms, serial_res) = timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, 1, &off);
+    let (par_ms, par_res) =
+        timed_sweep(&w, x_op.solution(), &freqs, &sparse_opts, par_threads, &tel);
 
     let diff = max_diff(&w, n_points, &dense_res, &serial_res);
     let identical = bit_identical(&w, n_points, &serial_res, &par_res);
@@ -188,8 +193,12 @@ fn main() {
                 ("parallel_bit_identical", Value::Bool(identical)),
             ]),
         ),
+        ("telemetry", tel.report().to_value()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr4.json");
     std::fs::write("BENCH_pr4.json", format!("{json}\n")).expect("write BENCH_pr4.json");
     println!("wrote BENCH_pr4.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
 }

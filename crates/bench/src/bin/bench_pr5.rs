@@ -1,0 +1,357 @@
+//! PR benchmark: solver-telemetry overhead and counter determinism.
+//!
+//! Re-runs the two hottest committed workloads — the PR 2 transistor-level
+//! PRBS-7 transient eye (sparse LU + LTE-adaptive stepping) and the PR 4
+//! sparse parallel AC sweep of the limiting amplifier — twice each:
+//!
+//! 1. **telemetry off** — `Telemetry::disabled()`, the zero-cost path every
+//!    untraced entry point uses;
+//! 2. **telemetry on** — a fresh enabled handle per repetition, coarse
+//!    spans + counters recording (the default `CML_TELEMETRY=1` mode).
+//!
+//! Wall-clock is the per-leg median over interleaved off/on rounds so
+//! scheduler noise and drift do not masquerade as instrumentation cost.
+//! Asserts the enabled overhead
+//! stays under the 2 % acceptance budget (full run only — the smoke grids
+//! are too small to time), that counter totals from the AC sweep are
+//! bit-identical across 1/2/N worker threads, and that neither workload
+//! ever fell back to the dense solver. Writes `BENCH_pr5.json` (with the
+//! full telemetry counter block of the traced runs) in the current
+//! directory; `CML_TELEMETRY=json:...|trace:...` attaches file sinks on
+//! top.
+//!
+//! Run with: `cargo run --release --bin bench_pr5 [--smoke] [--threads N]`
+
+use cml_core::cells::input_interface::InputInterfaceConfig;
+use cml_core::cells::limiting_amp::{self, LimitingAmpConfig};
+use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};
+use cml_numeric::logspace;
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_spice::analysis::tran::{self, TranConfig};
+use cml_spice::analysis::{ac, op, NewtonOptions};
+use cml_spice::prelude::*;
+use cml_spice::telemetry::{Counters, Telemetry};
+use serde::Value;
+use std::time::Instant;
+
+/// 10 Gb/s unit interval.
+const UI: f64 = 100e-12;
+
+/// Enabled-vs-disabled overhead budget on each workload.
+const OVERHEAD_BUDGET: f64 = 0.02;
+
+/// The PR 2 eye workload: transistor-level receive chain, PRBS-7 drive.
+fn build_tran_workload(n_bits: usize) -> (Circuit, f64) {
+    let pdk = cml_pdk::Pdk018::typical();
+    let cfg = InputInterfaceConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    let vcm = cfg.equalizer.input_common_mode();
+    let bits: Vec<bool> = Prbs::prbs7().take(n_bits).collect();
+    let pwl = NrzConfig::new(UI, 0.2).with_offset(vcm).render_pwl(&bits);
+    add_diff_drive(&mut ckt, "VIN", input, vcm, Some(Waveform::Pwl(pwl)));
+    input_interface::build(&mut ckt, &pdk, &cfg, "rx", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    (ckt, n_bits as f64 * UI)
+}
+
+/// The PR 4 AC workload: transistor-level limiting amplifier.
+fn build_ac_workload() -> Circuit {
+    let pdk = cml_pdk::Pdk018::typical();
+    let cfg = LimitingAmpConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    add_diff_drive(
+        &mut ckt,
+        "VIN",
+        input,
+        limiting_amp::common_mode(&cfg),
+        None,
+    );
+    limiting_amp::build(&mut ckt, &pdk, &cfg, "la", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    ckt
+}
+
+/// Median wall-clock of the off/on legs over `reps` interleaved rounds,
+/// in milliseconds. Interleaving means slow drift (thermal, scheduler)
+/// hits both legs alike instead of biasing whichever ran second; the
+/// median discards both stall outliers and lucky minima, which on a
+/// shared host scatter several percent either way — more than the
+/// instrumentation cost being measured.
+fn median_pair_ms<F: FnMut(), G: FnMut()>(reps: usize, mut off: F, mut on: G) -> (f64, f64) {
+    let (mut offs, mut ons) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        off();
+        offs.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        on();
+        ons.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    };
+    (median(&mut offs), median(&mut ons))
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn overhead_block(name: &str, off_ms: f64, on_ms: f64) -> (f64, Value) {
+    let overhead = (on_ms - off_ms) / off_ms;
+    println!(
+        "  {name:<14} off {off_ms:9.1} ms | on {on_ms:9.1} ms | overhead {:+.3} %",
+        overhead * 1e2
+    );
+    let block = obj(vec![
+        ("telemetry_off_ms", Value::Num(off_ms)),
+        ("telemetry_on_ms", Value::Num(on_ms)),
+        ("overhead_frac", Value::Num(overhead)),
+        ("overhead_budget_frac", Value::Num(OVERHEAD_BUDGET)),
+    ]);
+    (overhead, block)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_bits = if smoke { 8 } else { 40 };
+    let n_points = if smoke { 120 } else { 1200 };
+    let reps = if smoke { 1 } else { 15 };
+    // The AC sweep is ~6 ms of work fanned across threads: scheduler
+    // jitter per round dwarfs any instrumentation cost, so it takes many
+    // more interleaved rounds for the minima to converge.
+    let ac_reps = if smoke { 1 } else { 25 };
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let par_threads = cml_runner::threads_flag(std::env::args())
+        .unwrap_or(host_threads)
+        .max(4);
+
+    // --- Workload 1: PR 2 transient eye, sparse adaptive stepping. ---
+    let (tran_ckt, t_stop) = build_tran_workload(n_bits);
+    let mut tran_cfg = TranConfig::new(t_stop, 1e-12).adaptive();
+    tran_cfg.newton.sparse_threshold = 1;
+    println!(
+        "tran workload: input interface, PRBS-7 {n_bits} bits @ 10 Gb/s, \
+         sparse adaptive{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Untimed warmup so the first timed leg is not charged the cold caches.
+    tran::run_traced(&tran_ckt, &tran_cfg, &Telemetry::disabled()).expect("tran warmup");
+    let (tran_off_ms, tran_on_ms) = median_pair_ms(
+        reps,
+        || {
+            tran::run_traced(&tran_ckt, &tran_cfg, &Telemetry::disabled()).expect("tran off");
+        },
+        || {
+            let tel = Telemetry::enabled();
+            tran::run_traced(&tran_ckt, &tran_cfg, &tel).expect("tran on");
+        },
+    );
+    // One env-sink handle carries the merged per-workload recordings, so
+    // `CML_TELEMETRY=json:...|trace:...` sees both workloads in one file.
+    let tel = Telemetry::enabled_with_env_sinks();
+
+    // One more traced run whose report lands in the JSON.
+    let tran_tel = tel.probe().fork(0);
+    tran::run_traced(&tran_ckt, &tran_cfg, &tran_tel).expect("tran traced");
+    let tran_report = tran_tel.report();
+    tel.absorb(tran_tel.into_parts());
+    let (tran_overhead, tran_block) = overhead_block("tran eye", tran_off_ms, tran_on_ms);
+
+    // --- Workload 2: PR 4 sparse parallel AC sweep. ---
+    let ac_ckt = build_ac_workload();
+    let freqs = logspace(1e2, 60e9, n_points);
+    let sparse_opts = NewtonOptions {
+        sparse_threshold: 1,
+        ..NewtonOptions::default()
+    };
+    let x_op = op::solve(&ac_ckt).expect("operating point");
+    println!(
+        "ac workload: limiting amplifier, {n_points}-point sweep 100 Hz .. 60 GHz, \
+         {par_threads} threads"
+    );
+
+    // Untimed warmup (thread pool + caches) before the off/on pair.
+    ac::sweep_traced(
+        &ac_ckt,
+        x_op.solution(),
+        &freqs,
+        &sparse_opts,
+        par_threads,
+        &Telemetry::disabled(),
+    )
+    .expect("ac warmup");
+    let (ac_off_ms, ac_on_ms) = median_pair_ms(
+        ac_reps,
+        || {
+            ac::sweep_traced(
+                &ac_ckt,
+                x_op.solution(),
+                &freqs,
+                &sparse_opts,
+                par_threads,
+                &Telemetry::disabled(),
+            )
+            .expect("ac off");
+        },
+        || {
+            let tel = Telemetry::enabled();
+            ac::sweep_traced(
+                &ac_ckt,
+                x_op.solution(),
+                &freqs,
+                &sparse_opts,
+                par_threads,
+                &tel,
+            )
+            .expect("ac on");
+        },
+    );
+    let (ac_overhead, ac_block) = overhead_block("ac sweep", ac_off_ms, ac_on_ms);
+
+    // --- Counter determinism: totals must not depend on the fan-out. ---
+    let counters_at = |threads: usize| -> Counters {
+        let tel = Telemetry::enabled();
+        ac::sweep_traced(
+            &ac_ckt,
+            x_op.solution(),
+            &freqs,
+            &sparse_opts,
+            threads,
+            &tel,
+        )
+        .expect("ac determinism run");
+        tel.report().counters
+    };
+    let c1 = counters_at(1);
+    let c2 = counters_at(2);
+    let cn = counters_at(par_threads);
+    let deterministic = c1 == c2 && c2 == cn;
+    println!(
+        "  counters identical across 1/2/{par_threads} threads: {deterministic} \
+         ({} AC points, {:.0} % sparse)",
+        c1.ac_points,
+        c1.ac_sparse_fraction() * 1e2
+    );
+    assert!(
+        deterministic,
+        "telemetry counters depend on the thread count:\n 1: {c1:?}\n 2: {c2:?}\n{par_threads}: {cn:?}"
+    );
+
+    // Both workloads must have stayed on the sparse path end to end.
+    let ac_report = {
+        let ac_tel = tel.probe().fork(0);
+        ac::sweep_traced(
+            &ac_ckt,
+            x_op.solution(),
+            &freqs,
+            &sparse_opts,
+            par_threads,
+            &ac_tel,
+        )
+        .expect("ac traced");
+        let report = ac_tel.report();
+        tel.absorb(ac_tel.into_parts());
+        report
+    };
+    assert_eq!(
+        tran_report.counters.dense_fallbacks, 0,
+        "transient workload fell back to the dense solver"
+    );
+    assert_eq!(
+        ac_report.counters.dense_fallbacks, 0,
+        "AC workload lost its sparse reference"
+    );
+    assert!(
+        tran_report.check_well_nested().is_ok(),
+        "transient spans are not well-nested"
+    );
+
+    // The overhead gate only binds on the full workload: smoke grids are
+    // small enough that process startup noise dominates the ratio.
+    if !smoke {
+        assert!(
+            tran_overhead < OVERHEAD_BUDGET,
+            "transient telemetry overhead {:.2} % exceeds the {:.0} % budget",
+            tran_overhead * 1e2,
+            OVERHEAD_BUDGET * 1e2
+        );
+        assert!(
+            ac_overhead < OVERHEAD_BUDGET,
+            "AC telemetry overhead {:.2} % exceeds the {:.0} % budget",
+            ac_overhead * 1e2,
+            OVERHEAD_BUDGET * 1e2
+        );
+    }
+
+    let report = obj(vec![
+        ("bench", Value::Str("bench_pr5".into())),
+        ("smoke", Value::Bool(smoke)),
+        ("host_threads", Value::Num(host_threads as f64)),
+        ("parallel_threads", Value::Num(par_threads as f64)),
+        ("reps", Value::Num(reps as f64)),
+        ("ac_reps", Value::Num(ac_reps as f64)),
+        (
+            "tran_eye",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!(
+                        "input interface (transistor level), PRBS-7 {n_bits} bits \
+                         @ 10 Gb/s, sparse adaptive"
+                    )),
+                ),
+                ("timing", tran_block),
+                ("telemetry", tran_report.to_value()),
+            ]),
+        ),
+        (
+            "ac_sweep",
+            obj(vec![
+                (
+                    "workload",
+                    Value::Str(format!(
+                        "limiting amplifier (transistor level), {n_points}-point \
+                         AC sweep 100 Hz .. 60 GHz, {par_threads} threads"
+                    )),
+                ),
+                ("timing", ac_block),
+                ("counters_thread_invariant", Value::Bool(deterministic)),
+                ("telemetry", ac_report.to_value()),
+            ]),
+        ),
+        (
+            "dense_fallbacks",
+            Value::Num(
+                (tran_report.counters.dense_fallbacks + ac_report.counters.dense_fallbacks) as f64,
+            ),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("render BENCH_pr5.json");
+    std::fs::write("BENCH_pr5.json", format!("{json}\n")).expect("write BENCH_pr5.json");
+    println!("wrote BENCH_pr5.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -13,6 +13,7 @@ use crate::cells::DiffPort;
 use cml_sig::Bode;
 use cml_spice::analysis::ac::{self, AcResult};
 use cml_spice::analysis::NewtonOptions;
+use cml_spice::telemetry::Telemetry;
 use cml_spice::{Circuit, SpiceError};
 
 /// Runs an AC sweep of `ckt` over `freqs` (Hz): operating point, then
@@ -26,11 +27,27 @@ use cml_spice::{Circuit, SpiceError};
 ///
 /// Propagates operating-point and AC solve failures.
 pub fn response(ckt: &Circuit, freqs: &[f64]) -> Result<AcResult, SpiceError> {
-    ac::sweep_auto_with(
+    response_traced(ckt, freqs, &Telemetry::disabled())
+}
+
+/// [`response`] recording solver telemetry into `tel` (see
+/// `cml_spice::telemetry`): every figure-reproduction sweep can attach a
+/// counter report without changing its own plumbing.
+///
+/// # Errors
+///
+/// Propagates operating-point and AC solve failures.
+pub fn response_traced(
+    ckt: &Circuit,
+    freqs: &[f64],
+    tel: &Telemetry,
+) -> Result<AcResult, SpiceError> {
+    ac::sweep_auto_traced(
         ckt,
         freqs,
         &NewtonOptions::default(),
         cml_runner::threads(None),
+        tel,
     )
 }
 
@@ -46,7 +63,21 @@ pub fn differential_bode(
     output: DiffPort,
     freqs: &[f64],
 ) -> Result<Bode, SpiceError> {
-    let ac = response(ckt, freqs)?;
+    differential_bode_traced(ckt, output, freqs, &Telemetry::disabled())
+}
+
+/// [`differential_bode`] recording solver telemetry into `tel`.
+///
+/// # Errors
+///
+/// Propagates operating-point and AC solve failures.
+pub fn differential_bode_traced(
+    ckt: &Circuit,
+    output: DiffPort,
+    freqs: &[f64],
+    tel: &Telemetry,
+) -> Result<Bode, SpiceError> {
+    let ac = response_traced(ckt, freqs, tel)?;
     Ok(Bode::new(
         freqs.to_vec(),
         ac.differential_trace(output.p, output.n),

@@ -59,7 +59,7 @@ pub use complex::Complex64;
 pub use dense::{lu, ComplexMatrix, DenseMatrix, LuFactors};
 pub use error::NumericError;
 pub use scalar::Scalar;
-pub use sparse_lu::SparseLu;
+pub use sparse_lu::{RefactorOutcome, SparseLu};
 
 /// Relative comparison of two floats with a combined absolute/relative
 /// tolerance, the convention used across the simulator's convergence checks.

@@ -46,6 +46,23 @@ const PIVOT_TOL: f64 = 1e-300;
 /// candidate pivot: the diagonal wins whenever `|a_jj| >= 1e-3 * max`.
 const DIAG_PREFERENCE: f64 = 1e-3;
 
+/// How [`SparseLu::refactor`] obtained valid factors — the event hook a
+/// telemetry layer counts without this crate depending on one. The three
+/// outcomes have very different costs (a replay skips the DFS and the
+/// pivot search entirely), so a sweep whose replays silently turn into
+/// [`PivotFallback`](RefactorOutcome::PivotFallback)s is a performance
+/// regression this enum makes observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefactorOutcome {
+    /// The frozen elimination order was replayed numerically (fast path).
+    Replayed,
+    /// No factorization existed yet, so a full factorization ran.
+    FullFactor,
+    /// A frozen pivot died numerically; a full re-pivoting
+    /// factorization healed the failure.
+    PivotFallback,
+}
+
 /// Sparse LU factors of a square [`CsrMatrix`], reusable across value
 /// changes on a fixed sparsity pattern.
 ///
@@ -379,19 +396,24 @@ impl<T: Scalar> SparseLu<T> {
     /// no DFS and no pivot search. If a frozen pivot has become
     /// numerically unacceptable (or no factorization exists yet), falls
     /// back to a full [`factor`](Self::factor) — so a successful return
-    /// always leaves valid factors.
+    /// always leaves valid factors. The returned [`RefactorOutcome`]
+    /// reports which of the three paths produced them.
     ///
     /// # Errors
     ///
     /// Same as [`factor`](Self::factor).
-    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), NumericError> {
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<RefactorOutcome, NumericError> {
         if !self.factored {
-            return self.factor(a);
+            self.factor(a)?;
+            return Ok(RefactorOutcome::FullFactor);
         }
         self.check_values(a)?;
         match self.replay(a) {
-            Ok(()) => Ok(()),
-            Err(_) => self.factor(a),
+            Ok(()) => Ok(RefactorOutcome::Replayed),
+            Err(_) => {
+                self.factor(a)?;
+                Ok(RefactorOutcome::PivotFallback)
+            }
         }
     }
 
@@ -646,7 +668,7 @@ mod tests {
         }
         let csr2 = m2.to_csr().unwrap();
         assert_eq!(csr2.nnz(), csr.nnz());
-        lu.refactor(&csr2).unwrap();
+        assert_eq!(lu.refactor(&csr2).unwrap(), RefactorOutcome::Replayed);
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let xs = lu.solve(&b).unwrap();
         let xd = m2.to_dense().unwrap().solve(&b).unwrap();
@@ -685,7 +707,7 @@ mod tests {
             CsrMatrix::from_pattern(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
         dense_vals.vals_mut().copy_from_slice(&[4.0, 1.0, 1.0, 4.0]);
         lu2.factor(&dense_vals).unwrap();
-        lu2.refactor(&csr2).unwrap();
+        assert_eq!(lu2.refactor(&csr2).unwrap(), RefactorOutcome::PivotFallback);
         let x = lu2.solve(&[1.0, 2.0]).unwrap();
         assert!(
             (x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12,

@@ -71,12 +71,32 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_stats(threads, items, f).0
+}
+
+/// [`par_map`] plus per-worker load statistics: the second return value
+/// is `items_per_worker`, the number of items each spawned worker
+/// processed (a single entry on the serial path).
+///
+/// The *results* are bit-identical for any thread count; the *load
+/// vector* is scheduling-dependent by nature — it exists for telemetry
+/// (spotting a starved worker or a pathological chunk split), not for
+/// assertions. Keep it out of anything that must be deterministic.
+pub fn par_map_stats<T, U, F>(threads: usize, items: &[T], f: F) -> (Vec<U>, Vec<usize>)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out: Vec<U> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let n = out.len();
+        return (out, vec![n]);
     }
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    let mut per_worker: Vec<usize> = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -95,13 +115,16 @@ where
             .collect();
         for w in workers {
             match w.join() {
-                Ok(local) => tagged.extend(local),
+                Ok(local) => {
+                    per_worker.push(local.len());
+                    tagged.extend(local);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
     tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, u)| u).collect()
+    (tagged.into_iter().map(|(_, u)| u).collect(), per_worker)
 }
 
 /// Splits a 64-bit seed into a per-point stream seed.
@@ -178,6 +201,18 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_stats_accounts_every_item() {
+        let items: Vec<usize> = (0..100).collect();
+        let (out, per_worker) = par_map_stats(4, &items, |_, &v| v);
+        assert_eq!(out, items);
+        assert_eq!(per_worker.len(), 4);
+        assert_eq!(per_worker.iter().sum::<usize>(), items.len());
+        // Serial path reports a single worker owning everything.
+        let (_, serial) = par_map_stats(1, &items, |_, &v| v);
+        assert_eq!(serial, vec![100]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use super::{AcSparseState, NewtonOptions, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::SpiceError;
 use cml_numeric::{Complex64, ComplexMatrix};
+use cml_telemetry::{warn_once, Phase, Telemetry};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
@@ -119,8 +120,31 @@ pub fn sweep_with(
     opts: &NewtonOptions,
     threads: usize,
 ) -> Result<AcResult, SpiceError> {
-    crate::lint::precheck(ckt)?;
-    sweep_prechecked(ckt, x_op, freqs, opts, threads)
+    sweep_traced(ckt, x_op, freqs, opts, threads, &Telemetry::disabled())
+}
+
+/// [`sweep_with`] recording solver telemetry into `tel`: the sweep span,
+/// per-point sparse/fallback counters (merged from the parallel workers
+/// in input order, so totals are bit-identical for any `threads`) and
+/// the per-worker chunk load.
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_traced(
+    ckt: &Circuit,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<AcResult, SpiceError> {
+    {
+        let _t = tel.timer(Phase::LintPrecheck);
+        crate::lint::precheck(ckt)?;
+    }
+    tel.count(|c| c.lint_prechecks += 1);
+    sweep_prechecked(ckt, x_op, freqs, opts, threads, tel)
 }
 
 /// Convenience: solve the operating point, then sweep — with default
@@ -152,8 +176,24 @@ pub fn sweep_auto_with(
     opts: &NewtonOptions,
     threads: usize,
 ) -> Result<AcResult, SpiceError> {
-    let op = super::op::solve_with(ckt, opts, None)?;
-    sweep_prechecked(ckt, op.solution(), freqs, opts, threads)
+    sweep_auto_traced(ckt, freqs, opts, threads, &Telemetry::disabled())
+}
+
+/// [`sweep_auto_with`] recording solver telemetry into `tel` — the
+/// operating-point counters and the sweep counters land in one report.
+///
+/// # Errors
+///
+/// As [`sweep_auto`].
+pub fn sweep_auto_traced(
+    ckt: &Circuit,
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<AcResult, SpiceError> {
+    let op = super::op::solve_traced(ckt, opts, None, tel)?;
+    sweep_prechecked(ckt, op.solution(), freqs, opts, threads, tel)
 }
 
 /// The sweep engine, entered after the lint precheck has already run.
@@ -163,7 +203,9 @@ fn sweep_prechecked(
     freqs: &[f64],
     opts: &NewtonOptions,
     threads: usize,
+    tel: &Telemetry,
 ) -> Result<AcResult, SpiceError> {
+    let _span = tel.span("analysis", "ac_sweep");
     let sys = System::new(ckt);
     let dim = sys.dim();
     let gmin = opts.gmin;
@@ -174,28 +216,53 @@ fn sweep_prechecked(
     // pattern can't be built, or the first point's factorization fails,
     // the whole sweep runs dense (which reports singularities with the
     // established error).
-    let reference: Option<AcSparseState> =
-        if dim > 0 && dim >= opts.sparse_threshold && !freqs.is_empty() {
-            prepare_ac_sparse(&sys, x_op, freqs[0], gmin)
+    let want_sparse = dim > 0 && dim >= opts.sparse_threshold && !freqs.is_empty();
+    let reference: Option<AcSparseState> = if want_sparse {
+        let _t = tel.timer(Phase::PatternDiscovery);
+        prepare_ac_sparse(&sys, x_op, freqs[0], gmin)
+    } else {
+        None
+    };
+    if want_sparse {
+        if reference.is_some() {
+            tel.count(|c| c.pattern_builds += 1);
         } else {
-            None
-        };
+            tel.count(|c| c.dense_fallbacks += 1);
+            warn_once(
+                "ac-sparse-reference",
+                "AC sweep requested the sparse path but the reference \
+                 pattern/factorization could not be built; the whole sweep \
+                 runs dense",
+            );
+        }
+    }
 
     // Chunked fan-out: big enough chunks to amortize the per-chunk
     // workspace clone, small enough to load-balance. Chunking affects
     // only scheduling — every point is a pure function of (x_op, f).
+    // Telemetry from each worker is recorded into a forked buffer and
+    // absorbed in chunk order below, so counter totals cannot depend on
+    // the thread count (per-point events only; nothing per-chunk).
     let chunk_len = freqs
         .len()
         .div_ceil(threads.max(1) * 4)
         .max(8)
         .min(freqs.len().max(1));
     let chunks: Vec<&[f64]> = freqs.chunks(chunk_len).collect();
-    let results = cml_runner::par_map(threads, &chunks, |_, chunk| {
-        solve_chunk(&sys, x_op, chunk, gmin, reference.as_ref())
+    let probe = tel.probe();
+    let (results, per_worker) = cml_runner::par_map_stats(threads, &chunks, |i, chunk| {
+        let wtel = probe.fork(i as u32 + 1);
+        let r = {
+            let _span = wtel.span("phase", "ac_chunk");
+            solve_chunk(&sys, x_op, chunk, gmin, reference.as_ref(), &wtel)
+        };
+        (r, wtel.into_parts())
     });
+    tel.note_worker_items(&per_worker);
 
     let mut sols = Vec::with_capacity(freqs.len() * dim);
-    for r in results {
+    for (r, parts) in results {
+        tel.absorb(parts);
         sols.extend(r?);
     }
     Ok(AcResult {
@@ -232,6 +299,7 @@ fn solve_chunk(
     freqs: &[f64],
     gmin: f64,
     reference: Option<&AcSparseState>,
+    tel: &Telemetry,
 ) -> Result<Vec<Complex64>, SpiceError> {
     let dim = sys.dim();
     let mut out = Vec::with_capacity(freqs.len() * dim);
@@ -243,13 +311,31 @@ fn solve_chunk(
         let omega = 2.0 * std::f64::consts::PI * f;
         let solved_sparse = match sp.as_mut() {
             Some(sp) => {
+                let _t = tel.timer_fine(Phase::Refactor);
                 sys.assemble_ac_sparse(x_op, omega, gmin, sp, &mut rhs)
                     && sp.lu.refactor_frozen(&sp.mat).is_ok()
                     && sp.lu.solve_into(&rhs, &mut x).is_ok()
             }
             None => false,
         };
+        // Per-point events only: counting anything per *chunk* here would
+        // make totals depend on the thread count via the partitioning.
+        tel.count(|c| {
+            c.ac_points += 1;
+            if solved_sparse {
+                c.ac_points_sparse += 1;
+            } else if sp.is_some() {
+                c.ac_point_fallbacks += 1;
+            }
+        });
         if !solved_sparse {
+            if sp.is_some() {
+                warn_once(
+                    "ac-point-fallback",
+                    "an AC point's frozen-pivot replay failed (pattern miss \
+                     or pivot death); that point was solved dense",
+                );
+            }
             let matrix = dense.get_or_insert_with(|| ComplexMatrix::zeros(dim, dim));
             sys.solve_ac_into(x_op, omega, gmin, matrix, &mut x)?;
         }

@@ -8,6 +8,7 @@ use super::op::{self, OpResult};
 use super::NewtonOptions;
 use crate::circuit::Circuit;
 use crate::SpiceError;
+use cml_telemetry::Telemetry;
 
 /// Result of a DC sweep: one operating point per swept value.
 #[derive(Debug, Clone)]
@@ -100,10 +101,26 @@ pub fn sweep_with(
     values: &[f64],
     opts: &NewtonOptions,
 ) -> Result<DcSweepResult, SpiceError> {
+    sweep_traced(build, values, opts, &Telemetry::disabled())
+}
+
+/// [`sweep_with`] recording solver telemetry into `tel`: one span for
+/// the sweep plus the per-operating-point counters of every rung.
+///
+/// # Errors
+///
+/// Propagates the first operating-point failure.
+pub fn sweep_traced(
+    build: impl Fn(f64) -> Circuit,
+    values: &[f64],
+    opts: &NewtonOptions,
+    tel: &Telemetry,
+) -> Result<DcSweepResult, SpiceError> {
+    let _span = tel.span("analysis", "dc_sweep");
     let mut ops = Vec::with_capacity(values.len());
     for &v in values {
         let ckt = build(v);
-        ops.push(op::solve_with(&ckt, opts, None)?);
+        ops.push(op::solve_traced(&ckt, opts, None, tel)?);
     }
     Ok(DcSweepResult {
         values: values.to_vec(),

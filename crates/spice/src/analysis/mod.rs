@@ -13,7 +13,8 @@ use crate::circuit::{Circuit, NodeId};
 use crate::element::{AcStamper, Element, Integration, StampCtx, StampMode, StampSlots, Stamper};
 use crate::SpiceError;
 use cml_numeric::sparse::CsrMatrix;
-use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix, LuFactors, SparseLu};
+use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix, LuFactors, RefactorOutcome, SparseLu};
+use cml_telemetry::{warn_once, Phase, Telemetry};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -551,10 +552,17 @@ impl<'a> System<'a> {
         analysis: &'static str,
         ws: &mut NewtonWorkspace,
         reuse: bool,
+        tel: &Telemetry,
     ) -> Result<Vec<f64>, SpiceError> {
+        // Fine-gated: one Newton solve per transient step means two clock
+        // reads per step here, which alone would eat most of the coarse
+        // mode's < 2 % overhead budget on step-bound workloads.
+        let _t = tel.timer_fine(Phase::NewtonSolve);
+        let _span = tel.span_fine("solver", "newton");
+        tel.count(|c| c.newton_solves += 1);
         let mut rebuilds = 0;
         loop {
-            match self.newton_attempt(mode, x0, state, opts, analysis, ws, reuse) {
+            match self.newton_attempt(mode, x0, state, opts, analysis, ws, reuse, tel) {
                 Ok(x) => return Ok(x),
                 Err(AttemptError::Spice(e)) => return Err(e),
                 Err(AttemptError::PatternMiss) => {
@@ -566,8 +574,15 @@ impl<'a> System<'a> {
                     ws.lin_key = None;
                     ws.factored_key = None;
                     rebuilds += 1;
+                    tel.count(|c| c.pattern_rebuilds += 1);
                     if rebuilds >= 2 {
                         ws.sparse_disabled = true;
+                        tel.count(|c| c.dense_fallbacks += 1);
+                        warn_once(
+                            "sparse-dense-fallback",
+                            "sparse solve pattern missed twice; this workspace \
+                             permanently falls back to the dense path",
+                        );
                     }
                 }
             }
@@ -585,6 +600,7 @@ impl<'a> System<'a> {
         analysis: &'static str,
         ws: &mut NewtonWorkspace,
         reuse: bool,
+        tel: &Telemetry,
     ) -> Result<Vec<f64>, AttemptError> {
         let dim = self.dim();
         if ws.matrix.rows() != dim || ws.matrix.cols() != dim {
@@ -599,11 +615,20 @@ impl<'a> System<'a> {
             let fresh = matches!(&ws.sparse,
                 Some(sp) if sp.kind == ModeKind::of(mode) && sp.mat.rows() == dim);
             if !fresh {
+                let _t = tel.timer(Phase::PatternDiscovery);
                 ws.sparse = self.build_sparse(x0, state, mode);
                 ws.lin_key = None;
                 ws.factored_key = None;
                 if ws.sparse.is_none() {
                     ws.sparse_disabled = true;
+                    tel.count(|c| c.dense_fallbacks += 1);
+                    warn_once(
+                        "sparse-pattern-unbuildable",
+                        "sparse solve requested but the Jacobian pattern could \
+                         not be built; this workspace stays on the dense path",
+                    );
+                } else {
+                    tel.count(|c| c.pattern_builds += 1);
                 }
             }
         }
@@ -624,8 +649,10 @@ impl<'a> System<'a> {
             if ws.lin_key == Some(k) {
                 // Matrix still valid; only sources / companion history
                 // moved, and those live purely in the RHS.
+                tel.count(|c| c.lin_stamp_hits += 1);
                 self.stamp_linear_rhs(state, mode, &mut ws.lin_rhs);
             } else if run_sparse {
+                tel.count(|c| c.lin_stamp_builds += 1);
                 let Some(sp) = ws.sparse.as_mut() else {
                     return Err(AttemptError::Spice(SpiceError::Internal {
                         message: "sparse solve selected without sparse workspace".to_string(),
@@ -637,6 +664,7 @@ impl<'a> System<'a> {
                 ws.lin_key = Some(k);
                 ws.factored_key = None;
             } else {
+                tel.count(|c| c.lin_stamp_builds += 1);
                 self.assemble_linear(state, mode, opts.gmin, &mut ws.lin_matrix, &mut ws.lin_rhs);
                 ws.lin_key = Some(k);
                 ws.factored_key = None;
@@ -647,6 +675,7 @@ impl<'a> System<'a> {
         ws.x.extend_from_slice(x0);
         let mut worst = f64::INFINITY;
         for _iter in 0..opts.max_iter {
+            tel.count(|c| c.newton_iterations += 1);
             if run_sparse {
                 let Some(sp) = ws.sparse.as_mut() else {
                     return Err(AttemptError::Spice(SpiceError::Internal {
@@ -656,25 +685,45 @@ impl<'a> System<'a> {
                 ws.x_new.resize(dim, 0.0);
                 match key {
                     Some(k) if !self.has_nonlinear => {
-                        if ws.factored_key != Some(k) {
+                        if ws.factored_key == Some(k) {
+                            tel.count(|c| c.factor_reuse_hits += 1);
+                        } else {
                             sp.mat.vals_mut().copy_from_slice(&sp.lin_vals);
-                            sp.lu.refactor(&sp.mat)?;
+                            let oc = {
+                                let _t = tel.timer_fine(Phase::Refactor);
+                                sp.lu.refactor(&sp.mat)?
+                            };
+                            note_refactor(tel, oc);
                             ws.factored_key = Some(k);
                         }
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         sp.lu.solve_into(&ws.lin_rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.sparse_solves += 1);
                     }
                     Some(_) => {
                         sp.mat.vals_mut().copy_from_slice(&sp.lin_vals);
                         ws.rhs.clear();
                         ws.rhs.extend_from_slice(&ws.lin_rhs);
                         self.stamp_sparse_nonlinear(&ws.x, state, mode, sp, &mut ws.rhs)?;
-                        sp.lu.refactor(&sp.mat)?;
+                        let oc = {
+                            let _t = tel.timer_fine(Phase::Refactor);
+                            sp.lu.refactor(&sp.mat)?
+                        };
+                        note_refactor(tel, oc);
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.sparse_solves += 1);
                     }
                     None => {
                         self.assemble_sparse_full(&ws.x, state, mode, opts.gmin, sp, &mut ws.rhs)?;
-                        sp.lu.refactor(&sp.mat)?;
+                        let oc = {
+                            let _t = tel.timer_fine(Phase::Refactor);
+                            sp.lu.refactor(&sp.mat)?
+                        };
+                        note_refactor(tel, oc);
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.sparse_solves += 1);
                     }
                 }
             } else {
@@ -683,24 +732,42 @@ impl<'a> System<'a> {
                         // Fully linear system: the cached linear matrix *is*
                         // the Jacobian and its factorization survives across
                         // timesteps with the same key.
-                        if ws.factored_key != Some(k) {
+                        if ws.factored_key == Some(k) {
+                            tel.count(|c| c.factor_reuse_hits += 1);
+                        } else {
+                            let _t = tel.timer_fine(Phase::Factor);
                             ws.factors.refactor(&ws.lin_matrix)?;
+                            tel.count(|c| c.full_factorizations += 1);
                             ws.factored_key = Some(k);
                         }
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         ws.factors.solve_into(&ws.lin_rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.dense_solves += 1);
                     }
                     Some(_) => {
                         ws.matrix.copy_from(&ws.lin_matrix);
                         ws.rhs.clear();
                         ws.rhs.extend_from_slice(&ws.lin_rhs);
                         self.stamp_nonlinear(&ws.x, state, mode, &mut ws.matrix, &mut ws.rhs);
-                        ws.factors.refactor(&ws.matrix)?;
+                        {
+                            let _t = tel.timer_fine(Phase::Factor);
+                            ws.factors.refactor(&ws.matrix)?;
+                        }
+                        tel.count(|c| c.full_factorizations += 1);
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.dense_solves += 1);
                     }
                     None => {
                         self.assemble(&ws.x, state, mode, opts.gmin, &mut ws.matrix, &mut ws.rhs);
-                        ws.factors.refactor(&ws.matrix)?;
+                        {
+                            let _t = tel.timer_fine(Phase::Factor);
+                            ws.factors.refactor(&ws.matrix)?;
+                        }
+                        tel.count(|c| c.full_factorizations += 1);
+                        let _t = tel.timer_fine(Phase::BackSubstitute);
                         ws.factors.solve_into(&ws.rhs, &mut ws.x_new)?;
+                        tel.count(|c| c.dense_solves += 1);
                     }
                 }
             }
@@ -904,6 +971,20 @@ pub(crate) struct AcSparseState {
 /// Voltage lookup shared by all result types.
 pub(crate) fn voltage_from(x: &[f64], node: NodeId) -> f64 {
     node.index().map_or(0.0, |i| x[i])
+}
+
+/// Records a sparse refactorization outcome into the solver counters. A
+/// pivot fallback is also a full factorization (the heal re-runs the
+/// pivot search), so it increments both counters.
+fn note_refactor(tel: &Telemetry, outcome: RefactorOutcome) {
+    tel.count(|c| match outcome {
+        RefactorOutcome::Replayed => c.refactorizations += 1,
+        RefactorOutcome::FullFactor => c.full_factorizations += 1,
+        RefactorOutcome::PivotFallback => {
+            c.pivot_fallbacks += 1;
+            c.full_factorizations += 1;
+        }
+    });
 }
 
 #[cfg(test)]

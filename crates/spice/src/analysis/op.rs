@@ -10,6 +10,7 @@ use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::StampMode;
 use crate::SpiceError;
+use cml_telemetry::{Phase, Telemetry};
 use std::collections::HashMap;
 
 /// Result of an operating-point solve.
@@ -97,9 +98,29 @@ pub fn solve_with(
     opts: &NewtonOptions,
     at_time: Option<f64>,
 ) -> Result<OpResult, SpiceError> {
-    crate::lint::precheck(ckt)?;
+    solve_traced(ckt, opts, at_time, &Telemetry::disabled())
+}
+
+/// [`solve_with`] recording solver telemetry (spans, Newton/homotopy
+/// counters, lint-precheck time) into `tel`.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_traced(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    at_time: Option<f64>,
+    tel: &Telemetry,
+) -> Result<OpResult, SpiceError> {
+    let _span = tel.span("analysis", "op");
+    {
+        let _t = tel.timer(Phase::LintPrecheck);
+        crate::lint::precheck(ckt)?;
+    }
+    tel.count(|c| c.lint_prechecks += 1);
     let sys = System::new(ckt);
-    let x = solve_system(&sys, opts, at_time)?;
+    let x = solve_system(&sys, opts, at_time, tel)?;
     Ok(OpResult {
         x,
         n_nodes: sys.n_nodes(),
@@ -111,6 +132,7 @@ pub(crate) fn solve_system(
     sys: &System<'_>,
     opts: &NewtonOptions,
     at_time: Option<f64>,
+    tel: &Telemetry,
 ) -> Result<Vec<f64>, SpiceError> {
     let dim = sys.dim();
     let x0 = vec![0.0; dim];
@@ -124,7 +146,7 @@ pub(crate) fn solve_system(
     // matrix, RHS and LU buffers are reused instead of reallocated.
     let mut ws = NewtonWorkspace::new();
     let mut newton = |mode: StampMode, x0: &[f64], o: &NewtonOptions| {
-        sys.newton_with(mode, x0, &state, o, "op", &mut ws, false)
+        sys.newton_with(mode, x0, &state, o, "op", &mut ws, false, tel)
     };
 
     // 1. Plain Newton.
@@ -133,6 +155,7 @@ pub(crate) fn solve_system(
     }
 
     // 2. Gmin stepping: relax a heavy conditioning conductance.
+    let _span = tel.span_fine("solver", "op_homotopy");
     let mut x = x0.clone();
     let mut ok = true;
     let mut gmin = 1e-2;

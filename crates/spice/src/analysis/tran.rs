@@ -22,6 +22,7 @@ use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::{Integration, StampMode};
 use crate::SpiceError;
+use cml_telemetry::{Phase, Telemetry};
 use std::collections::HashMap;
 
 /// Configuration for a transient run.
@@ -176,22 +177,46 @@ impl TranResult {
 /// Propagates initial-OP failures; [`SpiceError::NoConvergence`] if a step
 /// cannot be completed even at `dt / 2^max_halvings`.
 pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError> {
+    run_traced(ckt, config, &Telemetry::disabled())
+}
+
+/// [`run`] recording solver telemetry into `tel`: a span tree for the
+/// run's phases (initial operating point, stepping loop) plus the step,
+/// LTE and factorization-reuse counters.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_traced(
+    ckt: &Circuit,
+    config: &TranConfig,
+    tel: &Telemetry,
+) -> Result<TranResult, SpiceError> {
+    let _span = tel.span("analysis", "tran");
     if !(config.t_stop > 0.0 && config.dt > 0.0) {
         return Err(SpiceError::InvalidConfig {
             message: "t_stop and dt must be positive".into(),
         });
     }
-    crate::lint::precheck(ckt)?;
+    {
+        let _t = tel.timer(Phase::LintPrecheck);
+        crate::lint::precheck(ckt)?;
+    }
+    tel.count(|c| c.lint_prechecks += 1);
     let sys = System::new(ckt);
 
     // Initial condition: DC solve with waveforms evaluated at t = 0.
-    let x0 = solve_system(&sys, &config.newton, Some(0.0))?;
+    let x0 = {
+        let _span = tel.span("phase", "tran_init");
+        solve_system(&sys, &config.newton, Some(0.0), tel)?
+    };
     let state = sys.init_state(&x0);
 
+    let _stepping = tel.span("phase", "tran_stepping");
     let (times, sols) = if config.adaptive {
-        adaptive_loop(ckt, &sys, config, x0, state)?
+        adaptive_loop(ckt, &sys, config, x0, state, tel)?
     } else {
-        fixed_loop(&sys, config, x0, state)?
+        fixed_loop(&sys, config, x0, state, tel)?
     };
 
     Ok(TranResult {
@@ -208,6 +233,7 @@ fn fixed_loop(
     config: &TranConfig,
     x0: Vec<f64>,
     mut state: Vec<f64>,
+    tel: &Telemetry,
 ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
     let mut state_next = vec![0.0; sys.state_len()];
     let n_steps_estimate = (config.t_stop / config.dt).ceil() as usize + 1;
@@ -238,6 +264,7 @@ fn fixed_loop(
                 "tran",
                 &mut ws,
                 config.reuse_factorization,
+                tel,
             ) {
                 Ok(x_new) => {
                     sys.update_state(&x_new, &state, mode, &mut state_next);
@@ -246,6 +273,10 @@ fn fixed_loop(
                     t += dt;
                     times.push(t);
                     sols.push(x.clone());
+                    tel.count(|c| {
+                        c.tran_steps += 1;
+                        c.record_dt(dt, config.dt);
+                    });
                     break;
                 }
                 Err(e) => {
@@ -253,6 +284,7 @@ fn fixed_loop(
                     if halvings > config.max_halvings {
                         return Err(e);
                     }
+                    tel.count(|c| c.newton_retries += 1);
                     dt /= 2.0;
                 }
             }
@@ -282,6 +314,7 @@ fn adaptive_loop(
     config: &TranConfig,
     x0: Vec<f64>,
     mut state: Vec<f64>,
+    tel: &Telemetry,
 ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
     let t_stop = config.t_stop;
     let mut breakpoints: Vec<f64> = Vec::new();
@@ -337,6 +370,7 @@ fn adaptive_loop(
                 "tran",
                 &mut ws,
                 config.reuse_factorization,
+                tel,
             ) {
                 Ok(x_new) => {
                     let mut worst = 0.0f64;
@@ -357,6 +391,7 @@ fn adaptive_loop(
                             halvings += 1;
                             rejected = true;
                             lands_on_bp = false;
+                            tel.count(|c| c.lte_rejects += 1);
                             dt_step = (dt_step / 2.0).max(dt_min);
                             continue;
                         }
@@ -367,6 +402,14 @@ fn adaptive_loop(
                     t += dt_step;
                     times.push(t);
                     sols.push(x.clone());
+                    tel.count(|c| {
+                        c.tran_steps += 1;
+                        c.lte_accepts += 1;
+                        c.record_dt(dt_step, config.dt);
+                        if lands_on_bp {
+                            c.breakpoint_restarts += 1;
+                        }
+                    });
                     if lands_on_bp {
                         hist_valid = 1;
                         dt = dt_bp_restart;
@@ -387,6 +430,7 @@ fn adaptive_loop(
                     if halvings > config.max_halvings {
                         return Err(e);
                     }
+                    tel.count(|c| c.newton_retries += 1);
                     rejected = true;
                     lands_on_bp = false;
                     dt_step /= 2.0;

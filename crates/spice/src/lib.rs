@@ -58,6 +58,11 @@ pub mod waveform;
 pub use circuit::{Circuit, NodeId};
 pub use error::SpiceError;
 
+// Solver instrumentation: every analysis has a `*_traced` variant taking
+// a `telemetry::Telemetry` handle (see `cml-telemetry`). Re-exported so
+// downstream crates need no extra dependency edge to use it.
+pub use cml_telemetry as telemetry;
+
 /// Convenient glob-import surface for building and simulating circuits.
 pub mod prelude {
     pub use crate::analysis::ac::{self, AcResult};

@@ -16,8 +16,9 @@ use cml_numeric::logspace;
 use cml_pdk::{Corner, Pdk018};
 use cml_sig::Bode;
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 
-fn buffer_bw(pdk: &Pdk018) -> f64 {
+fn buffer_bw(pdk: &Pdk018, tel: &Telemetry) -> f64 {
     let cfg = CmlBufferConfig::paper_default();
     let mut ckt = Circuit::new();
     let vdd = add_supply(&mut ckt, cml_pdk::VDD);
@@ -36,11 +37,12 @@ fn buffer_bw(pdk: &Pdk018) -> f64 {
     let freqs = logspace(1e8, 60e9, 60);
     // This runs inside a par_map corner worker: keep the inner AC sweep
     // serial so the outer fan-out owns all the parallelism.
-    let ac = cml_spice::analysis::ac::sweep_auto_with(
+    let ac = cml_spice::analysis::ac::sweep_auto_traced(
         &ckt,
         &freqs,
         &cml_spice::analysis::NewtonOptions::default(),
         1,
+        tel,
     )
     .expect("buffer ac");
     Bode::new(freqs, ac.differential_trace(output.p, output.n))
@@ -50,6 +52,9 @@ fn buffer_bw(pdk: &Pdk018) -> f64 {
 
 fn main() {
     let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+    // `CML_TELEMETRY=json:...` aggregates solver counters across every
+    // corner worker; the per-worker buffers merge deterministically.
+    let tel = Telemetry::from_env();
     let bmvr = BmvrConfig::paper_default();
     println!(
         "{:>7} {:>7} | {:>10} | {:>14}   ({threads} threads)",
@@ -59,11 +64,22 @@ fn main() {
         .iter()
         .flat_map(|&c| [-40.0, 27.0, 125.0].map(|t| (c, t)))
         .collect();
-    let rows = cml_runner::par_map(threads, &points, |_, &(corner, temp)| {
+    let probe = tel.probe();
+    let (rows, per_worker) = cml_runner::par_map_stats(threads, &points, |i, &(corner, temp)| {
+        let wtel = probe.fork(i as u32 + 1);
         let pdk = Pdk018::new(corner, temp);
         let vref = solve_vref(&pdk, &bmvr, 1.8).expect("bmvr op");
-        (vref, buffer_bw(&pdk))
+        let bw = buffer_bw(&pdk, &wtel);
+        ((vref, bw), wtel.into_parts())
     });
+    tel.note_worker_items(&per_worker);
+    let rows: Vec<(f64, f64)> = rows
+        .into_iter()
+        .map(|(row, parts)| {
+            tel.absorb(parts);
+            row
+        })
+        .collect();
     for ((corner, temp), (vref, bw)) in points.iter().zip(&rows) {
         println!(
             "{:>7} {temp:>7.0} | {vref:>10.4} | {:>14.2}",
@@ -76,4 +92,19 @@ fn main() {
          buffer keeps multi-GHz bandwidth at every corner — the bias\n\
          robustness the paper attributes to the band-gap reference."
     );
+    if tel.is_enabled() {
+        let report = tel.report();
+        let c = &report.counters;
+        println!(
+            "\ntelemetry: {} AC points across {} corner workers, \
+             {} Newton solves, reuse {:.0} %",
+            c.ac_points,
+            report.worker_items.len(),
+            c.newton_solves,
+            c.reuse_hit_rate() * 1e2
+        );
+        for p in tel.flush().expect("flush telemetry sinks") {
+            println!("wrote {}", p.display());
+        }
+    }
 }

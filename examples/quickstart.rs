@@ -9,8 +9,9 @@ use cml_numeric::logspace;
 use cml_pdk::Pdk018;
 use cml_sig::Bode;
 use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
 
-fn buffer_bode(cfg: &CmlBufferConfig) -> Result<Bode, cml_spice::SpiceError> {
+fn buffer_bode(cfg: &CmlBufferConfig, tel: &Telemetry) -> Result<Bode, cml_spice::SpiceError> {
     let pdk = Pdk018::typical();
     let mut ckt = Circuit::new();
     let vdd = add_supply(&mut ckt, cml_pdk::VDD);
@@ -29,17 +30,26 @@ fn buffer_bode(cfg: &CmlBufferConfig) -> Result<Bode, cml_spice::SpiceError> {
     ckt.add(Capacitor::new("CLN", output.n, Circuit::GROUND, 30e-15));
 
     let freqs = logspace(1e7, 60e9, 100);
-    let ac = cml_spice::analysis::ac::sweep_auto(&ckt, &freqs)?;
+    let ac = cml_spice::analysis::ac::sweep_auto_traced(
+        &ckt,
+        &freqs,
+        &cml_spice::analysis::NewtonOptions::default(),
+        cml_runner::threads(None),
+        tel,
+    )?;
     Ok(Bode::new(freqs, ac.differential_trace(output.p, output.n)))
 }
 
 fn main() -> Result<(), cml_spice::SpiceError> {
+    // `CML_TELEMETRY=json:report.json` (or `trace:trace.json`) records
+    // what the solver did underneath the figures; unset, this is free.
+    let tel = Telemetry::from_env();
     println!("wide-band CML buffer, 0.18 um process, 1 mA / 250 ohm design point\n");
     for (name, cfg) in [
         ("plain CML buffer", CmlBufferConfig::plain()),
         ("paper's wide-band buffer", CmlBufferConfig::paper_default()),
     ] {
-        let bode = buffer_bode(&cfg)?;
+        let bode = buffer_bode(&cfg, &tel)?;
         println!(
             "{name:<26} gain {:+5.2} dB | -3 dB bandwidth {:5.2} GHz | peaking {:4.2} dB",
             bode.dc_gain_db(),
@@ -52,5 +62,19 @@ fn main() -> Result<(), cml_spice::SpiceError> {
          capacitance together push the same current budget past 10 Gb/s —\n\
          the central claim of the paper."
     );
+    if tel.is_enabled() {
+        let c = &tel.report().counters;
+        println!(
+            "\ntelemetry: {} AC points ({:.0} % sparse), {} Newton solves, \
+             factorization reuse {:.0} %",
+            c.ac_points,
+            c.ac_sparse_fraction() * 1e2,
+            c.newton_solves,
+            c.reuse_hit_rate() * 1e2
+        );
+        for p in tel.flush().expect("flush telemetry sinks") {
+            println!("wrote {}", p.display());
+        }
+    }
     Ok(())
 }

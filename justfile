@@ -36,14 +36,20 @@ bench-pr3:
 bench-pr4:
     cargo run --release -p cml-bench --bin bench_pr4
 
+# Regenerate the telemetry overhead/determinism benchmark artifact.
+bench-pr5:
+    cargo run --release -p cml-bench --bin bench_pr5
+
 # Static netlist DRC over every generated circuit block (fails on any
 # error-level diagnostic; `cml-lint --codes` documents the code table).
 lint-circuits:
     cargo run --release -p cml-lint --bin cml-lint -- --builtin all
 
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
-# dense solvers agree to <= 1e-9, the adaptive eye stays honest, and the
-# parallel AC sweep is bit-identical to the serial one).
+# dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
+# parallel AC sweep is bit-identical to the serial one, and telemetry
+# counters are thread-invariant with a schema-valid json sink).
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
+    CML_TELEMETRY=json:/tmp/cml_telemetry_smoke.json cargo run --release -p cml-bench --bin bench_pr5 -- --smoke

@@ -47,3 +47,4 @@ pub mod freq;
 pub mod montecarlo;
 pub mod power;
 pub mod report;
+pub mod stream;

@@ -1,0 +1,258 @@
+//! [`WaveSink`] adapters bridging `cml_spice` streaming transient runs
+//! into the `cml_sig` streaming accumulators.
+//!
+//! `cml_spice` emits columnar waveform chunks; `cml_sig` folds single
+//! waveforms into eyes, metrics and BER counts. These adapters connect
+//! one selected chunk column to one accumulator so a transistor-level
+//! PRBS run produces its eye diagram **during** the simulation, holding
+//! O(chunk) waveform data instead of the full dense record:
+//!
+//! ```ignore
+//! let probes = TranProbes::new().differential("vout", out_p, out_n);
+//! let mut eye = EyeSink::new("vout", EyeAccumulatorConfig::new(ui, dt, -0.4, 0.4));
+//! tran::run_streaming(&ckt, &cfg, &probes, &mut eye)?;
+//! let metrics = eye.accumulator().metrics();
+//! ```
+//!
+//! Both adapters resolve their column by **name** in
+//! [`WaveSink::begin`], so they compose with any probe set and with
+//! [`cml_spice::prelude::Tee`] fan-out. For parallel sweeps, build one
+//! accumulator per segment and fan in with `cml_runner::par_fold` +
+//! [`cml_sig::streaming::EyeAccumulator::merge`] — the accumulators are
+//! chunk-invariant, so the merged result is bit-identical to a single
+//! serial pass.
+
+use cml_sig::streaming::{BerCounter, EyeAccumulator, EyeAccumulatorConfig, StreamMetrics};
+use cml_spice::prelude::{TranMeta, WaveChunk, WaveSink};
+use cml_spice::SpiceError;
+
+/// Finds the chunk-column index for `name`, erring at `begin` time so a
+/// typo fails before any stepping happens.
+fn resolve_col(meta: &TranMeta, name: &str) -> Result<usize, SpiceError> {
+    meta.col_names
+        .iter()
+        .position(|c| c == name)
+        .ok_or_else(|| SpiceError::NotFound {
+            what: "streamed probe column",
+            name: name.to_string(),
+        })
+}
+
+/// Streams one probe column into an [`EyeAccumulator`]: the eye diagram
+/// and jitter statistics of a transient run, computed on the fly in
+/// O(grid) memory.
+#[derive(Debug)]
+pub struct EyeSink {
+    col_name: String,
+    col: usize,
+    acc: EyeAccumulator,
+}
+
+impl EyeSink {
+    /// Folds the column named `col_name` (as declared in the run's
+    /// `TranProbes`) into an eye with the given config.
+    #[must_use]
+    pub fn new(col_name: impl Into<String>, cfg: EyeAccumulatorConfig) -> Self {
+        EyeSink {
+            col_name: col_name.into(),
+            col: 0,
+            acc: EyeAccumulator::new(cfg),
+        }
+    }
+
+    /// The accumulator (metrics, render, merge) after — or during — a run.
+    #[must_use]
+    pub fn accumulator(&self) -> &EyeAccumulator {
+        &self.acc
+    }
+
+    /// Consumes the sink into its accumulator (for `merge` fan-in).
+    #[must_use]
+    pub fn into_accumulator(self) -> EyeAccumulator {
+        self.acc
+    }
+}
+
+impl WaveSink for EyeSink {
+    fn begin(&mut self, meta: &TranMeta) -> Result<(), SpiceError> {
+        self.col = resolve_col(meta, &self.col_name)?;
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &WaveChunk<'_>) -> Result<(), SpiceError> {
+        self.acc.feed(chunk.times, &chunk.cols[self.col]);
+        Ok(())
+    }
+}
+
+/// Streams one probe column into a [`StreamMetrics`] block (count, min,
+/// max, mean, RMS, threshold crossings) in O(1) memory.
+#[derive(Debug)]
+pub struct MetricsSink {
+    col_name: String,
+    col: usize,
+    metrics: StreamMetrics,
+}
+
+impl MetricsSink {
+    /// Accumulates metrics of the column named `col_name`, counting
+    /// crossings of `threshold`.
+    #[must_use]
+    pub fn new(col_name: impl Into<String>, threshold: f64) -> Self {
+        MetricsSink {
+            col_name: col_name.into(),
+            col: 0,
+            metrics: StreamMetrics::new(threshold),
+        }
+    }
+
+    /// The accumulated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &StreamMetrics {
+        &self.metrics
+    }
+}
+
+impl WaveSink for MetricsSink {
+    fn begin(&mut self, meta: &TranMeta) -> Result<(), SpiceError> {
+        self.col = resolve_col(meta, &self.col_name)?;
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &WaveChunk<'_>) -> Result<(), SpiceError> {
+        for &v in &chunk.cols[self.col] {
+            self.metrics.push(v);
+        }
+        Ok(())
+    }
+}
+
+/// Streams one probe column into a [`BerCounter`]: slices the waveform
+/// at bit centers and compares against the expected bit sequence.
+#[derive(Debug)]
+pub struct BerSink<I> {
+    col_name: String,
+    col: usize,
+    counter: BerCounter<I>,
+}
+
+impl<I: Iterator<Item = bool>> BerSink<I> {
+    /// Counts bit errors on the column named `col_name` with the given
+    /// pre-built counter (UI, threshold, first decision instant,
+    /// expected-bit iterator).
+    #[must_use]
+    pub fn new(col_name: impl Into<String>, counter: BerCounter<I>) -> Self {
+        BerSink {
+            col_name: col_name.into(),
+            col: 0,
+            counter,
+        }
+    }
+
+    /// The counter (bits, errors, BER).
+    #[must_use]
+    pub fn counter(&self) -> &BerCounter<I> {
+        &self.counter
+    }
+}
+
+impl<I: Iterator<Item = bool>> WaveSink for BerSink<I> {
+    fn begin(&mut self, meta: &TranMeta) -> Result<(), SpiceError> {
+        self.col = resolve_col(meta, &self.col_name)?;
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &WaveChunk<'_>) -> Result<(), SpiceError> {
+        for (&t, &v) in chunk.times.iter().zip(&chunk.cols[self.col]) {
+            self.counter.push(t, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_spice::prelude::*;
+
+    /// An RC low-pass driven by a pulse source: enough dynamics to give
+    /// every adapter real crossings to chew on.
+    fn pulse_rc() -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add(Vsource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-10,
+                fall: 1e-10,
+                width: 0.9e-9,
+                period: 2e-9,
+            },
+        ));
+        ckt.add(Resistor::new("R1", a, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-13));
+        (ckt, out)
+    }
+
+    #[test]
+    fn metrics_sink_matches_dense_run() {
+        let (ckt, out) = pulse_rc();
+        let cfg = TranConfig::new(8e-9, 1e-11);
+        let probes = TranProbes::new().voltage("vout", out);
+        let mut sink = MetricsSink::new("vout", 0.5);
+        tran::run_streaming(&ckt, &cfg, &probes, &mut sink).unwrap();
+
+        let dense = tran::run(&ckt, &cfg).unwrap();
+        let wave = dense.voltage(out);
+        let mut reference = cml_sig::streaming::StreamMetrics::new(0.5);
+        for &v in &wave {
+            reference.push(v);
+        }
+        assert_eq!(sink.metrics().count(), reference.count());
+        assert_eq!(sink.metrics().min().to_bits(), reference.min().to_bits());
+        assert_eq!(sink.metrics().max().to_bits(), reference.max().to_bits());
+        assert_eq!(sink.metrics().crossings(), reference.crossings());
+        assert!(sink.metrics().crossings() >= 2, "pulse produced no edges");
+    }
+
+    #[test]
+    fn eye_sink_matches_dense_fold_bit_for_bit() {
+        let (ckt, out) = pulse_rc();
+        let cfg = TranConfig::new(16e-9, 1e-11);
+        let ui = 2e-9;
+        let eye_cfg = cml_sig::streaming::EyeAccumulatorConfig::new(ui, 1e-11, -0.1, 1.1);
+        let probes = TranProbes::new().voltage("vout", out);
+        let mut sink = EyeSink::new("vout", eye_cfg.clone());
+        tran::run_streaming(&ckt, &cfg, &probes, &mut sink).unwrap();
+
+        // Reference: same accumulator fed from the dense record in one
+        // call. Chunk-invariance makes these bit-identical.
+        let dense = tran::run(&ckt, &cfg).unwrap();
+        let mut reference = cml_sig::streaming::EyeAccumulator::new(eye_cfg);
+        reference.feed(dense.times(), &dense.voltage(out));
+
+        assert_eq!(sink.accumulator().samples(), reference.samples());
+        assert_eq!(sink.accumulator().crossings(), reference.crossings());
+        let a = sink.accumulator().metrics();
+        let b = reference.metrics();
+        assert_eq!(a.height.to_bits(), b.height.to_bits());
+        assert_eq!(a.width.to_bits(), b.width.to_bits());
+        assert_eq!(a.rms_jitter.to_bits(), b.rms_jitter.to_bits());
+    }
+
+    #[test]
+    fn unknown_column_fails_at_begin() {
+        let (ckt, out) = pulse_rc();
+        let cfg = TranConfig::new(1e-9, 1e-11);
+        let probes = TranProbes::new().voltage("vout", out);
+        let mut sink = MetricsSink::new("nope", 0.0);
+        let err = tran::run_streaming(&ckt, &cfg, &probes, &mut sink).unwrap_err();
+        assert!(matches!(err, SpiceError::NotFound { .. }), "{err}");
+    }
+}

@@ -127,6 +127,29 @@ where
     (tagged.into_iter().map(|(_, u)| u).collect(), per_worker)
 }
 
+/// Maps `f` over `items` in parallel, then folds the per-item results
+/// **in input order** with `merge`. Returns `None` for empty input.
+///
+/// This is the fan-in primitive for streaming-sink sweeps: each worker
+/// builds a partial accumulator (an eye fold, a metrics block) for its
+/// slice of the parameter grid, and the partials are merged left-to-
+/// right by item index — never in completion order. As long as `f` is
+/// pure and `merge` is associative over adjacent partials, the folded
+/// result is bit-for-bit identical for any thread count and any
+/// scheduling, the same guarantee [`par_map`] gives for plain vectors.
+/// (`merge` need not be commutative: the fold order is fixed.)
+pub fn par_fold<T, A, F, M>(threads: usize, items: &[T], f: F, mut merge: M) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &T) -> A + Sync,
+    M: FnMut(A, A) -> A,
+{
+    let mut parts = par_map(threads, items, f).into_iter();
+    let first = parts.next()?;
+    Some(parts.fold(first, &mut merge))
+}
+
 /// Splits a 64-bit seed into a per-point stream seed.
 ///
 /// Sweep points must not share one sequential RNG (the draw order would
@@ -231,6 +254,32 @@ mod tests {
         assert_eq!(threads_flag(args(&["bin"])), None);
         assert_eq!(threads_flag(args(&["bin", "--threads", "zero"])), None);
         assert_eq!(threads_flag(args(&["bin", "--threads=0"])), None);
+    }
+
+    #[test]
+    fn par_fold_is_input_order_and_thread_invariant() {
+        // Non-commutative merge (string concatenation) exposes any
+        // completion-order fan-in immediately.
+        let items: Vec<usize> = (0..64).collect();
+        let reference = par_fold(1, &items, |i, _| format!("{i},"), |a, b| a + &b).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let got = par_fold(threads, &items, |i, _| format!("{i},"), |a, b| a + &b).unwrap();
+            assert_eq!(got, reference, "thread count {threads} changed fold order");
+        }
+        // Float partial sums must also be bit-identical.
+        let waves: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let ref_sum = par_fold(1, &waves, heavy, |a, b| a + b).unwrap();
+        for threads in [2, 7, 16] {
+            let got = par_fold(threads, &waves, heavy, |a, b| a + b).unwrap();
+            assert_eq!(got.to_bits(), ref_sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_fold_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_fold(4, &empty, |_, &v| v, |a, b| a + b).is_none());
+        assert_eq!(par_fold(4, &[41], |_, &v| v + 1, |a, b| a + b), Some(42));
     }
 
     #[test]

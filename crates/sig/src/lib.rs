@@ -16,6 +16,9 @@
 //!   ([`measure::Bode`]: −3 dB bandwidth, DC gain, peaking),
 //! * [`jitter`] — TIE extraction, RJ/DJ decomposition, bathtub curves
 //!   and eye width at a target BER,
+//! * [`streaming`] — O(chunk)-memory accumulators (fold-into-eye,
+//!   scalar metrics, BER counting) for million-bit runs that never
+//!   materialize the full waveform,
 //! * [`spectrum`] — Hann-windowed power-spectral-density estimation.
 //!
 //! # Example
@@ -41,6 +44,7 @@ pub mod measure;
 pub mod nrz;
 pub mod prbs;
 pub mod spectrum;
+pub mod streaming;
 pub mod wave;
 
 pub use eye::{EyeDiagram, EyeMetrics};

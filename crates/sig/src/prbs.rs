@@ -75,12 +75,76 @@ impl Prbs {
         (1u64 << self.order) - 1
     }
 
+    /// Largest order [`one_period`](Prbs::one_period) will materialize
+    /// (2²⁰−1 bits ≈ 1 MiB of `bool`). PRBS-23 would be 8 Mb and PRBS-31
+    /// ~2 GiB — use the iterator or [`try_one_period`](Prbs::try_one_period)
+    /// for those.
+    pub const MAX_COLLECT_ORDER: u32 = 20;
+
     /// Collects exactly one full period of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for orders above [`Prbs::MAX_COLLECT_ORDER`]: a PRBS-31
+    /// period is 2³¹−1 bits (~2 GiB of `bool`), which must never be
+    /// materialized by accident. Long patterns are iterators — stream
+    /// them through [`longest_run_iter`] / [`balance`] or the
+    /// `cml-sig` streaming accumulators instead, or call
+    /// [`try_one_period`](Prbs::try_one_period) for a fallible version.
     #[must_use]
     pub fn one_period(&self) -> Vec<bool> {
-        self.clone().take(self.period() as usize).collect()
+        match self.try_one_period() {
+            Ok(bits) => bits,
+            Err(e) => panic!("{e}; iterate the generator instead"),
+        }
+    }
+
+    /// Fallible [`one_period`](Prbs::one_period): returns
+    /// [`PrbsError::PeriodTooLong`] instead of allocating gigabytes for
+    /// PRBS-23/31-class generators.
+    ///
+    /// # Errors
+    ///
+    /// [`PrbsError::PeriodTooLong`] when the order exceeds
+    /// [`Prbs::MAX_COLLECT_ORDER`].
+    pub fn try_one_period(&self) -> Result<Vec<bool>, PrbsError> {
+        if self.order > Self::MAX_COLLECT_ORDER {
+            return Err(PrbsError::PeriodTooLong {
+                order: self.order,
+                period: self.period(),
+            });
+        }
+        Ok(self.clone().take(self.period() as usize).collect())
     }
 }
+
+/// Errors from the PRBS helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrbsError {
+    /// A whole-period collection was requested for a generator whose
+    /// period is too long to materialize as a `Vec<bool>`.
+    PeriodTooLong {
+        /// LFSR order of the offending generator.
+        order: u32,
+        /// Its period, `2^order − 1` bits.
+        period: u64,
+    },
+}
+
+impl std::fmt::Display for PrbsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrbsError::PeriodTooLong { order, period } => write!(
+                f,
+                "PRBS-{order} period ({period} bits) is too long to collect \
+                 (max order {})",
+                Prbs::MAX_COLLECT_ORDER
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrbsError {}
 
 impl Iterator for Prbs {
     type Item = bool;
@@ -106,10 +170,16 @@ pub fn to_symbols(bits: &[bool]) -> Vec<f64> {
 /// of n ones).
 #[must_use]
 pub fn longest_run(bits: &[bool]) -> usize {
+    longest_run_iter(bits.iter().copied())
+}
+
+/// Streaming [`longest_run`]: consumes any bit iterator at O(1) memory,
+/// so full PRBS-23/31 periods can be checked without materializing them.
+pub fn longest_run_iter(bits: impl IntoIterator<Item = bool>) -> usize {
     let mut best = 0;
     let mut run = 0;
     let mut prev: Option<bool> = None;
-    for &b in bits {
+    for b in bits {
         if prev == Some(b) {
             run += 1;
         } else {
@@ -119,6 +189,22 @@ pub fn longest_run(bits: &[bool]) -> usize {
         best = best.max(run);
     }
     best
+}
+
+/// Streaming mark/space balance: `(ones, zeros)` over any bit iterator
+/// at O(1) memory. A maximal-length PRBS-n period has exactly one more
+/// one than zeros.
+pub fn balance(bits: impl IntoIterator<Item = bool>) -> (u64, u64) {
+    let mut ones = 0u64;
+    let mut zeros = 0u64;
+    for b in bits {
+        if b {
+            ones += 1;
+        } else {
+            zeros += 1;
+        }
+    }
+    (ones, zeros)
 }
 
 #[cfg(test)]
@@ -202,5 +288,45 @@ mod tests {
         assert_eq!(longest_run(&[true, true, false, true, true, true]), 3);
         assert_eq!(longest_run(&[]), 0);
         assert_eq!(longest_run(&[false]), 1);
+    }
+
+    #[test]
+    fn one_period_guard_rejects_long_patterns() {
+        // PRBS-23/31 periods must never be materialized: ~1 MiB/bit-vec
+        // per 2²⁰ bits, so 2³¹−1 would be ~2 GiB.
+        assert!(matches!(
+            Prbs::prbs23().try_one_period(),
+            Err(PrbsError::PeriodTooLong { order: 23, .. })
+        ));
+        let e = Prbs::prbs31().try_one_period().unwrap_err();
+        assert_eq!(
+            e,
+            PrbsError::PeriodTooLong {
+                order: 31,
+                period: (1u64 << 31) - 1
+            }
+        );
+        assert!(e.to_string().contains("PRBS-31"));
+        // Small orders still collect fine through the fallible API.
+        assert_eq!(Prbs::prbs15().try_one_period().unwrap().len(), 32767);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long to collect")]
+    fn one_period_panics_for_prbs23() {
+        let _ = Prbs::prbs23().one_period();
+    }
+
+    #[test]
+    fn streaming_helpers_handle_full_prbs15_period() {
+        // Doubled period through the iterator: wraparound runs included,
+        // nothing materialized.
+        let doubled = Prbs::prbs15().take(2 * 32767);
+        assert_eq!(longest_run_iter(doubled), 15);
+        let (ones, zeros) = balance(Prbs::prbs15().take(32767));
+        assert_eq!((ones, zeros), (16384, 16383));
+        // Slice and iterator versions agree.
+        let bits = Prbs::prbs7().one_period();
+        assert_eq!(longest_run(&bits), longest_run_iter(bits.iter().copied()));
     }
 }

@@ -7,6 +7,8 @@
 pub mod ac;
 pub mod dc;
 pub mod op;
+pub mod sink;
+pub mod spill;
 pub mod tran;
 
 use crate::circuit::{Circuit, NodeId};

@@ -1,0 +1,570 @@
+//! Compressed-to-disk waveform spill sink with checkpoint/resume.
+//!
+//! [`SpillSink`] persists a streamed transient to a single file at
+//! O(chunk) memory: every chunk is delta-encoded (XOR of consecutive
+//! `f64` bit patterns per column — smooth waveforms share exponents and
+//! high mantissa bits, so the XOR is mostly leading zeros) and packed
+//! with LEB128 varints. After each chunk a tiny sidecar checkpoint
+//! (`<path>.ckpt`) records how many samples are durable and the codec
+//! state, so an interrupted run can [`SpillSink::resume`]: the transient
+//! is re-run (solver-state checkpointing is future work — see DESIGN.md
+//! §12), the sink skips everything already persisted, byte-identically,
+//! and appends from the first new sample.
+//!
+//! [`SpillReader`] decodes a finished (or checkpointed) spill file back
+//! into dense vectors for verification and offline analysis.
+
+use super::sink::{TranMeta, WaveChunk, WaveSink};
+use crate::SpiceError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const DATA_MAGIC: &[u8; 4] = b"CMW1";
+const CKPT_MAGIC: &[u8; 4] = b"CMC1";
+
+fn io_err(context: &'static str, e: &std::io::Error) -> SpiceError {
+    SpiceError::io(context, e)
+}
+
+/// Appends `v` as an LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `buf[*pos..]`.
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, SpiceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or_else(|| SpiceError::Io {
+            context: "spill decode",
+            message: "truncated varint".into(),
+        })?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(SpiceError::Io {
+                context: "spill decode",
+                message: "varint overflow".into(),
+            });
+        }
+    }
+}
+
+/// Fixed-width little-endian read at `at` (callers bounds-check the
+/// enclosing region first, so the copy itself cannot fail).
+fn le_bytes<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[at..at + N]);
+    out
+}
+
+/// Per-stream delta codec: XOR against the previous sample's bits.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaCodec {
+    prev_bits: u64,
+}
+
+impl DeltaCodec {
+    fn encode(&mut self, v: f64, out: &mut Vec<u8>) {
+        let bits = v.to_bits();
+        put_varint(out, bits ^ self.prev_bits);
+        self.prev_bits = bits;
+    }
+
+    fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Result<f64, SpiceError> {
+        let bits = get_varint(buf, pos)? ^ self.prev_bits;
+        self.prev_bits = bits;
+        Ok(f64::from_bits(bits))
+    }
+}
+
+/// Streaming compressed spill-to-disk sink. See the module docs.
+pub struct SpillSink {
+    path: PathBuf,
+    file: Option<BufWriter<File>>,
+    /// One codec per stream: times first, then each column.
+    codecs: Vec<DeltaCodec>,
+    /// Samples durably persisted (checkpointed).
+    persisted: u64,
+    /// Payload bytes after the header, matching `persisted`.
+    payload_bytes: u64,
+    /// Resume mode: skip already-persisted samples instead of writing
+    /// a fresh header.
+    resuming: bool,
+    scratch: Vec<u8>,
+}
+
+impl SpillSink {
+    /// A sink that will create (truncate) `path` and `path.ckpt`.
+    #[must_use]
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        SpillSink {
+            path: path.into(),
+            file: None,
+            codecs: Vec::new(),
+            persisted: 0,
+            payload_bytes: 0,
+            resuming: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A sink that resumes an interrupted spill from its checkpoint:
+    /// the data file is truncated to the last durable byte, the codec
+    /// state restored, and chunks below the persisted sample count are
+    /// skipped when the run is replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Io`] if the checkpoint is missing or corrupt.
+    pub fn resume(path: impl Into<PathBuf>) -> Result<Self, SpiceError> {
+        let path = path.into();
+        let ckpt = read_checkpoint(&ckpt_path(&path))?;
+        Ok(SpillSink {
+            path,
+            file: None,
+            codecs: ckpt
+                .prev_bits
+                .iter()
+                .map(|&prev_bits| DeltaCodec { prev_bits })
+                .collect(),
+            persisted: ckpt.samples,
+            payload_bytes: ckpt.payload_bytes,
+            resuming: true,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Samples already durable from a previous run (0 for a fresh sink).
+    #[must_use]
+    pub fn persisted_samples(&self) -> u64 {
+        self.persisted
+    }
+
+    /// The data-file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_checkpoint(&self) -> Result<(), SpiceError> {
+        let mut buf = Vec::with_capacity(4 + 8 + 8 + 4 + self.codecs.len() * 8);
+        buf.extend_from_slice(CKPT_MAGIC);
+        buf.extend_from_slice(&self.persisted.to_le_bytes());
+        buf.extend_from_slice(&self.payload_bytes.to_le_bytes());
+        buf.extend_from_slice(&(self.codecs.len() as u32).to_le_bytes());
+        for c in &self.codecs {
+            buf.extend_from_slice(&c.prev_bits.to_le_bytes());
+        }
+        // Write-then-rename so a crash mid-checkpoint leaves the old
+        // checkpoint intact rather than a torn one.
+        let tmp = self.path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, &buf).map_err(|e| io_err("checkpoint write", &e))?;
+        std::fs::rename(&tmp, ckpt_path(&self.path)).map_err(|e| io_err("checkpoint rename", &e))
+    }
+}
+
+fn ckpt_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".ckpt");
+    PathBuf::from(os)
+}
+
+struct Checkpoint {
+    samples: u64,
+    payload_bytes: u64,
+    prev_bits: Vec<u64>,
+}
+
+fn read_checkpoint(path: &Path) -> Result<Checkpoint, SpiceError> {
+    let buf = std::fs::read(path).map_err(|e| io_err("checkpoint read", &e))?;
+    let fail = |msg: &str| SpiceError::Io {
+        context: "checkpoint read",
+        message: msg.into(),
+    };
+    if buf.len() < 24 || &buf[0..4] != CKPT_MAGIC {
+        return Err(fail("bad checkpoint header"));
+    }
+    let samples = u64::from_le_bytes(le_bytes(&buf, 4));
+    let payload_bytes = u64::from_le_bytes(le_bytes(&buf, 12));
+    let n = u32::from_le_bytes(le_bytes(&buf, 20)) as usize;
+    if buf.len() != 24 + n * 8 {
+        return Err(fail("bad checkpoint length"));
+    }
+    let prev_bits = (0..n)
+        .map(|i| u64::from_le_bytes(le_bytes(&buf, 24 + i * 8)))
+        .collect();
+    Ok(Checkpoint {
+        samples,
+        payload_bytes,
+        prev_bits,
+    })
+}
+
+fn header_bytes(meta: &TranMeta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(DATA_MAGIC);
+    buf.extend_from_slice(&(meta.n_cols() as u32).to_le_bytes());
+    for name in &meta.col_names {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+    }
+    buf.extend_from_slice(&meta.t_stop.to_le_bytes());
+    buf.extend_from_slice(&meta.dt.to_le_bytes());
+    buf
+}
+
+impl WaveSink for SpillSink {
+    fn begin(&mut self, meta: &TranMeta) -> Result<(), SpiceError> {
+        let n_streams = meta.n_cols() + 1; // times + columns
+        if self.resuming {
+            if self.codecs.len() != n_streams {
+                return Err(SpiceError::Io {
+                    context: "spill resume",
+                    message: format!(
+                        "checkpoint has {} streams but the run probes {}",
+                        self.codecs.len(),
+                        n_streams
+                    ),
+                });
+            }
+            // Drop any bytes past the last durable checkpoint.
+            let header_len = header_bytes(meta).len() as u64;
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&self.path)
+                .map_err(|e| io_err("spill reopen", &e))?;
+            f.set_len(header_len + self.payload_bytes)
+                .map_err(|e| io_err("spill truncate", &e))?;
+            let mut w = BufWriter::new(f);
+            w.seek_end().map_err(|e| io_err("spill seek", &e))?;
+            self.file = Some(w);
+        } else {
+            self.codecs = vec![DeltaCodec::default(); n_streams];
+            let f = File::create(&self.path).map_err(|e| io_err("spill create", &e))?;
+            let mut w = BufWriter::new(f);
+            w.write_all(&header_bytes(meta))
+                .map_err(|e| io_err("spill header write", &e))?;
+            self.file = Some(w);
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &WaveChunk<'_>) -> Result<(), SpiceError> {
+        let end = chunk.first_index + chunk.len() as u64;
+        if end <= self.persisted {
+            return Ok(()); // replayed prefix, already durable
+        }
+        // Partial overlap: encode only the unseen tail of the chunk.
+        let skip = (self.persisted.saturating_sub(chunk.first_index)) as usize;
+        let n = chunk.len() - skip;
+        if n == 0 {
+            return Ok(());
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        put_varint(&mut buf, n as u64);
+        for &t in &chunk.times[skip..] {
+            self.codecs[0].encode(t, &mut buf);
+        }
+        for (ci, col) in chunk.cols.iter().enumerate() {
+            let codec = &mut self.codecs[ci + 1];
+            for &v in &col[skip..] {
+                codec.encode(v, &mut buf);
+            }
+        }
+        let w = self.file.as_mut().ok_or_else(|| SpiceError::Internal {
+            message: "spill chunk before begin".into(),
+        })?;
+        w.write_all(&buf).map_err(|e| io_err("spill write", &e))?;
+        w.flush().map_err(|e| io_err("spill flush", &e))?;
+        self.payload_bytes += buf.len() as u64;
+        self.persisted = end;
+        self.scratch = buf;
+        self.write_checkpoint()
+    }
+
+    fn finish(&mut self, _meta: &TranMeta) -> Result<(), SpiceError> {
+        if let Some(w) = self.file.as_mut() {
+            w.flush().map_err(|e| io_err("spill flush", &e))?;
+        }
+        self.file = None;
+        self.write_checkpoint()
+    }
+}
+
+/// `BufWriter` lacks a stable seek-to-end helper without `Seek` bounds
+/// gymnastics; this tiny extension keeps the call sites readable.
+trait SeekEnd {
+    fn seek_end(&mut self) -> std::io::Result<()>;
+}
+
+impl SeekEnd for BufWriter<File> {
+    fn seek_end(&mut self) -> std::io::Result<()> {
+        use std::io::Seek;
+        self.seek(std::io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+/// Decoded contents of a spill file.
+#[derive(Debug, Clone)]
+pub struct SpillContents {
+    /// Column names from the header.
+    pub col_names: Vec<String>,
+    /// Stop time recorded in the header, seconds.
+    pub t_stop: f64,
+    /// Nominal timestep recorded in the header, seconds.
+    pub dt: f64,
+    /// Decoded time points.
+    pub times: Vec<f64>,
+    /// Decoded waveform columns, one per name.
+    pub cols: Vec<Vec<f64>>,
+}
+
+/// Reader for [`SpillSink`] files (dense — intended for verification
+/// and offline analysis, not for the streaming hot path).
+pub struct SpillReader;
+
+impl SpillReader {
+    /// Decodes a whole spill file.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Io`] on filesystem errors or a corrupt file.
+    pub fn read(path: impl AsRef<Path>) -> Result<SpillContents, SpiceError> {
+        let mut buf = Vec::new();
+        File::open(path.as_ref())
+            .and_then(|mut f| f.read_to_end(&mut buf))
+            .map_err(|e| io_err("spill read", &e))?;
+        let fail = |msg: &str| SpiceError::Io {
+            context: "spill decode",
+            message: msg.into(),
+        };
+        if buf.len() < 8 || &buf[0..4] != DATA_MAGIC {
+            return Err(fail("bad spill header"));
+        }
+        let n_cols = u32::from_le_bytes(le_bytes(&buf, 4)) as usize;
+        let mut pos = 8usize;
+        let mut col_names = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            if pos + 4 > buf.len() {
+                return Err(fail("truncated column name"));
+            }
+            let len = u32::from_le_bytes(le_bytes(&buf, pos)) as usize;
+            pos += 4;
+            if pos + len > buf.len() {
+                return Err(fail("truncated column name"));
+            }
+            let name = std::str::from_utf8(&buf[pos..pos + len])
+                .map_err(|_| fail("non-utf8 column name"))?;
+            col_names.push(name.to_string());
+            pos += len;
+        }
+        if pos + 16 > buf.len() {
+            return Err(fail("truncated header"));
+        }
+        let t_stop = f64::from_le_bytes(le_bytes(&buf, pos));
+        let dt = f64::from_le_bytes(le_bytes(&buf, pos + 8));
+        pos += 16;
+
+        let mut codecs = vec![DeltaCodec::default(); n_cols + 1];
+        let mut times = Vec::new();
+        let mut cols = vec![Vec::new(); n_cols];
+        while pos < buf.len() {
+            let n = get_varint(&buf, &mut pos)? as usize;
+            for _ in 0..n {
+                times.push(codecs[0].decode(&buf, &mut pos)?);
+            }
+            for (ci, col) in cols.iter_mut().enumerate() {
+                for _ in 0..n {
+                    col.push(codecs[ci + 1].decode(&buf, &mut pos)?);
+                }
+            }
+        }
+        Ok(SpillContents {
+            col_names,
+            t_stop,
+            dt,
+            times,
+            cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(names: &[&str]) -> TranMeta {
+        TranMeta {
+            col_names: names.iter().map(|s| (*s).to_string()).collect(),
+            t_stop: 1e-9,
+            dt: 1e-12,
+            chunk_size: 4,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cml_spill_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::MAX, 1 << 63];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn spill_roundtrip_is_lossless() {
+        let path = tmp("roundtrip");
+        let m = meta(&["a", "b"]);
+        let times: Vec<f64> = (0..10).map(|i| i as f64 * 1e-12).collect();
+        let ca: Vec<f64> = times.iter().map(|&t| (t * 1e12).sin()).collect();
+        let cb: Vec<f64> = times.iter().map(|&t| 1.0 - t * 1e10).collect();
+        {
+            let mut sink = SpillSink::create(&path);
+            sink.begin(&m).unwrap();
+            // Two chunks of 4 + tail of 2.
+            for (start, len) in [(0usize, 4usize), (4, 4), (8, 2)] {
+                sink.chunk(&WaveChunk {
+                    first_index: start as u64,
+                    times: &times[start..start + len],
+                    cols: &[
+                        ca[start..start + len].to_vec(),
+                        cb[start..start + len].to_vec(),
+                    ],
+                })
+                .unwrap();
+            }
+            sink.finish(&m).unwrap();
+        }
+        let got = SpillReader::read(&path).unwrap();
+        assert_eq!(got.col_names, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(got.t_stop, 1e-9);
+        assert_eq!(got.times.len(), 10);
+        for i in 0..10 {
+            assert_eq!(got.times[i].to_bits(), times[i].to_bits());
+            assert_eq!(got.cols[0][i].to_bits(), ca[i].to_bits());
+            assert_eq!(got.cols[1][i].to_bits(), cb[i].to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ckpt_path(&path));
+    }
+
+    #[test]
+    fn resume_after_interruption_is_byte_identical() {
+        let m = meta(&["w"]);
+        let times: Vec<f64> = (0..12).map(|i| i as f64 * 0.5e-12).collect();
+        let col: Vec<f64> = times.iter().map(|&t| (t * 4e12).cos()).collect();
+        let chunks = [(0usize, 4usize), (4, 4), (8, 4)];
+        let feed = |sink: &mut SpillSink, upto: usize| {
+            for &(start, len) in &chunks[..upto] {
+                sink.chunk(&WaveChunk {
+                    first_index: start as u64,
+                    times: &times[start..start + len],
+                    cols: &[col[start..start + len].to_vec()],
+                })
+                .unwrap();
+            }
+        };
+
+        // Reference: uninterrupted run.
+        let p_ref = tmp("resume_ref");
+        {
+            let mut sink = SpillSink::create(&p_ref);
+            sink.begin(&m).unwrap();
+            feed(&mut sink, 3);
+            sink.finish(&m).unwrap();
+        }
+
+        // Interrupted after 2 chunks, then resumed with a full replay.
+        let p_res = tmp("resume_cut");
+        {
+            let mut sink = SpillSink::create(&p_res);
+            sink.begin(&m).unwrap();
+            feed(&mut sink, 2);
+            // Simulated crash: no finish(); checkpoint says 8 samples.
+        }
+        {
+            let mut sink = SpillSink::resume(&p_res).unwrap();
+            assert_eq!(sink.persisted_samples(), 8);
+            sink.begin(&m).unwrap();
+            feed(&mut sink, 3); // replay from the start; prefix skipped
+            sink.finish(&m).unwrap();
+        }
+
+        let a = std::fs::read(&p_ref).unwrap();
+        let b = std::fs::read(&p_res).unwrap();
+        assert_eq!(a, b, "resumed file must be byte-identical");
+        let got = SpillReader::read(&p_res).unwrap();
+        assert_eq!(got.times.len(), 12);
+        assert_eq!(got.cols[0][11].to_bits(), col[11].to_bits());
+        for p in [&p_ref, &p_res] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(ckpt_path(p));
+        }
+    }
+
+    #[test]
+    fn resume_without_checkpoint_fails() {
+        let path = tmp("no_ckpt");
+        let _ = std::fs::remove_file(ckpt_path(&path));
+        assert!(matches!(
+            SpillSink::resume(&path),
+            Err(SpiceError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn compression_beats_raw_f64_on_smooth_waves() {
+        let path = tmp("ratio");
+        let m = meta(&["w"]);
+        let n = 4096usize;
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * 1e-12).collect();
+        let col: Vec<f64> = times.iter().map(|&t| 0.2 * (t * 3e9).sin()).collect();
+        {
+            let mut sink = SpillSink::create(&path);
+            sink.begin(&m).unwrap();
+            sink.chunk(&WaveChunk {
+                first_index: 0,
+                times: &times,
+                cols: std::slice::from_ref(&col),
+            })
+            .unwrap();
+            sink.finish(&m).unwrap();
+        }
+        let raw = (2 * n * 8) as u64;
+        let packed = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            packed < raw,
+            "spill ({packed} B) should beat raw f64 ({raw} B)"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ckpt_path(&path));
+    }
+}

@@ -14,16 +14,25 @@
 //!   step exactly on each one and restarts small, so edges are never
 //!   straddled. See DESIGN.md §8.
 //!
+//! Both modes **stream**: accepted samples flow through a
+//! [`super::sink::WaveSink`] in fixed-size columnar chunks
+//! ([`run_streaming`]), so memory stays O(chunk) for million-point runs.
+//! The classic dense API ([`run`] → [`TranResult`]) survives unchanged
+//! as a [`super::sink::DenseSink`] over the full state. See DESIGN.md
+//! §12 for the sink architecture and memory model.
+//!
 //! The initial condition is the operating point with sources evaluated
 //! at `t = 0`.
 
 use super::op::solve_system;
+use super::sink::{ChunkEmitter, DenseSink, TranProbes, TranStats, WaveSink};
 use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::{Integration, StampMode};
 use crate::SpiceError;
 use cml_telemetry::{Phase, Telemetry};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Configuration for a transient run.
 #[derive(Debug, Clone)]
@@ -59,6 +68,24 @@ pub struct TranConfig {
     /// to force the historical assemble-and-factor-every-iteration path
     /// (bit-identical to it on linear circuits either way).
     pub reuse_factorization: bool,
+    /// Samples per streamed waveform chunk. Defaults to the
+    /// `CML_TRAN_CHUNK` environment variable (clamped to 16..=2²⁰) or
+    /// 1024. Accumulators downstream are chunk-invariant, so this only
+    /// trades sink-call overhead against staging-buffer size; it never
+    /// changes results.
+    pub chunk_size: usize,
+}
+
+/// Resolves the process-wide default chunk size, honouring the
+/// `CML_TRAN_CHUNK` environment variable (read once).
+fn default_chunk_size() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("CML_TRAN_CHUNK")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .map_or(1024, |n| n.clamp(16, 1 << 20))
+    })
 }
 
 impl TranConfig {
@@ -81,6 +108,7 @@ impl TranConfig {
             adaptive: false,
             lte_factor: 10.0,
             reuse_factorization: true,
+            chunk_size: default_chunk_size(),
         }
     }
 
@@ -105,14 +133,44 @@ impl TranConfig {
         self.method = Integration::BackwardEuler;
         self
     }
+
+    /// Overrides the streamed-chunk size (clamped to at least 1).
+    #[must_use]
+    pub fn with_chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n.max(1);
+        self
+    }
 }
 
-/// Result of a transient run: the full solution vector at every accepted
-/// timestep.
+/// Hard cap on up-front step preallocation. A config with a tiny `dt`
+/// and a long `t_stop` (think `dt = 1 fs`, `t_stop = 1 s`: 10¹⁵ steps)
+/// must not translate into a 10¹⁵-element `Vec::with_capacity` — the
+/// estimate is a *hint*, so past this cap the buffers just grow
+/// organically.
+pub(crate) const MAX_STEP_PREALLOC: usize = 1 << 20;
+
+/// Expected accepted-point count for preallocation, clamped to
+/// [`MAX_STEP_PREALLOC`] and hardened against the non-finite or
+/// overflowing ratios that `(t_stop / dt).ceil() as usize` produced for
+/// extreme configs.
+pub(crate) fn clamped_step_estimate(t_stop: f64, dt: f64) -> usize {
+    // Truncate rather than ceil: fp noise on an exact ratio (1e-9/1e-12
+    // = 1000.0000000000002) must not inflate the hint, and a 1-off
+    // undershoot only costs one amortized regrow.
+    let ratio = t_stop / dt;
+    if !ratio.is_finite() || ratio < 0.0 || ratio >= MAX_STEP_PREALLOC as f64 {
+        return MAX_STEP_PREALLOC;
+    }
+    (ratio as usize).saturating_add(1).min(MAX_STEP_PREALLOC)
+}
+
+/// Result of a dense transient run: the full solution vector at every
+/// accepted timestep, stored columnar (one contiguous waveform per MNA
+/// unknown).
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    sols: Vec<Vec<f64>>,
+    cols: Vec<Vec<f64>>,
     branch_names: HashMap<String, usize>,
 }
 
@@ -140,7 +198,7 @@ impl TranResult {
     #[must_use]
     pub fn voltage(&self, node: NodeId) -> Vec<f64> {
         match node.index() {
-            Some(i) => self.sols.iter().map(|x| x[i]).collect(),
+            Some(i) => self.cols[i].clone(),
             None => vec![0.0; self.times.len()],
         }
     }
@@ -166,11 +224,11 @@ impl TranResult {
                 what: "branch element",
                 name: element.to_string(),
             })?;
-        Ok(self.sols.iter().map(|x| x[idx]).collect())
+        Ok(self.cols[idx].clone())
     }
 }
 
-/// Runs transient analysis.
+/// Runs transient analysis, buffering the full dense result.
 ///
 /// # Errors
 ///
@@ -182,7 +240,7 @@ pub fn run(ckt: &Circuit, config: &TranConfig) -> Result<TranResult, SpiceError>
 
 /// [`run`] recording solver telemetry into `tel`: a span tree for the
 /// run's phases (initial operating point, stepping loop) plus the step,
-/// LTE and factorization-reuse counters.
+/// LTE, chunk and factorization-reuse counters.
 ///
 /// # Errors
 ///
@@ -192,6 +250,58 @@ pub fn run_traced(
     config: &TranConfig,
     tel: &Telemetry,
 ) -> Result<TranResult, SpiceError> {
+    let mut sink = DenseSink::new();
+    let (_, branch_names) =
+        run_streaming_inner(ckt, config, &TranProbes::full_state(), &mut sink, tel)?;
+    let (times, cols) = sink.into_parts();
+    Ok(TranResult {
+        times,
+        cols,
+        branch_names,
+    })
+}
+
+/// Runs transient analysis streaming the selected probes into `sink`
+/// in fixed-size columnar chunks, holding only O(chunk) waveform data.
+///
+/// # Errors
+///
+/// See [`run`]; additionally [`SpiceError::NotFound`] for a current
+/// probe naming no branch, and any error the sink returns.
+pub fn run_streaming(
+    ckt: &Circuit,
+    config: &TranConfig,
+    probes: &TranProbes,
+    sink: &mut dyn WaveSink,
+) -> Result<TranStats, SpiceError> {
+    run_streaming_traced(ckt, config, probes, sink, &Telemetry::disabled())
+}
+
+/// [`run_streaming`] recording solver telemetry into `tel`.
+///
+/// # Errors
+///
+/// See [`run_streaming`].
+pub fn run_streaming_traced(
+    ckt: &Circuit,
+    config: &TranConfig,
+    probes: &TranProbes,
+    sink: &mut dyn WaveSink,
+    tel: &Telemetry,
+) -> Result<TranStats, SpiceError> {
+    run_streaming_inner(ckt, config, probes, sink, tel).map(|(stats, _)| stats)
+}
+
+/// Shared driver behind the dense and streaming entry points; returns
+/// the branch-name map alongside the stats so [`run_traced`] can build a
+/// [`TranResult`] without assembling the system twice.
+fn run_streaming_inner(
+    ckt: &Circuit,
+    config: &TranConfig,
+    probes: &TranProbes,
+    sink: &mut dyn WaveSink,
+    tel: &Telemetry,
+) -> Result<(TranStats, HashMap<String, usize>), SpiceError> {
     let _span = tel.span("analysis", "tran");
     if !(config.t_stop > 0.0 && config.dt > 0.0) {
         return Err(SpiceError::InvalidConfig {
@@ -212,18 +322,23 @@ pub fn run_traced(
     };
     let state = sys.init_state(&x0);
 
-    let _stepping = tel.span("phase", "tran_stepping");
-    let (times, sols) = if config.adaptive {
-        adaptive_loop(ckt, &sys, config, x0, state, tel)?
-    } else {
-        fixed_loop(&sys, config, x0, state, tel)?
-    };
+    let mut emit = ChunkEmitter::new(
+        &sys,
+        probes,
+        config.chunk_size,
+        config.t_stop,
+        config.dt,
+        sink,
+    )?;
 
-    Ok(TranResult {
-        times,
-        sols,
-        branch_names: sys.branch_names().clone(),
-    })
+    let _stepping = tel.span("phase", "tran_stepping");
+    if config.adaptive {
+        adaptive_loop(ckt, &sys, config, x0, state, &mut emit, tel)?;
+    } else {
+        fixed_loop(&sys, config, x0, state, &mut emit, tel)?;
+    }
+    let stats = emit.finish(tel)?;
+    Ok((stats, sys.branch_names().clone()))
 }
 
 /// Fixed-step transient loop: the nominal `dt` everywhere, halving only
@@ -233,14 +348,11 @@ fn fixed_loop(
     config: &TranConfig,
     x0: Vec<f64>,
     mut state: Vec<f64>,
+    emit: &mut ChunkEmitter<'_>,
     tel: &Telemetry,
-) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
+) -> Result<(), SpiceError> {
     let mut state_next = vec![0.0; sys.state_len()];
-    let n_steps_estimate = (config.t_stop / config.dt).ceil() as usize + 1;
-    let mut times = Vec::with_capacity(n_steps_estimate);
-    let mut sols = Vec::with_capacity(n_steps_estimate);
-    times.push(0.0);
-    sols.push(x0.clone());
+    emit.push(0.0, &x0, tel)?;
 
     let mut t = 0.0;
     let mut x = x0;
@@ -271,8 +383,7 @@ fn fixed_loop(
                     std::mem::swap(&mut state, &mut state_next);
                     x = x_new;
                     t += dt;
-                    times.push(t);
-                    sols.push(x.clone());
+                    emit.push(t, &x, tel)?;
                     tel.count(|c| {
                         c.tran_steps += 1;
                         c.record_dt(dt, config.dt);
@@ -290,7 +401,7 @@ fn fixed_loop(
             }
         }
     }
-    Ok((times, sols))
+    Ok(())
 }
 
 /// Smallest step the LTE controller will shrink to, as a divisor of the
@@ -299,6 +410,80 @@ const MAX_SHRINK: f64 = 4096.0;
 
 /// Step divisor used to restart integration just after a breakpoint.
 const BP_RESTART_DIV: f64 = 64.0;
+
+/// Collects, sorts and deduplicates source-waveform breakpoints in
+/// `(0, t_stop)`. Coincident or *near*-coincident corners (two PWL
+/// sources sharing an edge, rendered complements, clock trees) merge
+/// into one breakpoint: each survivor costs the controller a `dt/64`
+/// restart with a cleared predictor history, so duplicates within
+/// [`breakpoint_merge_eps`] would silently multiply step counts.
+pub(crate) fn merged_breakpoints(ckt: &Circuit, t_stop: f64) -> Vec<f64> {
+    let mut bps: Vec<f64> = Vec::new();
+    for e in ckt.elements() {
+        e.breakpoints(t_stop, &mut bps);
+    }
+    bps.sort_by(f64::total_cmp);
+    bps.dedup_by(|a, b| (*a - *b).abs() <= breakpoint_merge_eps(*a, *b));
+    bps.retain(|&b| b > 0.0 && b < t_stop);
+    bps
+}
+
+/// Two breakpoints within 1 ppb of the larger time (sub-femtosecond at
+/// nanosecond scale) count as the same source corner; the tiny absolute
+/// floor lets duplicates of `t = 0` merge too.
+fn breakpoint_merge_eps(a: f64, b: f64) -> f64 {
+    1e-9 * a.abs().max(b.abs()) + 1e-21
+}
+
+/// Ring of the up-to-three most recent accepted points feeding the LTE
+/// predictor. Replaces indexing into the dense solution history (which
+/// the streaming engine no longer keeps): O(3·dim) memory regardless of
+/// run length.
+struct History {
+    t: Vec<f64>,
+    x: Vec<Vec<f64>>,
+}
+
+impl History {
+    fn new(t0: f64, x0: &[f64]) -> Self {
+        History {
+            t: vec![t0],
+            x: vec![x0.to_vec()],
+        }
+    }
+
+    /// Valid trailing points (1..=3).
+    fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Records an accepted point, evicting the oldest beyond three.
+    fn push(&mut self, t: f64, x: &[f64]) {
+        if self.t.len() == 3 {
+            self.t.rotate_left(1);
+            self.x.rotate_left(1);
+            self.t[2] = t;
+            let slot = &mut self.x[2];
+            slot.clear();
+            slot.extend_from_slice(x);
+        } else {
+            self.t.push(t);
+            self.x.push(x.to_vec());
+        }
+    }
+
+    /// Keeps only the newest point: called at breakpoints, where older
+    /// points sit on the wrong side of a slope discontinuity.
+    fn restart(&mut self) {
+        let n = self.t.len();
+        if n > 1 {
+            self.t[0] = self.t[n - 1];
+            self.t.truncate(1);
+            self.x.swap(0, n - 1);
+            self.x.truncate(1);
+        }
+    }
+}
 
 /// LTE-controlled adaptive transient loop.
 ///
@@ -314,16 +499,11 @@ fn adaptive_loop(
     config: &TranConfig,
     x0: Vec<f64>,
     mut state: Vec<f64>,
+    emit: &mut ChunkEmitter<'_>,
     tel: &Telemetry,
-) -> Result<(Vec<f64>, Vec<Vec<f64>>), SpiceError> {
+) -> Result<(), SpiceError> {
     let t_stop = config.t_stop;
-    let mut breakpoints: Vec<f64> = Vec::new();
-    for e in ckt.elements() {
-        e.breakpoints(t_stop, &mut breakpoints);
-    }
-    breakpoints.sort_by(f64::total_cmp);
-    breakpoints.dedup();
-    breakpoints.retain(|&b| b > 0.0 && b < t_stop);
+    let breakpoints = merged_breakpoints(ckt, t_stop);
     let mut bp_idx = 0usize;
 
     let dt_min = config.dt / MAX_SHRINK;
@@ -331,16 +511,12 @@ fn adaptive_loop(
     let dt_bp_restart = (config.dt / BP_RESTART_DIV).max(dt_min);
 
     let mut state_next = vec![0.0; sys.state_len()];
-    let mut times = vec![0.0];
-    let mut sols = vec![x0.clone()];
+    emit.push(0.0, &x0, tel)?;
     let mut t = 0.0;
+    let mut hist = History::new(0.0, &x0);
     let mut x = x0;
     let mut ws = NewtonWorkspace::new();
     let mut dt = config.dt;
-    // Number of trailing accepted points the predictor may extrapolate
-    // from; reset to 1 at breakpoints (the corner point itself is valid,
-    // anything older is on the wrong side of a slope discontinuity).
-    let mut hist_valid: usize = 1;
 
     while t < t_stop - 1e-18 {
         while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + 1e-18 {
@@ -374,16 +550,9 @@ fn adaptive_loop(
             ) {
                 Ok(x_new) => {
                     let mut worst = 0.0f64;
-                    if hist_valid >= 2 {
-                        worst = predictor_deviation(
-                            sys,
-                            &times,
-                            &sols,
-                            hist_valid,
-                            t + dt_step,
-                            &x_new,
-                            &config.newton,
-                        );
+                    if hist.len() >= 2 {
+                        worst =
+                            predictor_deviation(sys, &hist, t + dt_step, &x_new, &config.newton);
                         if worst > config.lte_factor
                             && dt_step > dt_min * (1.0 + 1e-9)
                             && halvings < config.max_halvings
@@ -400,8 +569,8 @@ fn adaptive_loop(
                     std::mem::swap(&mut state, &mut state_next);
                     x = x_new;
                     t += dt_step;
-                    times.push(t);
-                    sols.push(x.clone());
+                    emit.push(t, &x, tel)?;
+                    hist.push(t, &x);
                     tel.count(|c| {
                         c.tran_steps += 1;
                         c.lte_accepts += 1;
@@ -411,17 +580,14 @@ fn adaptive_loop(
                         }
                     });
                     if lands_on_bp {
-                        hist_valid = 1;
+                        hist.restart();
                         dt = dt_bp_restart;
-                    } else {
-                        hist_valid += 1;
-                        if rejected {
-                            // Continue at the scale the rejection found;
-                            // quiet steps will grow it back.
-                            dt = dt_step;
-                        } else if worst < config.lte_factor / 4.0 {
-                            dt = (dt * 2.0).min(dt_max);
-                        }
+                    } else if rejected {
+                        // Continue at the scale the rejection found;
+                        // quiet steps will grow it back.
+                        dt = dt_step;
+                    } else if worst < config.lte_factor / 4.0 {
+                        dt = (dt * 2.0).min(dt_max);
                     }
                     break;
                 }
@@ -438,7 +604,7 @@ fn adaptive_loop(
             }
         }
     }
-    Ok((times, sols))
+    Ok(())
 }
 
 /// Worst normalized deviation of `x_new` from the polynomial predictor
@@ -449,19 +615,17 @@ fn adaptive_loop(
 /// "off by exactly `reltol·|v| + vntol`".
 fn predictor_deviation(
     sys: &System<'_>,
-    times: &[f64],
-    sols: &[Vec<f64>],
-    hist_valid: usize,
+    hist: &History,
     t_new: f64,
     x_new: &[f64],
     newton: &NewtonOptions,
 ) -> f64 {
-    let n = times.len();
-    let (t2, x2) = (times[n - 1], &sols[n - 1]);
-    let (t1, x1) = (times[n - 2], &sols[n - 2]);
+    let n = hist.len();
+    let (t2, x2) = (hist.t[n - 1], &hist.x[n - 1]);
+    let (t1, x1) = (hist.t[n - 2], &hist.x[n - 2]);
     let mut worst = 0.0f64;
-    if hist_valid >= 3 {
-        let (t0, x0) = (times[n - 3], &sols[n - 3]);
+    if n >= 3 {
+        let (t0, x0) = (hist.t[n - 3], &hist.x[n - 3]);
         // Lagrange extrapolation of the quadratic through the three
         // trailing points.
         let l0 = ((t_new - t1) * (t_new - t2)) / ((t0 - t1) * (t0 - t2));
@@ -658,6 +822,175 @@ mod tests {
         assert!(res.current("R1").is_err());
         let d = res.differential(a, Circuit::GROUND);
         assert!((d[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_estimate_is_clamped() {
+        // Sane configs keep the exact estimate.
+        assert_eq!(clamped_step_estimate(1e-9, 1e-12), 1001);
+        assert_eq!(clamped_step_estimate(1.0, 1.0), 2);
+        // Regression: dt = 1 fs over t_stop = 1 s used to request a
+        // 10¹⁵-element preallocation.
+        assert_eq!(clamped_step_estimate(1.0, 1e-15), MAX_STEP_PREALLOC);
+        // Hardened against non-finite ratios from degenerate configs.
+        assert_eq!(
+            clamped_step_estimate(f64::INFINITY, 1e-12),
+            MAX_STEP_PREALLOC
+        );
+        assert_eq!(clamped_step_estimate(1.0, 0.0), MAX_STEP_PREALLOC);
+        assert_eq!(clamped_step_estimate(f64::NAN, 1.0), MAX_STEP_PREALLOC);
+    }
+
+    #[test]
+    fn huge_step_count_config_does_not_overallocate() {
+        // A config implying ~10¹² steps must start (and be droppable)
+        // without a matching preallocation. Run is aborted immediately
+        // by a sink error so only setup cost is paid.
+        struct Abort;
+        impl crate::analysis::sink::WaveSink for Abort {
+            fn chunk(
+                &mut self,
+                _chunk: &crate::analysis::sink::WaveChunk<'_>,
+            ) -> Result<(), SpiceError> {
+                Err(SpiceError::Internal {
+                    message: "abort for test".into(),
+                })
+            }
+        }
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Vsource::dc("V1", a, Circuit::GROUND, 1.0));
+        ckt.add(Resistor::new("R1", a, Circuit::GROUND, 100.0));
+        let cfg = TranConfig::new(1.0, 1e-12).with_chunk_size(1);
+        let probes = TranProbes::new().voltage("a", a);
+        let err = super::run_streaming(&ckt, &cfg, &probes, &mut Abort).unwrap_err();
+        assert!(matches!(err, SpiceError::Internal { .. }));
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::analysis::sink::DenseSink;
+    use crate::prelude::*;
+
+    fn rc_circuit() -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Vsource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 1e-9, 1e-11),
+        ));
+        ckt.add(Resistor::new("R1", vin, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-12));
+        (ckt, out)
+    }
+
+    #[test]
+    fn streaming_matches_dense_bit_for_bit() {
+        let (ckt, out) = rc_circuit();
+        for cfg in [
+            TranConfig::new(5e-9, 5e-12),
+            TranConfig::new(5e-9, 0.2e-9).adaptive(),
+        ] {
+            let dense = run(&ckt, &cfg).unwrap();
+            for chunk in [1, 7, 1024] {
+                let mut sink = DenseSink::new();
+                let probes = TranProbes::new().voltage("out", out).current("i(V1)", "V1");
+                let stats = run_streaming(
+                    &ckt,
+                    &cfg.clone().with_chunk_size(chunk),
+                    &probes,
+                    &mut sink,
+                )
+                .unwrap();
+                assert_eq!(stats.samples as usize, dense.len());
+                assert_eq!(sink.times(), dense.times());
+                let dv = dense.voltage(out);
+                let di = dense.current("V1").unwrap();
+                for i in 0..dense.len() {
+                    assert_eq!(sink.cols()[0][i].to_bits(), dv[i].to_bits());
+                    assert_eq!(sink.cols()[1][i].to_bits(), di[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_current_probe_is_rejected() {
+        let (ckt, out) = rc_circuit();
+        let cfg = TranConfig::new(1e-9, 1e-11);
+        let probes = TranProbes::new().voltage("out", out).current("i", "NOPE");
+        let mut sink = DenseSink::new();
+        assert!(matches!(
+            run_streaming(&ckt, &cfg, &probes, &mut sink),
+            Err(SpiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn ground_and_differential_probes() {
+        let (ckt, out) = rc_circuit();
+        let cfg = TranConfig::new(1e-9, 1e-11);
+        let probes = TranProbes::new()
+            .voltage("gnd", Circuit::GROUND)
+            .differential("d", out, Circuit::GROUND);
+        let mut sink = DenseSink::new();
+        run_streaming(&ckt, &cfg, &probes, &mut sink).unwrap();
+        assert!(sink.cols()[0].iter().all(|&v| v == 0.0));
+        let dense = run(&ckt, &cfg).unwrap();
+        let dv = dense.voltage(out);
+        for (streamed, reference) in sink.cols()[1].iter().zip(&dv) {
+            assert_eq!(streamed.to_bits(), reference.to_bits());
+        }
+        assert_eq!(sink.cols()[1].len(), dv.len());
+    }
+
+    #[test]
+    fn coincident_breakpoints_merge() {
+        // Two sources sharing an edge at t = 2 ns, the second offset by
+        // 1e-19 s (inside the 1 ppb merge epsilon): the merged list must
+        // contain ONE corner, and the adaptive run must take exactly as
+        // many steps as with exactly-coincident edges.
+        let build = |offset: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add(Vsource::new(
+                "V1",
+                a,
+                Circuit::GROUND,
+                Waveform::step(0.0, 1.0, 2e-9, 1e-11),
+            ));
+            ckt.add(Vsource::new(
+                "V2",
+                b,
+                Circuit::GROUND,
+                Waveform::step(0.0, -1.0, 2e-9 + offset, 1e-11),
+            ));
+            ckt.add(Resistor::new("R1", a, Circuit::GROUND, 1e3));
+            ckt.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
+            ckt
+        };
+        let exact = merged_breakpoints(&build(0.0), 8e-9);
+        let near = merged_breakpoints(&build(1e-19), 8e-9);
+        assert_eq!(exact.len(), near.len(), "near-coincident edges must merge");
+        assert_eq!(exact.len(), 2, "one rising corner + one ramp end");
+
+        let cfg = TranConfig::new(8e-9, 0.5e-9).adaptive();
+        let r_exact = run(&build(0.0), &cfg).unwrap();
+        let r_near = run(&build(1e-19), &cfg).unwrap();
+        assert_eq!(
+            r_exact.len(),
+            r_near.len(),
+            "duplicate breakpoints must not multiply restarts"
+        );
+        // Distinct edges (outside epsilon) still produce extra corners.
+        let distinct = merged_breakpoints(&build(0.2e-9), 8e-9);
+        assert_eq!(distinct.len(), 4);
     }
 }
 

@@ -15,7 +15,10 @@
 //! * **AC small-signal analysis** — complex MNA linearized around the
 //!   operating point ([`analysis::ac`]),
 //! * **Transient analysis** — trapezoidal (default) or backward-Euler
-//!   companion models with per-step Newton iteration ([`analysis::tran`]).
+//!   companion models with per-step Newton iteration ([`analysis::tran`]),
+//!   streaming accepted samples through columnar [`analysis::sink`]s
+//!   (with a compressed disk spill + checkpoint/resume sink in
+//!   [`analysis::spill`]) so run length is not bounded by memory.
 //!
 //! Device models: resistor, capacitor, inductor, independent V/I sources
 //! (DC / pulse / sine / PWL waveforms), VCVS/VCCS controlled sources, a
@@ -68,6 +71,10 @@ pub mod prelude {
     pub use crate::analysis::ac::{self, AcResult};
     pub use crate::analysis::dc::{self, DcSweepResult};
     pub use crate::analysis::op::{self, OpResult};
+    pub use crate::analysis::sink::{
+        DenseSink, Tee, TranMeta, TranProbes, TranStats, WaveChunk, WaveSink,
+    };
+    pub use crate::analysis::spill::{SpillReader, SpillSink};
     pub use crate::analysis::tran::{self, TranConfig, TranResult};
     pub use crate::circuit::{Circuit, NodeId};
     pub use crate::devices::diode::{Diode, DiodeParams};

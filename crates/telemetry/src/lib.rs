@@ -152,6 +152,11 @@ pub struct Counters {
     pub breakpoint_restarts: u64,
     /// Netlist lint prechecks run ahead of analyses.
     pub lint_prechecks: u64,
+    /// Waveform chunks streamed through transient sinks.
+    pub wave_chunks: u64,
+    /// Accepted samples streamed through transient sinks (sum of chunk
+    /// lengths; equals `tran_steps + 1` per streamed run).
+    pub wave_samples: u64,
     /// Histogram of accepted-step sizes as log₂(dt / dt_nominal),
     /// bucket [`DT_BUCKET_ZERO`] = nominal (see [`DT_BUCKETS`]).
     pub dt_histogram: [u64; DT_BUCKETS],
@@ -182,6 +187,8 @@ impl Default for Counters {
             newton_retries: 0,
             breakpoint_restarts: 0,
             lint_prechecks: 0,
+            wave_chunks: 0,
+            wave_samples: 0,
             dt_histogram: [0; DT_BUCKETS],
         }
     }
@@ -213,6 +220,8 @@ impl Counters {
         self.newton_retries += other.newton_retries;
         self.breakpoint_restarts += other.breakpoint_restarts;
         self.lint_prechecks += other.lint_prechecks;
+        self.wave_chunks += other.wave_chunks;
+        self.wave_samples += other.wave_samples;
         for (a, b) in self.dt_histogram.iter_mut().zip(&other.dt_histogram) {
             *a += b;
         }
@@ -295,6 +304,8 @@ impl Counters {
             ("newton_retries".into(), num(self.newton_retries)),
             ("breakpoint_restarts".into(), num(self.breakpoint_restarts)),
             ("lint_prechecks".into(), num(self.lint_prechecks)),
+            ("wave_chunks".into(), num(self.wave_chunks)),
+            ("wave_samples".into(), num(self.wave_samples)),
             (
                 "dt_histogram".into(),
                 Value::Arr(self.dt_histogram.iter().map(|&n| num(n)).collect()),
@@ -721,6 +732,7 @@ impl Telemetry {
                     spans: r.spans.clone(),
                     open_spans: r.open_spans,
                     worker_items: r.worker_items.clone(),
+                    peak_rss_bytes: peak_rss_bytes(),
                 }
             }
             None => SolverReport::default(),
@@ -862,6 +874,11 @@ pub struct SolverReport {
     /// Items processed per worker in the most recent instrumented
     /// fan-out (scheduling-dependent).
     pub worker_items: Vec<u64>,
+    /// Peak resident-set size of the process at snapshot time, bytes
+    /// (Linux `VmHWM`; `None` where unavailable). A gauge, not a
+    /// counter: non-deterministic and process-wide, which is exactly
+    /// what the flat-memory benchmarks need to assert against.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl SolverReport {
@@ -951,6 +968,13 @@ impl SolverReport {
                         .collect(),
                 ),
             ),
+            (
+                "peak_rss_bytes".into(),
+                match self.peak_rss_bytes {
+                    Some(b) => Value::Num(b as f64),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -1032,6 +1056,27 @@ impl SolverReport {
     pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.chrome_trace_json())
     }
+}
+
+// ---------------------------------------------------------------------
+// Process gauges
+// ---------------------------------------------------------------------
+
+/// Peak resident-set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
+/// procfs or if the field is missing/unparsable. This is a high-water
+/// mark: it only ever grows, so "peak memory stayed flat" is asserted
+/// by sampling it before and after the workload and bounding the delta.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 // ---------------------------------------------------------------------

@@ -40,6 +40,11 @@ bench-pr4:
 bench-pr5:
     cargo run --release -p cml-bench --bin bench_pr5
 
+# Regenerate the streaming-sink benchmark artifact (million-bit PRBS-31
+# transistor-level eye at flat memory; ~2 min).
+bench-pr6:
+    cargo run --release -p cml-bench --bin bench_pr6
+
 # Static netlist DRC over every generated circuit block (fails on any
 # error-level diagnostic; `cml-lint --codes` documents the code table).
 lint-circuits:
@@ -47,9 +52,11 @@ lint-circuits:
 
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
 # dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
-# parallel AC sweep is bit-identical to the serial one, and telemetry
-# counters are thread-invariant with a schema-valid json sink).
+# parallel AC sweep is bit-identical to the serial one, telemetry
+# counters are thread-invariant with a schema-valid json sink, and the
+# streaming eye matches the dense fold under a flat peak-memory budget).
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
     CML_TELEMETRY=json:/tmp/cml_telemetry_smoke.json cargo run --release -p cml-bench --bin bench_pr5 -- --smoke
+    cargo run --release -p cml-bench --bin bench_pr6 -- --smoke

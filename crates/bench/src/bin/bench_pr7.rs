@@ -1,0 +1,344 @@
+//! PR benchmark: batched structure-of-arrays Monte-Carlo yield
+//! estimation — lane-packed multi-variant solves vs the per-trial
+//! scalar loop.
+//!
+//! Four legs:
+//!
+//! 1. **agreement** — cold-started batched pair offsets vs independent
+//!    scalar solves across all five process corners: every trial must
+//!    agree to ≤ 1e-9 (the lockstep Newton replays the scalar
+//!    trajectory bit-for-bit, so the observed error is ~1e-15);
+//! 2. **throughput** — transistor-level trials/sec, per-trial scalar
+//!    Newton ladder vs warm-started batched lockstep on the same trial
+//!    stream; the batched path must clear ≥ 3×;
+//! 3. **invariance** — the batched transistor yield table re-run at
+//!    1/2/8 threads must be bit-identical, and the behavioral packed
+//!    estimator must be bit-identical to its scalar reference;
+//! 4. **flat-memory** — a multi-million-trial importance-sampled
+//!    behavioral yield sweep streamed through `par_fold` chunks; peak
+//!    RSS is sampled (`VmHWM`) before and after and the delta must stay
+//!    under a fixed budget that does not scale with trial count.
+//!
+//! Run with: `cargo run --release --bin bench_pr7 [--smoke] [--trials N] [--threads N]`
+//! `--smoke` shrinks every leg for CI.
+
+use cml_core::yield_est::{
+    self, behavioral_offset_yield, behavioral_offset_yield_scalar, transistor_offset_yield,
+    transistor_offset_yield_scalar, ChainSpec, PairYieldSpec, YieldConfig,
+};
+use cml_spice::telemetry::{self, Telemetry};
+use serde::Value;
+use std::time::Instant;
+
+/// Peak-RSS growth budget for the behavioral mega-sweep, bytes.
+/// Materializing 10M trials would need 3 × 8 B × 10⁷ ≈ 240 MB just for
+/// the sample vectors; the streamed fold must fit chunk buffers and
+/// accumulators in this fixed envelope regardless of trial count.
+const PEAK_RSS_BUDGET: u64 = 64 * 1024 * 1024;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn rss() -> u64 {
+    telemetry::peak_rss_bytes().expect("VmHWM available on Linux")
+}
+
+// ---------------------------------------------------------------------
+// Leg 1: batched-vs-scalar agreement (the CI smoke gate)
+// ---------------------------------------------------------------------
+
+fn agreement(smoke: bool) -> Value {
+    let n = if smoke { 48 } else { 240 };
+    let spec = PairYieldSpec::paper_default().all_corners();
+    // Cold start: the batched lockstep takes the same damped-Newton
+    // trajectory as the scalar ladder, so agreement is ~1e-15, far
+    // inside the ≤1e-9 gate.
+    let cfg = YieldConfig::new(n, 0xC0FFEE)
+        .with_chunk(48)
+        .with_warm_start(false);
+    let (batched, fallbacks) = yield_est::pair_offsets_batched(&cfg, &spec).expect("batched");
+    let scalar = yield_est::pair_offsets_scalar(&cfg, &spec).expect("scalar");
+    let worst = batched
+        .iter()
+        .zip(&scalar)
+        .map(|(b, s)| (b - s).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "leg 1  agreement: {n} trials x 5 corners | worst batched-vs-scalar delta {worst:.2e} \
+         (gate 1e-9) | {fallbacks} lane fallbacks"
+    );
+    assert!(
+        worst <= 1e-9,
+        "batched offsets diverged from scalar: worst delta {worst:e}"
+    );
+    obj(vec![
+        ("trials", Value::Num(n as f64)),
+        ("corners", Value::Num(5.0)),
+        ("worst_delta_v", Value::Num(worst)),
+        ("gate_v", Value::Num(1e-9)),
+        ("lane_fallbacks", Value::Num(fallbacks as f64)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Leg 2: scalar vs batched throughput
+// ---------------------------------------------------------------------
+
+fn throughput(smoke: bool, trials: Option<usize>, threads: usize, tel: &Telemetry) -> Value {
+    let n = trials.unwrap_or(if smoke { 768 } else { 12_288 });
+    let spec = PairYieldSpec::paper_chain();
+    let thresholds = [5e-3, 0.1, 0.5];
+    let cfg = YieldConfig::new(n, 0xBEEF)
+        .with_chunk(512)
+        .with_threads(threads);
+
+    let t0 = Instant::now();
+    let scalar = transistor_offset_yield_scalar(&cfg, &spec, &thresholds).expect("scalar sweep");
+    let scalar_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let batched = transistor_offset_yield_traced_wrap(&cfg, &spec, &thresholds, tel);
+    let batched_s = t0.elapsed().as_secs_f64();
+
+    let speedup = scalar_s / batched_s;
+    let worst_yield_delta = (0..thresholds.len())
+        .map(|i| (batched.estimate.fail_prob(i) - scalar.estimate.fail_prob(i)).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "leg 2  throughput: {n} transistor trials, {threads} threads | scalar {:.0} trials/s, \
+         batched {:.0} trials/s — {speedup:.1}x (target >=3x)",
+        n as f64 / scalar_s,
+        n as f64 / batched_s
+    );
+    println!(
+        "       yield table (|Voff| > thr): {} | worst batched-vs-scalar yield delta {worst_yield_delta:.2e}",
+        thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{:.0} mV: {:.4}", t * 1e3, batched.estimate.yield_frac(i)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    assert!(
+        speedup >= 3.0,
+        "batched throughput {speedup:.2}x below the 3x target"
+    );
+    assert!(
+        worst_yield_delta <= 1e-9,
+        "batched yield table diverged from scalar by {worst_yield_delta:e}"
+    );
+    obj(vec![
+        ("trials", Value::Num(n as f64)),
+        ("threads", Value::Num(threads as f64)),
+        ("scalar_s", Value::Num(scalar_s)),
+        ("batched_s", Value::Num(batched_s)),
+        ("scalar_trials_per_s", Value::Num(n as f64 / scalar_s)),
+        ("batched_trials_per_s", Value::Num(n as f64 / batched_s)),
+        ("speedup", Value::Num(speedup)),
+        ("worst_yield_delta", Value::Num(worst_yield_delta)),
+        ("lane_fallbacks", Value::Num(batched.fallbacks as f64)),
+        (
+            "yield_table",
+            Value::Arr(
+                thresholds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        obj(vec![
+                            ("threshold_v", Value::Num(t)),
+                            ("yield", Value::Num(batched.estimate.yield_frac(i))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn transistor_offset_yield_traced_wrap(
+    cfg: &YieldConfig,
+    spec: &PairYieldSpec,
+    thresholds: &[f64],
+    tel: &Telemetry,
+) -> cml_core::yield_est::TransistorYield {
+    yield_est::transistor_offset_yield_traced(cfg, spec, thresholds, tel).expect("batched sweep")
+}
+
+// ---------------------------------------------------------------------
+// Leg 3: thread-count and lane-packing invariance
+// ---------------------------------------------------------------------
+
+fn invariance(smoke: bool) -> Value {
+    let n = if smoke { 192 } else { 1024 };
+    let spec = PairYieldSpec::paper_default();
+    let thresholds = [2e-3, 5e-3];
+    let base = YieldConfig::new(n, 0xFEED).with_chunk(64);
+    let reference = transistor_offset_yield(&base, &spec, &thresholds).expect("1-thread sweep");
+    let mut identical = true;
+    for threads in [2, 8] {
+        let run = transistor_offset_yield(&base.clone().with_threads(threads), &spec, &thresholds)
+            .expect("threaded sweep");
+        identical &= run.estimate == reference.estimate;
+        assert_eq!(
+            run.estimate, reference.estimate,
+            "{threads}-thread transistor yield diverged from serial"
+        );
+    }
+
+    let chain = ChainSpec::paper_default();
+    let bcfg = YieldConfig::new(n * 16, 0xACE)
+        .with_chunk(1024)
+        .with_threads(4);
+    let packed = behavioral_offset_yield(&bcfg, &chain, &thresholds);
+    let scalar_ref = behavioral_offset_yield_scalar(&bcfg, &chain, &thresholds);
+    assert_eq!(
+        packed, scalar_ref,
+        "lane-packed behavioral estimator diverged from scalar reference"
+    );
+    println!(
+        "leg 3  invariance: {n}-trial transistor yield bit-identical at 1/2/8 threads; \
+         {}-trial behavioral packed == scalar bitwise",
+        n * 16
+    );
+    obj(vec![
+        ("transistor_trials", Value::Num(n as f64)),
+        ("behavioral_trials", Value::Num((n * 16) as f64)),
+        ("thread_counts", Value::Str("1/2/8".into())),
+        ("bit_identical", Value::Bool(identical)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Leg 4: flat-memory mega-sweep
+// ---------------------------------------------------------------------
+
+fn flat_memory(smoke: bool, threads: usize, tel: &Telemetry) -> Value {
+    let n: usize = if smoke { 200_000 } else { 10_000_000 };
+    let chain = ChainSpec::paper_default();
+    // Importance-sample the tail: κ=2 widening makes 200 mV crossings
+    // common enough to resolve at ppm yields.
+    let cfg = YieldConfig::new(n, 0x106B5)
+        .with_chunk(8192)
+        .with_threads(threads)
+        .with_sigma_scale(2.0);
+    let thresholds = [0.05, 0.1, 0.2, 0.24];
+    let rss_before = rss();
+    let t0 = Instant::now();
+    let est = yield_est::behavioral_offset_yield_traced(&cfg, &chain, &thresholds, tel);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let rss_after = rss();
+    let rss_delta = rss_after - rss_before;
+    println!(
+        "leg 4  flat-memory: {n} importance-sampled behavioral trials in {elapsed:.2} s \
+         ({:.2e} trials/s, {threads} threads)",
+        n as f64 / elapsed
+    );
+    println!(
+        "       raw-offset yield: {} | effective samples {:.2e}",
+        thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{:.0} mV: {:.6}", t * 1e3, est.raw.yield_frac(i)))
+            .collect::<Vec<_>>()
+            .join(" | "),
+        est.raw.effective_samples()
+    );
+    println!(
+        "       peak RSS: {:.1} MB -> {:.1} MB (delta {:.1} MB, budget {:.0} MB)",
+        rss_before as f64 / 1e6,
+        rss_after as f64 / 1e6,
+        rss_delta as f64 / 1e6,
+        PEAK_RSS_BUDGET as f64 / 1e6
+    );
+    assert!(
+        rss_delta < PEAK_RSS_BUDGET,
+        "peak RSS grew by {rss_delta} B during the {n}-trial sweep (budget {PEAK_RSS_BUDGET} B) \
+         — streaming memory is not flat"
+    );
+    assert!(est.raw.trials == n as u64, "trial count mismatch");
+    obj(vec![
+        ("trials", Value::Num(n as f64)),
+        ("threads", Value::Num(threads as f64)),
+        ("sigma_scale", Value::Num(2.0)),
+        ("chunk", Value::Num(8192.0)),
+        ("elapsed_s", Value::Num(elapsed)),
+        ("trials_per_s", Value::Num(n as f64 / elapsed)),
+        ("effective_samples", Value::Num(est.raw.effective_samples())),
+        ("peak_rss_before_b", Value::Num(rss_before as f64)),
+        ("peak_rss_after_b", Value::Num(rss_after as f64)),
+        ("peak_rss_delta_b", Value::Num(rss_delta as f64)),
+        ("peak_rss_budget_b", Value::Num(PEAK_RSS_BUDGET as f64)),
+        (
+            "raw_yield_table",
+            Value::Arr(
+                thresholds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        obj(vec![
+                            ("threshold_v", Value::Num(t)),
+                            ("yield", Value::Num(est.raw.yield_frac(i))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn trials_flag(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--trials" {
+            return args.next()?.parse().ok().filter(|&n| n > 0);
+        }
+        if let Some(v) = a.strip_prefix("--trials=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trials = trials_flag(std::env::args());
+    let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+    println!(
+        "bench_pr7: batched Monte-Carlo yield estimation{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let tel = Telemetry::enabled_with_env_sinks();
+
+    let leg1 = agreement(smoke);
+    let leg2 = throughput(smoke, trials, threads, &tel);
+    let leg3 = invariance(smoke);
+    let leg4 = flat_memory(smoke, threads, &tel);
+
+    let report = tel.report();
+    println!(
+        "telemetry: {} trials, {} batch solves, lane occupancy {:.1} %, fallback rate {:.2e}",
+        report.counters.trials_total,
+        report.counters.batch_solves,
+        report.counters.lane_occupancy() * 100.0,
+        report.counters.lane_fallback_rate()
+    );
+
+    let out = obj(vec![
+        ("bench", Value::Str("bench_pr7".into())),
+        ("smoke", Value::Bool(smoke)),
+        ("agreement", leg1),
+        ("throughput", leg2),
+        ("invariance", leg3),
+        ("flat_memory", leg4),
+        ("telemetry", report.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&out).expect("render BENCH_pr7.json");
+    std::fs::write("BENCH_pr7.json", format!("{json}\n")).expect("write BENCH_pr7.json");
+    println!("wrote BENCH_pr7.json");
+}

@@ -3,12 +3,14 @@
 //! smears the output, and what the offset-cancellation loop recovers.
 
 use cml_bench::banner;
-use cml_core::montecarlo::{self, paper_default_study_par, vth_sigma};
+use cml_core::montecarlo::{self, run_offset_study_batched, run_offset_study_par, vth_sigma};
+use cml_core::yield_est::{behavioral_offset_yield, ChainSpec, YieldConfig};
 use cml_numeric::stats;
 
 fn main() {
     banner("§III.C - Monte-Carlo offset study of the limiting amplifier");
     let threads = cml_runner::threads(cml_runner::threads_flag(std::env::args()));
+    let no_batch = std::env::args().any(|a| a == "--no-batch");
     let sigma = vth_sigma(34e-6, cml_pdk::L_MIN);
     println!(
         "\nPelgrom mismatch (A_VT = {} mV*um): per-pair sigma(dVTH) = {:.2} mV \
@@ -18,8 +20,37 @@ fn main() {
     );
 
     let n = 10_000;
-    let study = paper_default_study_par(n, 0xC0FFEE, threads);
-    println!("\n{n} Monte-Carlo samples through the 4-stage LA ({threads} threads):");
+    let (seed, gain, swing, loop_gain) = (0xC0FFEE, 2.3, 0.5, 31.6);
+    let study = if no_batch {
+        run_offset_study_par(n, gain, sigma, swing, loop_gain, seed, threads)
+    } else {
+        // The lane-packed kernel evaluates the same per-lane f64 chain,
+        // so the batched study is *bit-identical* to the scalar one —
+        // assert that here, where a regression would be visible first.
+        let batched = run_offset_study_batched(n, gain, sigma, swing, loop_gain, seed, threads);
+        let scalar = run_offset_study_par(n, gain, sigma, swing, loop_gain, seed, threads);
+        let worst = batched
+            .raw_outputs
+            .iter()
+            .zip(&scalar.raw_outputs)
+            .chain(
+                batched
+                    .cancelled_outputs
+                    .iter()
+                    .zip(&scalar.cancelled_outputs),
+            )
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst <= 1e-9,
+            "batched study disagrees with scalar by {worst:.3e}"
+        );
+        batched
+    };
+    let engine = if no_batch { "scalar" } else { "batched" };
+    println!(
+        "\n{n} Monte-Carlo samples through the 4-stage LA ({threads} threads, {engine} engine):"
+    );
     println!(
         "  input-referred offset sigma : {:6.2} mV",
         study.input_sigma() * 1e3
@@ -62,4 +93,33 @@ fn main() {
          passive low-pass feedback network of Fig. 8.",
         study.raw_sigma() / study.cancelled_sigma()
     );
+
+    // Streaming per-sigma yield table: fail probability at k*sigma_raw
+    // thresholds (k = 1..4) plus the eye criterion swing/2, raw vs
+    // cancelled, through the importance-capable streaming estimator.
+    let sigma_raw = study.raw_sigma();
+    let mut thresholds: Vec<f64> = (1..=4).map(|k| k as f64 * sigma_raw).collect();
+    thresholds.push(swing / 2.0);
+    let cfg = YieldConfig::new(n, seed).with_threads(threads);
+    let chain = ChainSpec {
+        stage_gain: gain,
+        sigma_vth: sigma,
+        swing,
+        loop_gain,
+    };
+    let by = behavioral_offset_yield(&cfg, &chain, &thresholds);
+    println!("\nyield table (fraction of chips with |offset| <= threshold):");
+    println!("  threshold          raw     cancelled");
+    for (i, &thr) in thresholds.iter().enumerate() {
+        let label = if i < 4 {
+            format!("{}sigma_raw ({:5.1} mV)", i + 1, thr * 1e3)
+        } else {
+            format!("swing/2   ({:5.1} mV)", thr * 1e3)
+        };
+        println!(
+            "  {label} {:9.4} {:9.4}",
+            by.raw.yield_frac(i),
+            by.cancelled.yield_frac(i)
+        );
+    }
 }

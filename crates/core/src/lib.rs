@@ -48,3 +48,4 @@ pub mod montecarlo;
 pub mod power;
 pub mod report;
 pub mod stream;
+pub mod yield_est;

@@ -15,8 +15,58 @@ use rand::{Rng, SeedableRng};
 /// V·m (≈ 5 mV·µm).
 pub const A_VT: f64 = 5e-9;
 
+/// Smallest gate area [`vth_sigma`] will divide by, m² — (1 nm)². The
+/// release-build clamp for degenerate `W`/`L` inputs; see [`vth_sigma`].
+pub const MIN_GATE_AREA: f64 = 1e-18;
+
+/// A non-positive (or non-finite) gate dimension was passed to
+/// [`try_vth_sigma`] — the Pelgrom model is only defined for a real,
+/// positive gate area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateAreaError {
+    /// The offending gate width, m.
+    pub w: f64,
+    /// The offending gate length, m.
+    pub l: f64,
+}
+
+impl std::fmt::Display for GateAreaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vth_sigma needs finite positive gate dimensions, got W = {}, L = {}",
+            self.w, self.l
+        )
+    }
+}
+
+impl std::error::Error for GateAreaError {}
+
+/// σ of the threshold mismatch of one differential pair with the given
+/// gate area per device (m²): `A_VT / √(W·L)`, in volts. Fallible
+/// variant of [`vth_sigma`]: rejects non-finite or non-positive
+/// dimensions with a typed error instead of silently producing
+/// `NaN`/`inf`.
+///
+/// # Errors
+///
+/// [`GateAreaError`] when `w` or `l` is not a finite positive number.
+pub fn try_vth_sigma(w: f64, l: f64) -> Result<f64, GateAreaError> {
+    if w.is_finite() && l.is_finite() && w > 0.0 && l > 0.0 {
+        Ok(A_VT / (w * l).sqrt())
+    } else {
+        Err(GateAreaError { w, l })
+    }
+}
+
 /// σ of the threshold mismatch of one differential pair with the given
 /// gate area per device (m²): `A_VT / √(W·L)`, in volts.
+///
+/// Non-positive or non-finite dimensions are a caller bug: debug builds
+/// panic on them, release builds clamp the gate area to
+/// [`MIN_GATE_AREA`] so the result is a huge-but-finite σ rather than a
+/// silent `NaN`/`inf` poisoning a million-trial yield sweep. Use
+/// [`try_vth_sigma`] when the dimensions come from untrusted input.
 ///
 /// ```
 /// let sigma = cml_core::montecarlo::vth_sigma(34e-6, 0.18e-6);
@@ -24,7 +74,12 @@ pub const A_VT: f64 = 5e-9;
 /// ```
 #[must_use]
 pub fn vth_sigma(w: f64, l: f64) -> f64 {
-    A_VT / (w * l).sqrt()
+    debug_assert!(
+        w.is_finite() && l.is_finite() && w > 0.0 && l > 0.0,
+        "vth_sigma needs finite positive gate dimensions, got W = {w}, L = {l}"
+    );
+    // NaN·max picks the clamp; negative or zero areas clamp too.
+    A_VT / (w * l).max(MIN_GATE_AREA).sqrt()
 }
 
 /// Result of one Monte-Carlo offset run.
@@ -137,6 +192,64 @@ pub fn run_offset_study_par(
     collect_study(rows)
 }
 
+/// One Box-Muller gaussian draw with the given σ. Shared by every
+/// sampling path (sequential, parallel, batched, and the `yield_est`
+/// importance sampler) so they all consume the RNG identically.
+pub(crate) fn gauss(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The four independent per-stage pair offsets of one trial, drawn in
+/// stage order.
+pub(crate) fn stage_offsets(rng: &mut StdRng, sigma: f64) -> [f64; 4] {
+    [
+        gauss(rng, sigma),
+        gauss(rng, sigma),
+        gauss(rng, sigma),
+        gauss(rng, sigma),
+    ]
+}
+
+/// Propagates one trial's stage offsets through the clamped gain chain:
+/// `o_out = ((((o1)·A + o2)·A + o3)·A + o4)·A`, clamped to ±swing/2
+/// after every stage. Scalar reference for [`chain_raw_packed`].
+pub(crate) fn chain_raw(offsets: &[f64; 4], stage_gain: f64, swing: f64) -> f64 {
+    let mut v = 0.0;
+    for &o in offsets {
+        v = (v + o) * stage_gain;
+        v = v.clamp(-swing / 2.0, swing / 2.0);
+    }
+    v
+}
+
+/// Lane width of the packed gain-chain kernel.
+pub(crate) const PACK: usize = 8;
+
+/// [`chain_raw`] over many trials at once, eight to an [`F64s`] lane
+/// group. Every lane performs exactly the same `f64` operation sequence
+/// as the scalar chain, so the results are bit-identical to calling
+/// [`chain_raw`] per trial — the structure-of-arrays layout is purely a
+/// throughput lever (one add/mul/clamp instruction stream drives eight
+/// trials).
+pub(crate) fn chain_raw_packed(offsets: &[[f64; 4]], stage_gain: f64, swing: f64) -> Vec<f64> {
+    use cml_numeric::lanes::F64s;
+    let gain = F64s::<PACK>::new([stage_gain; PACK]);
+    let mut out = Vec::with_capacity(offsets.len());
+    for group in offsets.chunks(PACK) {
+        let mut v = F64s::<PACK>::default();
+        for stage in 0..4 {
+            // Unused tail lanes propagate zeros — harmless, discarded.
+            let o = F64s::<PACK>::from_fn(|lane| group.get(lane).map_or(0.0, |t| t[stage]));
+            v = (v + o) * gain;
+            v = v.clamp(-swing / 2.0, swing / 2.0);
+        }
+        out.extend_from_slice(&v.to_array()[..group.len()]);
+    }
+    out
+}
+
 /// One Monte-Carlo trial: sample four per-stage pair offsets and
 /// propagate them through the clamped gain chain. Returns
 /// `(input_referred, raw_output, cancelled_output)`.
@@ -147,27 +260,54 @@ fn trial(
     swing: f64,
     loop_gain: f64,
 ) -> (f64, f64, f64) {
-    let mut gauss = |sigma: f64| {
-        // Box-Muller.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    };
-    // Four stages, each with an independent pair offset.
-    let offsets: [f64; 4] = [
-        gauss(sigma_vth),
-        gauss(sigma_vth),
-        gauss(sigma_vth),
-        gauss(sigma_vth),
-    ];
-    // Propagate: o_out = ((((o1)·A + o2)·A + o3)·A + o4)·A, clamped.
-    let mut v = 0.0;
-    for &o in &offsets {
-        v = (v + o) * stage_gain;
-        v = v.clamp(-swing / 2.0, swing / 2.0);
-    }
+    let offsets = stage_offsets(rng, sigma_vth);
+    let v = chain_raw(&offsets, stage_gain, swing);
     // Input-referred: total output offset divided by the total gain.
     (v / stage_gain.powi(4), v, v / (1.0 + loop_gain))
+}
+
+/// Batched variant of [`run_offset_study_par`]: the same per-trial RNG
+/// streams and the same chain arithmetic, but the gain-chain propagation
+/// runs eight trials per instruction through the lane-packed kernel.
+///
+/// The result is **bit-identical** to [`run_offset_study_par`] with the
+/// same `(parameters, seed)` for any thread count — the batch layout
+/// changes how the work is scheduled, never what is computed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or parameters are non-positive.
+#[must_use]
+pub fn run_offset_study_batched(
+    n: usize,
+    stage_gain: f64,
+    sigma_vth: f64,
+    swing: f64,
+    loop_gain: f64,
+    seed: u64,
+    threads: usize,
+) -> OffsetStudy {
+    assert!(n > 0, "need at least one sample");
+    assert!(
+        stage_gain > 0.0 && sigma_vth > 0.0 && swing > 0.0 && loop_gain >= 0.0,
+        "parameters must be positive"
+    );
+    let starts: Vec<usize> = (0..n).step_by(PACK).collect();
+    let groups = cml_runner::par_map(threads, &starts, |_, &start| {
+        let len = PACK.min(n - start);
+        let offs: Vec<[f64; 4]> = (0..len)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(cml_runner::point_seed(seed, start + t));
+                stage_offsets(&mut rng, sigma_vth)
+            })
+            .collect();
+        let total_gain = stage_gain.powi(4);
+        chain_raw_packed(&offs, stage_gain, swing)
+            .into_iter()
+            .map(|v| (v / total_gain, v, v / (1.0 + loop_gain)))
+            .collect::<Vec<_>>()
+    });
+    collect_study(groups.into_iter().flatten().collect())
 }
 
 fn collect_study(rows: Vec<(f64, f64, f64)>) -> OffsetStudy {
@@ -277,5 +417,61 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let _ = paper_default_study(0, 0);
+    }
+
+    #[test]
+    fn try_vth_sigma_accepts_positive_dims() {
+        let ok = try_vth_sigma(34e-6, 0.18e-6).unwrap();
+        assert!((ok - vth_sigma(34e-6, 0.18e-6)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn try_vth_sigma_rejects_degenerate_dims() {
+        for (w, l) in [
+            (0.0, 0.18e-6),
+            (34e-6, 0.0),
+            (-1e-6, 0.18e-6),
+            (34e-6, -0.18e-6),
+            (f64::NAN, 0.18e-6),
+            (34e-6, f64::INFINITY),
+        ] {
+            let err = try_vth_sigma(w, l).expect_err("degenerate dims must be rejected");
+            // Bitwise field comparison: PartialEq can't see NaN == NaN.
+            assert_eq!(err.w.to_bits(), w.to_bits());
+            assert_eq!(err.l.to_bits(), l.to_bits());
+            assert!(err.to_string().contains("gate dimensions"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive gate dimensions")]
+    fn vth_sigma_panics_on_zero_width_in_debug() {
+        // Release builds instead clamp the area to MIN_GATE_AREA; the
+        // typed-error path for untrusted inputs is `try_vth_sigma`.
+        let _ = vth_sigma(0.0, 0.18e-6);
+    }
+
+    #[test]
+    fn packed_chain_is_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // 19 trials: two full lane groups plus a ragged tail.
+        let offs: Vec<[f64; 4]> = (0..19).map(|_| stage_offsets(&mut rng, 2e-3)).collect();
+        let packed = chain_raw_packed(&offs, 2.3, 0.5);
+        for (o, p) in offs.iter().zip(&packed) {
+            let s = chain_raw(o, 2.3, 0.5);
+            assert_eq!(s.to_bits(), p.to_bits(), "lane diverged from scalar chain");
+        }
+    }
+
+    #[test]
+    fn batched_study_bit_identical_to_parallel_scalar() {
+        // 1003 trials: not a multiple of the lane width, so the ragged
+        // final group is exercised too.
+        let scalar = run_offset_study_par(1003, 2.3, 2e-3, 0.5, 31.6, 42, 3);
+        for threads in [1, 2, 8] {
+            let batched = run_offset_study_batched(1003, 2.3, 2e-3, 0.5, 31.6, 42, threads);
+            // PartialEq on the f64 vectors: bit-for-bit is the contract.
+            assert_eq!(scalar, batched, "lane packing changed the study");
+        }
     }
 }

@@ -14,6 +14,11 @@
 //!   replayable refactorization path for Newton loops on a fixed pattern,
 //!   generic over [`Scalar`] (`f64` for DC/transient, [`Complex64`] for
 //!   the AC `G + jωC` systems),
+//! * [`lanes`] — structure-of-arrays `f64` lane packs ([`F64s`]) with
+//!   per-lane pivot-death masks, letting the LU kernels above factor K
+//!   same-pattern matrices in lockstep ([`LaneLu`],
+//!   [`SparseLu::refactor_frozen_masked`]) for batched Monte-Carlo
+//!   solves,
 //! * [`fft`] — radix-2 complex FFT / inverse FFT plus real-signal helpers,
 //!   used to synthesize channel impulse responses from loss profiles,
 //! * [`interp`] — linear and monotone cubic (PCHIP) interpolation for
@@ -49,6 +54,7 @@ mod dense;
 mod error;
 pub mod fft;
 pub mod interp;
+pub mod lanes;
 pub mod matching;
 mod scalar;
 pub mod sparse;
@@ -56,9 +62,10 @@ pub mod sparse_lu;
 pub mod stats;
 
 pub use complex::Complex64;
-pub use dense::{lu, ComplexMatrix, DenseMatrix, LuFactors};
+pub use dense::{lu, ComplexMatrix, DenseMatrix, LaneLu, LuFactors};
 pub use error::NumericError;
-pub use scalar::Scalar;
+pub use lanes::{F64s, F64x2, F64x4, F64x8};
+pub use scalar::{LaneScalar, Scalar};
 pub use sparse_lu::{RefactorOutcome, SparseLu};
 
 /// Relative comparison of two floats with a combined absolute/relative

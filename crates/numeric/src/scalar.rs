@@ -54,6 +54,107 @@ pub trait Scalar:
     fn finite(self) -> bool;
 }
 
+/// A [`Scalar`] that packs `LANES` independent `f64` problem instances
+/// into one value, structure-of-arrays style (see [`crate::lanes`]).
+///
+/// Every arithmetic operator acts lane-wise — lane `i` of any result
+/// depends only on lane `i` of the operands — so running an elimination
+/// kernel over a `LaneScalar` is exactly `LANES` independent scalar
+/// eliminations marching in lockstep. The extra methods expose what
+/// lockstep solvers need beyond field arithmetic: lane access for
+/// packing/unpacking, and *masked* pivot health so one numerically dead
+/// variant can be quarantined (and later re-solved scalar) without
+/// stalling the other lanes.
+///
+/// Masks are `u64` bitsets with bit `i` = lane `i`; bits at and above
+/// [`LANES`](Self::LANES) are ignored.
+pub trait LaneScalar: Scalar {
+    /// Number of packed lanes.
+    const LANES: usize;
+
+    /// Mask with one bit set per lane (`(1 << LANES) - 1`).
+    const LANE_MASK: u64 = (1u64 << Self::LANES) - 1;
+
+    /// Broadcasts one scalar into every lane.
+    fn splat(v: f64) -> Self;
+
+    /// Reads lane `i` (must be `< LANES`).
+    fn lane(self, i: usize) -> f64;
+
+    /// Writes lane `i` (must be `< LANES`).
+    fn set_lane(&mut self, i: usize, v: f64);
+
+    /// Pivot quality over the `live` lanes only: the smallest `|x_i|`
+    /// with `i` live, with non-finite lanes mapped to `-1.0` so a row
+    /// carrying NaN/∞ in a live lane loses every pivot contest. Returns
+    /// `f64::INFINITY` when `live` selects no lane.
+    fn pivot_metric(self, live: u64) -> f64;
+
+    /// Lanes where the value is unusable as a pivot: bit `i` set when
+    /// lane `i` is non-finite or `|x_i| <= tol` (NaN compares unusable).
+    fn bad_mask(self, tol: f64) -> u64;
+
+    /// Replaces the lanes selected by `mask` with `fill`, leaving the
+    /// others untouched — used to overwrite a dead lane's pivot with a
+    /// benign value so lockstep division never poisons live lanes.
+    #[must_use]
+    fn heal(self, mask: u64, fill: f64) -> Self;
+}
+
+/// `f64` is the trivial one-lane pack: lane masks degenerate to bit 0.
+/// This lets lockstep drivers be written once over [`LaneScalar`] and
+/// still instantiate a true scalar loop (`CML_BATCH_LANES=1`).
+impl LaneScalar for f64 {
+    const LANES: usize = 1;
+
+    #[inline]
+    fn splat(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn lane(self, i: usize) -> f64 {
+        debug_assert_eq!(i, 0);
+        self
+    }
+
+    #[inline]
+    fn set_lane(&mut self, i: usize, v: f64) {
+        debug_assert_eq!(i, 0);
+        *self = v;
+    }
+
+    #[inline]
+    fn pivot_metric(self, live: u64) -> f64 {
+        if live & 1 == 0 {
+            f64::INFINITY
+        } else if self.is_finite() {
+            self.abs()
+        } else {
+            -1.0
+        }
+    }
+
+    #[inline]
+    fn bad_mask(self, tol: f64) -> u64 {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !self.is_finite() || !(self.abs() > tol) {
+            1
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn heal(self, mask: u64, fill: f64) -> Self {
+        if mask & 1 != 0 {
+            fill
+        } else {
+            self
+        }
+    }
+}
+
 impl Scalar for f64 {
     const ZERO: f64 = 0.0;
     const ONE: f64 = 1.0;

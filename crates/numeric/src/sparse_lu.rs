@@ -32,7 +32,7 @@
 //! arithmetic in the same order as the pre-generic solver, keeping
 //! DC/transient results bit-identical.
 
-use crate::scalar::Scalar;
+use crate::scalar::{LaneScalar, Scalar};
 use crate::sparse::CsrMatrix;
 use crate::NumericError;
 
@@ -564,6 +564,104 @@ impl<T: Scalar> SparseLu<T> {
     }
 }
 
+impl<T: LaneScalar> SparseLu<T> {
+    /// Masked frozen replay for lane-packed scalars: like
+    /// [`refactor_frozen`](Self::refactor_frozen), but a pivot that dies
+    /// in *some* lanes kills only those lanes instead of the whole
+    /// replay. A dying lane's pivot is overwritten with `1.0` so the
+    /// lockstep division stays benign (lane-wise arithmetic guarantees
+    /// the garbage it produces never leaks into live lanes), and the
+    /// lane is reported in the returned mask; the caller discards that
+    /// lane's solution and re-solves it scalar — the batch solver's
+    /// per-lane fallback ladder.
+    ///
+    /// `live` selects the lanes whose numerical health matters (bit `i`
+    /// = lane `i`); lanes outside `live` are replayed with healing but
+    /// never reported. Returns the subset of `live` whose frozen pivots
+    /// died during this replay (`0` = every requested lane factored
+    /// cleanly). From the moment a lane dies, *all* of its subsequent
+    /// columns are garbage — its earlier columns are not a usable
+    /// partial factorization.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumericError::DimensionMismatch`] as in
+    ///   [`refactor_frozen`](Self::refactor_frozen).
+    /// - [`NumericError::SingularMatrix`] only when **every** lane in
+    ///   `live` has died; the workspace invariant is restored and the
+    ///   frozen structure stays intact, as in the unmasked replay.
+    pub fn refactor_frozen_masked(
+        &mut self,
+        a: &CsrMatrix<T>,
+        live: u64,
+    ) -> Result<u64, NumericError> {
+        if !self.factored {
+            return Err(NumericError::DimensionMismatch {
+                expected: "a frozen factorization (call factor first)".into(),
+                got: "unfactored SparseLu".into(),
+            });
+        }
+        self.check_values(a)?;
+        let live = live & T::LANE_MASK;
+        // Lanes outside the live set are healed from the start: their
+        // values may be stale garbage and must never trip pivot guards.
+        let mut dead: u64 = !live & T::LANE_MASK;
+        let avals = a.vals();
+        for k in 0..self.n {
+            let j = self.q[k];
+            for p in self.cp[j]..self.cp[j + 1] {
+                self.x[self.cri[p]] = avals[self.cmap[p]];
+            }
+            let mut ucur = self.up[k];
+            for t in self.reach_ptr[k]..self.reach_ptr[k + 1] {
+                let i = self.reach[t];
+                let kk = self.pinv[i];
+                if kk < k {
+                    let xi_val = self.x[i];
+                    self.ux[ucur] = xi_val;
+                    ucur += 1;
+                    for p in self.lp[kk] + 1..self.lp[kk + 1] {
+                        self.x[self.li_orig[p]] -= self.lx[p] * xi_val;
+                    }
+                }
+            }
+            debug_assert_eq!(ucur, self.up[k + 1] - 1);
+            let ipiv = self.pivot_row[k];
+            let mut pivot = self.x[ipiv];
+            let newly_dead = pivot.bad_mask(PIVOT_TOL) & !dead;
+            dead |= newly_dead;
+            if live & !dead == 0 {
+                // Every requested lane has died: restore the all-zero
+                // workspace invariant and report singularity, exactly
+                // like the unmasked replay.
+                for t in self.reach_ptr[k]..self.reach_ptr[k + 1] {
+                    self.x[self.reach[t]] = T::ZERO;
+                }
+                return Err(NumericError::SingularMatrix {
+                    column: k,
+                    pivot: pivot.modulus(),
+                });
+            }
+            if dead != 0 {
+                pivot = pivot.heal(dead, 1.0);
+            }
+            self.ux[ucur] = pivot;
+            let mut lcur = self.lp[k] + 1; // slot lp[k] is the unit diagonal
+            for t in self.reach_ptr[k]..self.reach_ptr[k + 1] {
+                let i = self.reach[t];
+                if self.pinv[i] > k {
+                    debug_assert_eq!(self.li_orig[lcur], i);
+                    self.lx[lcur] = self.x[i] / pivot;
+                    lcur += 1;
+                }
+                self.x[i] = T::ZERO;
+            }
+            debug_assert_eq!(lcur, self.lp[k + 1]);
+        }
+        Ok(dead & live)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -893,5 +991,122 @@ mod tests {
         lu.refactor_frozen(&good).unwrap();
         let x = lu.solve(&[3.0, 3.0]).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    use crate::F64x4;
+
+    /// Packs four same-pattern scalar systems into one `F64x4` matrix.
+    /// `random_system` writes the same position set for every seed, so
+    /// only values differ between the lanes.
+    fn pack_lanes(lanes: &[CsrMatrix; 4]) -> CsrMatrix<F64x4> {
+        let n = lanes[0].rows();
+        let mut positions = Vec::new();
+        for r in 0..n {
+            for p in lanes[0].row_ptr()[r]..lanes[0].row_ptr()[r + 1] {
+                positions.push((r, lanes[0].col_idx()[p]));
+            }
+        }
+        let mut packed = CsrMatrix::<F64x4>::from_pattern(n, n, &positions).unwrap();
+        for slot in 0..lanes[0].vals().len() {
+            packed.vals_mut()[slot] = F64x4::new([
+                lanes[0].vals()[slot],
+                lanes[1].vals()[slot],
+                lanes[2].vals()[slot],
+                lanes[3].vals()[slot],
+            ]);
+        }
+        packed
+    }
+
+    fn lane_csrs(n: usize, base_seed: u64) -> [CsrMatrix; 4] {
+        std::array::from_fn(|lane| random_system(n, base_seed + lane as u64).to_csr().unwrap())
+    }
+
+    #[test]
+    fn masked_replay_matches_per_lane_scalar_solves() {
+        let n = 14;
+        let first = lane_csrs(n, 41);
+        let packed = pack_lanes(&first);
+        let mut lu = SparseLu::new(&packed).unwrap();
+        lu.factor(&packed).unwrap();
+        // New values on the frozen pattern: the batched Newton step.
+        let second = lane_csrs(n, 4141);
+        let packed2 = pack_lanes(&second);
+        let dead = lu.refactor_frozen_masked(&packed2, 0b1111).unwrap();
+        assert_eq!(dead, 0);
+        let b: Vec<F64x4> = (0..n)
+            .map(|i| F64x4::from_fn(|lane| (i * 7 + lane + 1) as f64 / 3.0))
+            .collect();
+        let xs = lu.solve(&b).unwrap();
+        for (lane, second_lane) in second.iter().enumerate() {
+            let mut slu = SparseLu::new(second_lane).unwrap();
+            slu.factor(second_lane).unwrap();
+            let bl: Vec<f64> = b.iter().map(|v| v.lane(lane)).collect();
+            let expect = slu.solve(&bl).unwrap();
+            for i in 0..n {
+                assert!(
+                    (xs[i].lane(lane) - expect[i]).abs() < 1e-9,
+                    "lane {lane} row {i}"
+                );
+            }
+        }
+    }
+
+    /// A frozen pivot dying in one lane quarantines that lane only; the
+    /// surviving lanes replay to full accuracy and the structure stays
+    /// intact for the next replay.
+    #[test]
+    fn masked_replay_quarantines_dead_lane() {
+        let n = 10;
+        let first = lane_csrs(n, 7);
+        let packed = pack_lanes(&first);
+        let mut lu = SparseLu::new(&packed).unwrap();
+        lu.factor(&packed).unwrap();
+        let second = lane_csrs(n, 7007);
+        let mut packed2 = pack_lanes(&second);
+        for v in packed2.vals_mut() {
+            v.set_lane(1, 0.0); // lane 1: the zero matrix, dead pivot at k = 0
+        }
+        let dead = lu.refactor_frozen_masked(&packed2, 0b1111).unwrap();
+        assert_eq!(dead, 0b0010);
+        let b: Vec<F64x4> = (0..n).map(|i| F64x4::splat(1.0 + i as f64)).collect();
+        let xs = lu.solve(&b).unwrap();
+        for lane in [0usize, 2, 3] {
+            let mut slu = SparseLu::new(&second[lane]).unwrap();
+            slu.factor(&second[lane]).unwrap();
+            let bl: Vec<f64> = b.iter().map(|v| v.lane(lane)).collect();
+            let expect = slu.solve(&bl).unwrap();
+            for i in 0..n {
+                assert!(
+                    (xs[i].lane(lane) - expect[i]).abs() < 1e-9,
+                    "lane {lane} row {i}"
+                );
+            }
+        }
+        // The frozen structure survived the casualty: a healthy replay
+        // with all lanes live still works.
+        let third = lane_csrs(n, 9009);
+        let packed3 = pack_lanes(&third);
+        assert_eq!(lu.refactor_frozen_masked(&packed3, 0b1111).unwrap(), 0);
+    }
+
+    #[test]
+    fn masked_replay_all_dead_is_singular() {
+        let n = 6;
+        let first = lane_csrs(n, 13);
+        let packed = pack_lanes(&first);
+        let mut lu = SparseLu::new(&packed).unwrap();
+        lu.factor(&packed).unwrap();
+        let mut zeroed = packed.clone();
+        for v in zeroed.vals_mut() {
+            *v = F64x4::splat(0.0);
+        }
+        assert!(matches!(
+            lu.refactor_frozen_masked(&zeroed, 0b1111),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        // Unfactored workspace is an API error, as in the unmasked path.
+        let mut fresh = SparseLu::<F64x4>::new(&packed).unwrap();
+        assert!(fresh.refactor_frozen_masked(&packed, 0b1111).is_err());
     }
 }

@@ -5,6 +5,7 @@
 //! Jacobian assembly and the damped Newton loop.
 
 pub mod ac;
+pub mod batch;
 pub mod dc;
 pub mod op;
 pub mod sink;

@@ -157,6 +157,21 @@ pub struct Counters {
     /// Accepted samples streamed through transient sinks (sum of chunk
     /// lengths; equals `tran_steps + 1` per streamed run).
     pub wave_samples: u64,
+    /// Monte-Carlo trials evaluated by the yield / batch workload
+    /// layers (batched and scalar alike).
+    pub trials_total: u64,
+    /// Batched lockstep linear solves: one lane-packed factor+solve
+    /// serving up to `LANES` variants at once.
+    pub batch_solves: u64,
+    /// Lane slots offered across all batched solves
+    /// (`batch_solves × LANES`); the occupancy denominator.
+    pub batch_lane_slots: u64,
+    /// Lane slots actually carrying a live, unconverged variant; the
+    /// occupancy numerator (see [`Counters::lane_occupancy`]).
+    pub batch_lanes_active: u64,
+    /// Variants evicted from a batch (pivot death, divergence, or
+    /// non-convergence) and re-solved on the scalar path.
+    pub lane_fallbacks: u64,
     /// Histogram of accepted-step sizes as log₂(dt / dt_nominal),
     /// bucket [`DT_BUCKET_ZERO`] = nominal (see [`DT_BUCKETS`]).
     pub dt_histogram: [u64; DT_BUCKETS],
@@ -189,6 +204,11 @@ impl Default for Counters {
             lint_prechecks: 0,
             wave_chunks: 0,
             wave_samples: 0,
+            trials_total: 0,
+            batch_solves: 0,
+            batch_lane_slots: 0,
+            batch_lanes_active: 0,
+            lane_fallbacks: 0,
             dt_histogram: [0; DT_BUCKETS],
         }
     }
@@ -222,6 +242,11 @@ impl Counters {
         self.lint_prechecks += other.lint_prechecks;
         self.wave_chunks += other.wave_chunks;
         self.wave_samples += other.wave_samples;
+        self.trials_total += other.trials_total;
+        self.batch_solves += other.batch_solves;
+        self.batch_lane_slots += other.batch_lane_slots;
+        self.batch_lanes_active += other.batch_lanes_active;
+        self.lane_fallbacks += other.lane_fallbacks;
         for (a, b) in self.dt_histogram.iter_mut().zip(&other.dt_histogram) {
             *a += b;
         }
@@ -276,6 +301,33 @@ impl Counters {
         }
     }
 
+    /// Batch lane occupancy: fraction of offered lane slots that
+    /// carried a live, unconverged variant
+    /// (`batch_lanes_active / batch_lane_slots`); 0 when no batched
+    /// solve ran. Low occupancy means batches drain unevenly — variants
+    /// converging at very different iteration counts — and the SIMD
+    /// width is being wasted on frozen lanes.
+    #[must_use]
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.batch_lane_slots == 0 {
+            0.0
+        } else {
+            self.batch_lanes_active as f64 / self.batch_lane_slots as f64
+        }
+    }
+
+    /// Fraction of Monte-Carlo trials that fell off the batch onto the
+    /// scalar path (`lane_fallbacks / trials_total`); 0 when no trials
+    /// ran. A rising fallback rate silently erodes the batched speedup.
+    #[must_use]
+    pub fn lane_fallback_rate(&self) -> f64 {
+        if self.trials_total == 0 {
+            0.0
+        } else {
+            self.lane_fallbacks as f64 / self.trials_total as f64
+        }
+    }
+
     /// Renders the counters as a JSON object (the `counters` block of
     /// the JSON sink and of the `BENCH_pr*.json` telemetry sections).
     #[must_use]
@@ -306,6 +358,11 @@ impl Counters {
             ("lint_prechecks".into(), num(self.lint_prechecks)),
             ("wave_chunks".into(), num(self.wave_chunks)),
             ("wave_samples".into(), num(self.wave_samples)),
+            ("trials_total".into(), num(self.trials_total)),
+            ("batch_solves".into(), num(self.batch_solves)),
+            ("batch_lane_slots".into(), num(self.batch_lane_slots)),
+            ("batch_lanes_active".into(), num(self.batch_lanes_active)),
+            ("lane_fallbacks".into(), num(self.lane_fallbacks)),
             (
                 "dt_histogram".into(),
                 Value::Arr(self.dt_histogram.iter().map(|&n| num(n)).collect()),
@@ -339,10 +396,14 @@ pub enum Phase {
     Refactor,
     /// Triangular back-substitutions (fine only).
     BackSubstitute,
+    /// Batched lockstep Newton solves: the lane-packed stamping,
+    /// factorization and per-lane convergence bookkeeping of one batch
+    /// (coarse — one span per batch, not per iteration).
+    BatchSolve,
 }
 
 /// Number of [`Phase`] variants (array backing for [`Timings`]).
-pub const N_PHASES: usize = 6;
+pub const N_PHASES: usize = 7;
 
 impl Phase {
     /// Stable index into [`Timings`] arrays.
@@ -355,6 +416,7 @@ impl Phase {
             Phase::Factor => 3,
             Phase::Refactor => 4,
             Phase::BackSubstitute => 5,
+            Phase::BatchSolve => 6,
         }
     }
 
@@ -368,6 +430,7 @@ impl Phase {
             Phase::Factor => "factor",
             Phase::Refactor => "refactor",
             Phase::BackSubstitute => "back_substitute",
+            Phase::BatchSolve => "batch_solve",
         }
     }
 
@@ -379,6 +442,7 @@ impl Phase {
         Phase::Factor,
         Phase::Refactor,
         Phase::BackSubstitute,
+        Phase::BatchSolve,
     ];
 }
 
@@ -954,6 +1018,14 @@ impl SolverReport {
                         "ac_sparse_fraction".into(),
                         Value::Num(self.counters.ac_sparse_fraction()),
                     ),
+                    (
+                        "lane_occupancy".into(),
+                        Value::Num(self.counters.lane_occupancy()),
+                    ),
+                    (
+                        "lane_fallback_rate".into(),
+                        Value::Num(self.counters.lane_fallback_rate()),
+                    ),
                 ]),
             ),
             ("timings_ns".into(), self.timings.to_value()),
@@ -1257,6 +1329,44 @@ mod tests {
         c.ac_points = 4;
         c.ac_points_sparse = 3;
         assert!((c.ac_sparse_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(c.lane_occupancy(), 0.0);
+        assert_eq!(c.lane_fallback_rate(), 0.0);
+        c.batch_solves = 10;
+        c.batch_lane_slots = 80;
+        c.batch_lanes_active = 60;
+        assert!((c.lane_occupancy() - 0.75).abs() < 1e-12);
+        c.trials_total = 200;
+        c.lane_fallbacks = 5;
+        assert!((c.lane_fallback_rate() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_counters_merge_and_render() {
+        let mut a = Counters {
+            trials_total: 100,
+            batch_solves: 4,
+            batch_lane_slots: 32,
+            batch_lanes_active: 30,
+            lane_fallbacks: 1,
+            ..Counters::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.trials_total, 200);
+        assert_eq!(a.batch_lane_slots, 64);
+        assert_eq!(a.lane_fallbacks, 2);
+        let Value::Obj(fields) = a.to_value() else {
+            panic!("counters must render as an object")
+        };
+        for key in [
+            "trials_total",
+            "batch_solves",
+            "batch_lane_slots",
+            "batch_lanes_active",
+            "lane_fallbacks",
+        ] {
+            assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+        }
     }
 
     #[test]

@@ -45,6 +45,11 @@ bench-pr5:
 bench-pr6:
     cargo run --release -p cml-bench --bin bench_pr6
 
+# Regenerate the batched Monte-Carlo yield benchmark artifact
+# (12k-trial transistor throughput + 10M-trial behavioral sweep).
+bench-pr7:
+    cargo run --release -p cml-bench --bin bench_pr7
+
 # Static netlist DRC over every generated circuit block (fails on any
 # error-level diagnostic; `cml-lint --codes` documents the code table).
 lint-circuits:
@@ -53,10 +58,13 @@ lint-circuits:
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
 # dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
 # parallel AC sweep is bit-identical to the serial one, telemetry
-# counters are thread-invariant with a schema-valid json sink, and the
-# streaming eye matches the dense fold under a flat peak-memory budget).
+# counters are thread-invariant with a schema-valid json sink, the
+# streaming eye matches the dense fold under a flat peak-memory budget,
+# and the batched yield engine beats scalar >= 3x while agreeing with
+# it to <= 1e-9 at fixed thread-count-independent estimates).
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
     CML_TELEMETRY=json:/tmp/cml_telemetry_smoke.json cargo run --release -p cml-bench --bin bench_pr5 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr6 -- --smoke
+    cargo run --release -p cml-bench --bin bench_pr7 -- --smoke

@@ -1,6 +1,10 @@
 //! Criterion benchmarks — one per paper table/figure workload, timing
 //! the regeneration path (reduced sweep sizes to keep bench time sane).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::behav::{Block, InputInterface, IoLink, OutputInterface};
 use cml_core::cells::{add_diff_drive, add_supply, equalizer, DiffPort};
 use cml_numeric::logspace;

@@ -2,6 +2,10 @@
 //! independently, measured at the transistor level (or the appropriate
 //! model level), quantifying what every design choice buys.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_metrics, prbs7_wave};
 use cml_channel::Backplane;
 use cml_core::behav::{self, Block};

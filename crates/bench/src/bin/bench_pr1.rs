@@ -10,6 +10,10 @@
 //!
 //! Run with: `cargo run --release --bin bench_pr1 [--threads N]`
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::montecarlo;
 use cml_spice::analysis::tran::{self, TranConfig};
 use cml_spice::prelude::*;

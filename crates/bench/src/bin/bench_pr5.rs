@@ -22,6 +22,10 @@
 //!
 //! Run with: `cargo run --release --bin bench_pr5 [--smoke] [--threads N]`
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::cells::input_interface::InputInterfaceConfig;
 use cml_core::cells::limiting_amp::{self, LimitingAmpConfig};
 use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};

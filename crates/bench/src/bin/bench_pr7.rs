@@ -22,6 +22,10 @@
 //! Run with: `cargo run --release --bin bench_pr7 [--smoke] [--trials N] [--threads N]`
 //! `--smoke` shrinks every leg for CI.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::yield_est::{
     self, behavioral_offset_yield, behavioral_offset_yield_scalar, transistor_offset_yield,
     transistor_offset_yield_scalar, ChainSpec, PairYieldSpec, YieldConfig,

@@ -1,0 +1,260 @@
+//! PR benchmark: static-analyzer cost and closed-loop soundness on the
+//! seed circuit blocks.
+//!
+//! The PR 8 analyzer (`cml_spice::analyze`) runs interval abstract
+//! interpretation, conditioning prediction and the stiffness spectrum
+//! over the MNA graph without simulating, so its cost must stay
+//! negligible next to an actual solve. This benchmark measures:
+//!
+//! 1. **analyze** — a full `analyze()` pass over every builtin block,
+//!    averaged over many repetitions;
+//! 2. **dense transient** — the PR 2/3 baseline workload (transistor
+//!    level input interface, PRBS-7 @ 10 Gb/s, 1 ps fixed grid) whose
+//!    runtime the analyzer must stay under 1 % of;
+//! 3. **warm start** — Newton iteration counts for every builtin's
+//!    operating point, cold (all-zeros start) versus warm
+//!    (`warm_start_from_analysis`), asserting both converge to the
+//!    same voltages;
+//! 4. **soundness loop** — `check_op` on every builtin (the converged
+//!    op must land inside the predicted interval bounds; zero
+//!    violations tolerated) and `check_counters` against the dense
+//!    transient's telemetry.
+//!
+//! Asserts `analyze_ms / dense_ms < 1 %` on the transient workload and
+//! writes `BENCH_pr8.json` in the current directory.
+//!
+//! Run with: `cargo run --release --bin bench_pr8 [--smoke]`
+
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use cml_core::cells::input_interface::InputInterfaceConfig;
+use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};
+use cml_lint::{builtin_circuit, BUILTIN_NAMES};
+use cml_pdk::Pdk018;
+use cml_sig::nrz::NrzConfig;
+use cml_sig::prbs::Prbs;
+use cml_spice::analysis::tran::{self, TranConfig};
+use cml_spice::analysis::NewtonOptions;
+use cml_spice::analyze;
+use cml_spice::prelude::*;
+use cml_spice::telemetry::Telemetry;
+use serde::Value;
+use std::time::Instant;
+
+/// 10 Gb/s unit interval.
+const UI: f64 = 100e-12;
+
+/// Transistor-level receive chain with a PRBS-7 differential drive —
+/// the same workload shape as `bench_pr2`/`bench_pr3`.
+fn build_workload(n_bits: usize) -> (Circuit, f64) {
+    let pdk = Pdk018::typical();
+    let cfg = InputInterfaceConfig::paper_default();
+    let mut ckt = Circuit::new();
+    let vdd = add_supply(&mut ckt, cml_pdk::VDD);
+    let input = DiffPort::named(&mut ckt, "in");
+    let out = DiffPort::named(&mut ckt, "out");
+    let vcm = cfg.equalizer.input_common_mode();
+    let bits: Vec<bool> = Prbs::prbs7().take(n_bits).collect();
+    let pwl = NrzConfig::new(UI, 0.2).with_offset(vcm).render_pwl(&bits);
+    add_diff_drive(&mut ckt, "VIN", input, vcm, Some(Waveform::Pwl(pwl)));
+    input_interface::build(&mut ckt, &pdk, &cfg, "rx", input, out, vdd);
+    ckt.add(Capacitor::new("CLP", out.p, Circuit::GROUND, 20e-15));
+    ckt.add(Capacitor::new("CLN", out.n, Circuit::GROUND, 20e-15));
+    (ckt, n_bits as f64 * UI)
+}
+
+/// Average wall-clock of `f` over `reps` runs, in milliseconds.
+fn avg_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Newton iteration count for one op solve with the given options.
+fn op_iterations(ckt: &Circuit, opts: &NewtonOptions) -> (u64, Vec<f64>) {
+    let tel = Telemetry::enabled();
+    let op = cml_spice::analysis::op::solve_traced(ckt, opts, None, &tel).expect("op converges");
+    (
+        tel.report().counters.newton_iterations,
+        op.solution().to_vec(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_bits = if smoke { 8 } else { 40 };
+    let reps = if smoke { 20 } else { 200 };
+
+    // --- 1. Analyzer cost over every builtin block ---------------------
+    let builtins: Vec<(String, Circuit)> = BUILTIN_NAMES
+        .iter()
+        .map(|n| ((*n).to_string(), builtin_circuit(n).expect("builtin")))
+        .collect();
+    let mut per_block = Vec::new();
+    for (name, ckt) in &builtins {
+        let ms = avg_ms(reps, || {
+            let _ = analyze::analyze(ckt);
+        });
+        let report = analyze::analyze(ckt);
+        println!(
+            "  analyze {name:<9} {ms:9.4} ms  ({} findings, {} sweeps)",
+            report.findings.len(),
+            report.fixpoint.sweeps
+        );
+        per_block.push((name.clone(), ms, report));
+    }
+
+    // --- 2. Dense transient baseline and the < 1 % budget --------------
+    let (ckt, t_stop) = build_workload(n_bits);
+    let n_elems = ckt.elements().count();
+    let analyze_ms = avg_ms(reps, || {
+        let _ = analyze::analyze(&ckt);
+    });
+    let workload_report = analyze::analyze(&ckt);
+
+    let mut dense_cfg = TranConfig::new(t_stop, 1e-12);
+    dense_cfg.newton.sparse_threshold = usize::MAX;
+    let tel = Telemetry::enabled_with_env_sinks();
+    let t0 = Instant::now();
+    let res = tran::run_traced(&ckt, &dense_cfg, &tel).expect("transient");
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let overhead = analyze_ms / dense_ms;
+    // The smoke transient is 5x truncated (8 bits vs 40) while the
+    // analyzer's cost is fixed per circuit, so the smoke budget scales
+    // accordingly; the full run must clear the real 1 % budget.
+    let budget = if smoke { 0.05 } else { 0.01 };
+    println!(
+        "  analyze workload ({n_elems} elements) {analyze_ms:.4} ms, dense transient \
+         {dense_ms:.1} ms ({} points): {:.4} % overhead",
+        res.len(),
+        overhead * 1e2
+    );
+    assert!(
+        overhead < budget,
+        "analyzer overhead {:.3} % exceeds the {:.0} % budget",
+        overhead * 1e2,
+        budget * 1e2
+    );
+
+    // The conditioning prediction must agree with what the solver then
+    // did: no silent dense fallbacks on a predicted-clean system.
+    let counter_violations = analyze::check_counters(&workload_report, &tel.report().counters);
+    assert!(
+        counter_violations.is_empty(),
+        "counter prediction violated:\n{}",
+        counter_violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // --- 3 + 4. Warm-start savings and the closed soundness loop -------
+    let mut warm_rows = Vec::new();
+    let mut iters_cold_total = 0u64;
+    let mut iters_warm_total = 0u64;
+    for (name, ckt) in &builtins {
+        let report = analyze::analyze(ckt);
+        let cold_opts = NewtonOptions::default();
+        let warm_opts = NewtonOptions {
+            warm_start_from_analysis: true,
+            ..NewtonOptions::default()
+        };
+        let (iters_cold, x_cold) = op_iterations(ckt, &cold_opts);
+        let (iters_warm, x_warm) = op_iterations(ckt, &warm_opts);
+        // Both paths must land on the same operating point.
+        for (a, b) in x_cold.iter().zip(&x_warm) {
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                "{name}: warm and cold ops disagree ({a} vs {b})"
+            );
+        }
+        // Soundness: the converged op sits inside the predicted bounds.
+        let op = cml_spice::analysis::op::solve_with(ckt, &cold_opts, None).expect("op");
+        let violations = analyze::check_op(ckt, &report, &op);
+        assert!(
+            violations.is_empty(),
+            "{name}: interval bounds violated by the converged op:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        println!("  warm start {name:<9} {iters_cold:3} -> {iters_warm:3} Newton iterations, op in bounds");
+        iters_cold_total += iters_cold;
+        iters_warm_total += iters_warm;
+        warm_rows.push(obj(vec![
+            ("block", Value::Str(name.clone())),
+            ("newton_iters_cold", Value::Num(iters_cold as f64)),
+            ("newton_iters_warm", Value::Num(iters_warm as f64)),
+        ]));
+    }
+    println!(
+        "  warm start total: {iters_cold_total} -> {iters_warm_total} Newton iterations \
+         over {} blocks",
+        builtins.len()
+    );
+
+    let blocks_json: Vec<Value> = per_block
+        .iter()
+        .map(|(name, ms, report)| {
+            obj(vec![
+                ("block", Value::Str(name.clone())),
+                ("analyze_ms", Value::Num(*ms)),
+                ("findings", Value::Num(report.findings.len() as f64)),
+                ("fixpoint_sweeps", Value::Num(report.fixpoint.sweeps as f64)),
+                ("fixpoint_converged", Value::Bool(report.fixpoint.converged)),
+            ])
+        })
+        .collect();
+
+    let json_report = obj(vec![
+        ("bench", Value::Str("bench_pr8".into())),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "workload",
+            Value::Str(format!(
+                "input interface (transistor level), {n_elems} elements, \
+                 PRBS-7 {n_bits} bits @ 10 Gb/s, dt 1 ps"
+            )),
+        ),
+        ("analyze_reps", Value::Num(reps as f64)),
+        ("analyze_workload_ms", Value::Num(analyze_ms)),
+        ("dense_fixed_tran_ms", Value::Num(dense_ms)),
+        ("analyze_overhead_frac", Value::Num(overhead)),
+        ("overhead_budget_frac", Value::Num(budget)),
+        ("builtin_blocks", Value::Arr(blocks_json)),
+        ("warm_start", Value::Arr(warm_rows)),
+        (
+            "newton_iters_cold_total",
+            Value::Num(iters_cold_total as f64),
+        ),
+        (
+            "newton_iters_warm_total",
+            Value::Num(iters_warm_total as f64),
+        ),
+        ("op_bound_violations", Value::Num(0.0)),
+        ("counter_prediction_violations", Value::Num(0.0)),
+        ("telemetry", tel.report().to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&json_report).expect("render BENCH_pr8.json");
+    std::fs::write("BENCH_pr8.json", format!("{json}\n")).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
+    for p in tel.flush().expect("flush telemetry sinks") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -4,6 +4,10 @@
 //! Paper claims: tunable within 10 mV of a desired value, tempco below
 //! 550 ppm/°C, supply sensitivity under 26 mV/V.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::banner;
 use cml_core::cells::bmvr::{self, solve_vref, BmvrConfig};
 use cml_pdk::{Corner, Pdk018};

@@ -3,6 +3,10 @@
 //! (Fig. 1's SERDES deployment, measured in recovered bits rather than
 //! eye pictures).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, UI};
 use cml_channel::Backplane;
 use cml_core::behav::cdr::{self, CdrConfig};

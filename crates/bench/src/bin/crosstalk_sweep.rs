@@ -3,6 +3,10 @@
 //! full composite channel (line card → connector → backplane →
 //! connector → line card).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_metrics, fmt_eye, prbs7_wave, UI};
 use cml_channel::crosstalk::Crosstalk;
 use cml_channel::segments::CompositeChannel;

@@ -6,6 +6,10 @@
 //! the gain from DC to ~6 GHz is adjusted by the NMOS gate voltage V1,
 //! and the current buffers raise gain and linearity.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::banner;
 use cml_core::cells::{add_diff_drive, add_supply, equalizer, DiffPort};
 use cml_numeric::logspace;

@@ -6,6 +6,10 @@
 //! over the plain load, and the gain/bandwidth trade is adjusted by the
 //! PMOS device size.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::banner;
 use cml_core::cells::cml_buffer::{self, CmlBufferConfig};
 use cml_core::cells::{add_diff_drive, add_supply, DiffPort};

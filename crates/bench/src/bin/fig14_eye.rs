@@ -3,6 +3,10 @@
 //! measured into 50 Ω, paper reports 250 mVpp either way (40 dB input
 //! dynamic range, 4 mV sensitivity).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_art, eye_metrics, fmt_eye, prbs7_wave};
 use cml_core::behav::{Block, InputInterface, OutputInterface};
 use cml_sig::measure;

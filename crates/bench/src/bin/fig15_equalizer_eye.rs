@@ -1,6 +1,10 @@
 //! Fig. 15 — input-interface output eye after the lossy backplane,
 //! (a) without the equalizer and (b) with it (10 Gb/s PRBS-7).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_art, eye_metrics, fmt_eye, prbs7_wave};
 use cml_channel::Backplane;
 use cml_core::behav::{Block, InputInterface, OutputInterface};

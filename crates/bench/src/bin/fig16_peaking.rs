@@ -2,6 +2,10 @@
 //! voltage-peaking circuit, 10 Gb/s PRBS-7, plus the post-channel eye
 //! benefit that motivates the pre-emphasis.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_art, eye_metrics, fmt_eye, prbs7_wave, UI};
 use cml_channel::Backplane;
 use cml_core::behav::{Block, OutputInterface};

@@ -2,6 +2,10 @@
 //! and the BER-extrapolated eye width — the quantitative version of the
 //! paper's eye-diagram figures.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, prbs7_wave, UI};
 use cml_channel::Backplane;
 use cml_core::behav::{Block, IoLink};

@@ -2,6 +2,10 @@
 //! amplifier: how device mismatch amplified through the gain chain
 //! smears the output, and what the offset-cancellation loop recovers.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::banner;
 use cml_core::montecarlo::{self, run_offset_study_batched, run_offset_study_par, vth_sigma};
 use cml_core::yield_est::{behavioral_offset_yield, ChainSpec, YieldConfig};

@@ -2,6 +2,10 @@
 //! output swing and eye opening versus input amplitude from 1 mV to
 //! 1.8 V (the paper quotes 4 mV sensitivity and 40 dB dynamic range).
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_bench::{banner, eye_metrics, prbs7_wave};
 use cml_core::behav::{Block, InputInterface};
 use cml_sig::measure;

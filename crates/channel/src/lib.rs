@@ -158,6 +158,9 @@ impl Backplane {
     ///
     /// The output has the same grid and length as the input.
     #[must_use]
+    // Lengths are forced to a power of two via `next_pow2` right before
+    // the FFT calls, so the Err arms are unreachable by construction.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, wave: &UniformWave, remove_delay: bool) -> UniformWave {
         let dt = wave.dt();
         let delay_samples = (self.bulk_delay() / dt).round() as usize;

@@ -129,6 +129,9 @@ impl CompositeChannel {
     /// Propagates a waveform through the cascade (frequency-domain
     /// filtering, optionally removing the bulk delay).
     #[must_use]
+    // Lengths are forced to a power of two via `next_pow2` right before
+    // the FFT calls, so the Err arms are unreachable by construction.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, wave: &UniformWave, remove_delay: bool) -> UniformWave {
         use cml_numeric::fft;
         let dt = wave.dt();

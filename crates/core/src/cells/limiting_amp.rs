@@ -76,6 +76,9 @@ impl LimitingAmpConfig {
 
 /// Builds the limiting amplifier. Input and output common modes match
 /// [`gain_stage::output_common_mode`] of the configured stage.
+// The stage loop below always runs at least once, so `first_stage_out`
+// is bound before the offset-cancel block reads it.
+#[allow(clippy::expect_used)]
 pub fn build(
     ckt: &mut Circuit,
     pdk: &Pdk018,

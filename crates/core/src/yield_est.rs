@@ -351,6 +351,9 @@ pub fn behavioral_offset_yield_scalar(
     behavioral_impl(cfg, chain, thresholds, &Telemetry::disabled(), false)
 }
 
+// `cfg.validate()` guarantees at least one Monte Carlo chunk, so the
+// fold over chunks always produces a value.
+#[allow(clippy::expect_used)]
 fn behavioral_impl(
     cfg: &YieldConfig,
     chain: &ChainSpec,
@@ -656,6 +659,9 @@ pub fn transistor_offset_yield_scalar(
     transistor_impl(cfg, spec, thresholds, &Telemetry::disabled(), false)
 }
 
+// The validated spec has at least one corner and one chunk, so the
+// corner loop binds `out_nodes` and the chunk fold produces a value.
+#[allow(clippy::expect_used)]
 fn transistor_impl(
     cfg: &YieldConfig,
     spec: &PairYieldSpec,

@@ -1,26 +1,42 @@
-//! `cml-lint` — lint SPICE netlists (or the paper's generated blocks)
-//! without running any simulation.
+//! `cml-lint` — lint or statically analyze SPICE netlists (or the paper's
+//! generated blocks) without running any simulation.
 //!
 //! ```text
-//! cml-lint [--format text|json] [--level error|warning|info]
+//! cml-lint [analyze] [--format text|json|sarif] [--level error|warning|info]
 //!          [--builtin buffer|equalizer|bmvr|la|all] [--codes]
 //!          [FILES... | -]
 //! ```
 //!
+//! The default mode runs the structural netlist linter (`L` codes). The
+//! `analyze` subcommand runs the abstract-interpretation circuit analyzer
+//! instead (`A` codes): interval operating-point bounds, conditioning
+//! prediction, and the stiffness spectrum.
+//!
 //! Each positional argument is a netlist file in the dialect emitted by
 //! `Circuit::netlist()` (`-` reads stdin). Exit status: 0 when every
-//! input lints free of error-level diagnostics, 1 when any input has
+//! input is free of error-level diagnostics, 1 when any input has
 //! errors, 2 on usage or parse failure.
 
 use cml_lint::{
-    builtin_circuit, lint, parse_netlist, report_to_json, LintCode, Severity, BUILTIN_NAMES,
+    analysis_to_json, builtin_circuit, lint, parse_netlist, report_to_json, sarif, LintCode,
+    LintReport, Severity, BUILTIN_NAMES,
 };
+use cml_spice::analyze::{self, AnalysisReport, AnalyzeCode};
+use cml_spice::Circuit;
 use serde::Value;
 use std::io::Read;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    analyze: bool,
+    format: Format,
     min: Severity,
     builtins: Vec<String>,
     files: Vec<String>,
@@ -28,33 +44,36 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: cml-lint [--format text|json] [--level error|warning|info]\n\
+    "usage: cml-lint [analyze] [--format text|json|sarif] [--level error|warning|info]\n\
      \x20               [--builtin buffer|equalizer|bmvr|la|all] [--codes] [FILES... | -]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        analyze: false,
+        format: Format::Text,
         min: Severity::Info,
         builtins: Vec::new(),
         files: Vec::new(),
         codes: false,
     };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
+    let mut it = args.iter().enumerate();
+    while let Some((i, arg)) = it.next() {
         match arg.as_str() {
-            "--format" => match it.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+            "analyze" if i == 0 => opts.analyze = true,
+            "--format" => match it.next().map(|(_, s)| s.as_str()) {
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("sarif") => opts.format = Format::Sarif,
+                other => return Err(format!("--format expects text|json|sarif, got {other:?}")),
             },
-            "--level" => match it.next().map(String::as_str) {
+            "--level" => match it.next().map(|(_, s)| s.as_str()) {
                 Some("error") => opts.min = Severity::Error,
                 Some("warning") => opts.min = Severity::Warning,
                 Some("info") => opts.min = Severity::Info,
                 other => return Err(format!("--level expects error|warning|info, got {other:?}")),
             },
-            "--builtin" => match it.next().map(String::as_str) {
+            "--builtin" => match it.next().map(|(_, s)| s.as_str()) {
                 Some("all") => opts
                     .builtins
                     .extend(BUILTIN_NAMES.iter().map(|s| (*s).to_string())),
@@ -80,22 +99,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn print_code_table() {
-    for code in LintCode::ALL {
-        println!(
-            "{}  {:<7}  {}",
-            code.as_str(),
-            code.severity(),
-            code.title()
-        );
+fn print_code_table(analyze_mode: bool) {
+    if analyze_mode {
+        for code in AnalyzeCode::ALL {
+            println!(
+                "{}  {:<7}  {}",
+                code.as_str(),
+                code.severity(),
+                code.title()
+            );
+        }
+    } else {
+        for code in LintCode::ALL {
+            println!(
+                "{}  {:<7}  {}",
+                code.as_str(),
+                code.severity(),
+                code.title()
+            );
+        }
     }
 }
 
-/// Lints one named circuit; returns (had_errors, json fragment).
-fn lint_one(label: &str, ckt: &cml_spice::Circuit, opts: &Options) -> (bool, Value) {
+/// Lints one named circuit; returns (had_errors, report).
+fn lint_one(label: &str, ckt: &Circuit, opts: &Options) -> (bool, LintReport) {
     let report = lint(ckt);
     let had_errors = report.has_errors();
-    if !opts.json {
+    if opts.format == Format::Text {
         let body = report.render(opts.min);
         let shown = report.at_least(opts.min).count();
         if shown == 0 {
@@ -110,11 +140,46 @@ fn lint_one(label: &str, ckt: &cml_spice::Circuit, opts: &Options) -> (bool, Val
             print!("{body}");
         }
     }
-    let mut obj = vec![("input".to_string(), Value::Str(label.to_string()))];
-    if let Value::Obj(fields) = report_to_json(&report, opts.min) {
-        obj.extend(fields);
+    (had_errors, report)
+}
+
+/// Analyzes one named circuit; returns (had_errors, report).
+fn analyze_one(label: &str, ckt: &Circuit, opts: &Options) -> (bool, AnalysisReport) {
+    let report = analyze::analyze(ckt);
+    let had_errors = report.has_errors();
+    if opts.format == Format::Text {
+        let body = report.render(opts.min);
+        if body.is_empty() {
+            println!("{label}: clean");
+        } else {
+            println!(
+                "{label}: {} error(s), {} warning(s), {} info(s)",
+                report.count(Severity::Error),
+                report.count(Severity::Warning),
+                report.count(Severity::Info)
+            );
+            print!("{body}");
+        }
+        if let Some(s) = &report.stiffness {
+            println!(
+                "  spectrum: tau in [{:.3e}, {:.3e}] s over {} reactive node(s), dt0 ~ {:.3e} s",
+                s.tau_min, s.tau_max, s.reactive_nodes, s.recommended_dt
+            );
+        }
+        let c = &report.conditioning;
+        println!(
+            "  matrix: dim {} nnz {} ({}), worst row spread {:.1e}",
+            c.dim,
+            c.nnz,
+            if c.recommended_sparse {
+                "prefer sparse"
+            } else {
+                "prefer dense"
+            },
+            c.max_row_spread
+        );
     }
-    (had_errors, Value::Obj(obj))
+    (had_errors, report)
 }
 
 fn read_input(path: &str) -> Result<String, String> {
@@ -126,6 +191,19 @@ fn read_input(path: &str) -> Result<String, String> {
         Ok(buf)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn print_json(v: &Value) -> Result<(), ExitCode> {
+    match serde_json::to_string_pretty(v) {
+        Ok(s) => {
+            println!("{s}");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("cml-lint: json: {e}");
+            Err(ExitCode::from(2))
+        }
     }
 }
 
@@ -143,22 +221,19 @@ fn main() -> ExitCode {
         }
     };
     if opts.codes {
-        print_code_table();
+        print_code_table(opts.analyze);
         if opts.files.is_empty() && opts.builtins.is_empty() {
             return ExitCode::SUCCESS;
         }
     }
 
-    let mut results: Vec<Value> = Vec::new();
-    let mut any_errors = false;
+    let mut inputs: Vec<(String, Circuit)> = Vec::new();
     for name in &opts.builtins {
         let Some(ckt) = builtin_circuit(name) else {
             eprintln!("cml-lint: unknown builtin '{name}'");
             return ExitCode::from(2);
         };
-        let (errs, json) = lint_one(&format!("builtin:{name}"), &ckt, &opts);
-        any_errors |= errs;
-        results.push(json);
+        inputs.push((format!("builtin:{name}"), ckt));
     }
     for path in &opts.files {
         let text = match read_input(path) {
@@ -168,25 +243,67 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let ckt = match parse_netlist(&text) {
-            Ok(c) => c,
+        match parse_netlist(&text) {
+            Ok(c) => inputs.push((path.clone(), c)),
             Err(e) => {
                 eprintln!("cml-lint: {path}: {e}");
                 return ExitCode::from(2);
             }
-        };
-        let (errs, json) = lint_one(path, &ckt, &opts);
-        any_errors |= errs;
-        results.push(json);
+        }
     }
 
-    if opts.json {
-        match serde_json::to_string_pretty(&Value::Arr(results)) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("cml-lint: json: {e}");
-                return ExitCode::from(2);
-            }
+    let mut any_errors = false;
+    let rendered = if opts.analyze {
+        let mut reports = Vec::new();
+        for (label, ckt) in &inputs {
+            let (errs, report) = analyze_one(label, ckt, &opts);
+            any_errors |= errs;
+            reports.push((label.clone(), report));
+        }
+        match opts.format {
+            Format::Text => None,
+            Format::Json => Some(Value::Arr(
+                reports
+                    .iter()
+                    .map(|(label, r)| {
+                        let mut obj = vec![("input".to_string(), Value::Str(label.clone()))];
+                        if let Value::Obj(fields) = analysis_to_json(r, opts.min) {
+                            obj.extend(fields);
+                        }
+                        Value::Obj(obj)
+                    })
+                    .collect(),
+            )),
+            Format::Sarif => Some(sarif::analyze_to_sarif(&reports, opts.min)),
+        }
+    } else {
+        let mut reports = Vec::new();
+        for (label, ckt) in &inputs {
+            let (errs, report) = lint_one(label, ckt, &opts);
+            any_errors |= errs;
+            reports.push((label.clone(), report));
+        }
+        match opts.format {
+            Format::Text => None,
+            Format::Json => Some(Value::Arr(
+                reports
+                    .iter()
+                    .map(|(label, r)| {
+                        let mut obj = vec![("input".to_string(), Value::Str(label.clone()))];
+                        if let Value::Obj(fields) = report_to_json(r, opts.min) {
+                            obj.extend(fields);
+                        }
+                        Value::Obj(obj)
+                    })
+                    .collect(),
+            )),
+            Format::Sarif => Some(sarif::lint_to_sarif(&reports, opts.min)),
+        }
+    };
+
+    if let Some(v) = rendered {
+        if let Err(code) = print_json(&v) {
+            return code;
         }
     }
     if any_errors {

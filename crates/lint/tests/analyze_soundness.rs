@@ -1,0 +1,149 @@
+//! Closed-loop soundness suite for the static analyzer.
+//!
+//! The analyzer's core contract: the interval operating-point bounds must
+//! contain the converged Newton solution for every circuit the solver can
+//! handle — checked here over every builtin seed cell, plus the telemetry
+//! cross-checks and the warm-start path.
+
+use cml_lint::{builtin_circuit, BUILTIN_NAMES};
+use cml_spice::analysis::op;
+use cml_spice::analysis::NewtonOptions;
+use cml_spice::analyze;
+use cml_spice::circuit::Circuit;
+use cml_spice::element::DcTransfer;
+use cml_spice::telemetry::Telemetry;
+use cml_spice::NodeId;
+
+/// Whether the cell contains elements the interval pass cannot model
+/// (controlled sources); for those, unbounded boxes and `A001` are the
+/// *correct* sound answer, not a defect.
+fn has_opaque(ckt: &Circuit) -> bool {
+    ckt.elements()
+        .any(|e| matches!(e.dc_transfer(), DcTransfer::Opaque))
+}
+
+#[test]
+fn interval_bounds_contain_op_on_every_builtin() {
+    for which in BUILTIN_NAMES {
+        let ckt = builtin_circuit(which).expect("builtin");
+        let report = analyze::analyze(&ckt);
+        let op = op::solve(&ckt).unwrap_or_else(|e| panic!("op({which}) failed: {e}"));
+        let violations = analyze::check_op(&ckt, &report, &op);
+        assert!(
+            violations.is_empty(),
+            "{which}: {} prediction violation(s):\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The fixpoint must actually do useful work on fully-modeled cells:
+        // every node bounded, no feasibility conflicts. Opaque-containing
+        // cells are allowed unbounded nodes (sound ignorance near the
+        // controlled source) but must still satisfy containment above.
+        assert_eq!(report.fixpoint.conflicts, 0, "{which}: conflicts");
+        if !has_opaque(&ckt) {
+            for nb in &report.node_bounds {
+                assert!(
+                    nb.lo.is_finite() && nb.hi.is_finite(),
+                    "{which}: node {} unbounded [{}, {}]",
+                    nb.node,
+                    nb.lo,
+                    nb.hi
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn no_analysis_findings_above_warning_on_builtins() {
+    use cml_lint::Severity;
+    for which in BUILTIN_NAMES {
+        let ckt = builtin_circuit(which).expect("builtin");
+        let report = analyze::analyze(&ckt);
+        assert!(
+            !report.at_least(Severity::Error),
+            "{which}:\n{}",
+            report.render(Severity::Info)
+        );
+        // A001 fires exactly when the cell contains an opaque element.
+        let a001 = report
+            .findings
+            .iter()
+            .any(|f| f.code == analyze::AnalyzeCode::UnmodeledElement);
+        assert_eq!(
+            a001,
+            has_opaque(&ckt),
+            "{which}: A001 mismatch\n{}",
+            report.render(Severity::Info)
+        );
+    }
+}
+
+#[test]
+fn telemetry_cross_check_is_clean_on_builtins() {
+    for which in BUILTIN_NAMES {
+        let ckt = builtin_circuit(which).expect("builtin");
+        let tel = Telemetry::enabled();
+        let report = analyze::analyze_traced(&ckt, &analyze::AnalyzeOptions::default(), &tel);
+        let _op = op::solve_traced(&ckt, &NewtonOptions::default(), None, &tel)
+            .unwrap_or_else(|e| panic!("op({which}) failed: {e}"));
+        let counters = tel.report().counters;
+        assert!(counters.analyze_runs >= 1, "{which}: analyze_runs");
+        let violations = analyze::check_counters_traced(&report, &counters, &tel);
+        assert!(
+            violations.is_empty(),
+            "{which}: conditioning prediction contradicted: {}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn warm_start_converges_to_same_operating_point() {
+    for which in BUILTIN_NAMES {
+        let ckt = builtin_circuit(which).expect("builtin");
+        let cold = op::solve(&ckt).unwrap_or_else(|e| panic!("cold op({which}): {e}"));
+        let warm_opts = NewtonOptions {
+            warm_start_from_analysis: true,
+            ..NewtonOptions::default()
+        };
+        let warm = op::solve_with(&ckt, &warm_opts, None)
+            .unwrap_or_else(|e| panic!("warm op({which}): {e}"));
+        for raw in 1..ckt.num_nodes() {
+            let node = NodeId::from_raw(u32::try_from(raw).expect("node id"));
+            let (vc, vw) = (cold.voltage(node), warm.voltage(node));
+            assert!(
+                (vc - vw).abs() <= 1e-4 + 1e-3 * vc.abs(),
+                "{which}: node {} cold {vc} vs warm {vw}",
+                ckt.node_name(node)
+            );
+        }
+    }
+}
+
+#[test]
+fn midpoints_are_inside_bounds_and_finite() {
+    for which in BUILTIN_NAMES {
+        let ckt = builtin_circuit(which).expect("builtin");
+        let bounds = analyze::dc_bounds(&ckt, 1e-12);
+        assert_eq!(bounds.len(), ckt.num_nodes());
+        for (raw, b) in bounds.iter().enumerate().skip(1) {
+            let m = b.midpoint();
+            assert!(m.is_finite(), "{which}: node {raw} midpoint");
+            assert!(
+                b.contains(m),
+                "{which}: node {raw} midpoint {m} outside [{}, {}]",
+                b.lo,
+                b.hi
+            );
+        }
+    }
+}

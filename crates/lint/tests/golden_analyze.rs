@@ -1,0 +1,220 @@
+//! Golden-code fixtures for the static analyzer: one minimal circuit per
+//! `A` code, each asserting that exactly that code fires — the mirror of
+//! `golden_codes.rs` for the lint `L` codes. Also carries the unit-aware
+//! L009 regression fixtures (a 1 fF parasitic must lint clean while a
+//! 1 fΩ "resistor" must not).
+
+use cml_lint::{lint, LintCode, Severity};
+use cml_spice::analysis::op;
+use cml_spice::analyze::{self, AnalyzeCode};
+use cml_spice::prelude::*;
+
+/// All distinct codes present in a full analysis of `ckt`.
+fn fired(report: &analyze::AnalysisReport) -> Vec<AnalyzeCode> {
+    let mut codes: Vec<AnalyzeCode> = report.findings.iter().map(|f| f.code).collect();
+    codes.dedup();
+    codes
+}
+
+/// Asserts the circuit's analysis fires `code` and nothing else.
+fn assert_only(ckt: &Circuit, code: AnalyzeCode) -> analyze::AnalysisReport {
+    let report = analyze::analyze(ckt);
+    assert_eq!(
+        fired(&report),
+        vec![code],
+        "expected only {code:?}, got:\n{}",
+        report.render(Severity::Info)
+    );
+    report
+}
+
+/// A grounded resistive divider driven by a 1 V source.
+fn divider() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 1.0));
+    ckt.add(Resistor::new("R1", vin, out, 1e3));
+    ckt.add(Resistor::new("R2", out, Circuit::GROUND, 1e3));
+    ckt
+}
+
+#[test]
+fn clean_divider_fires_nothing_and_bounds_tightly() {
+    let ckt = divider();
+    let report = analyze::analyze(&ckt);
+    assert!(
+        report.is_clean(),
+        "divider should analyze clean:\n{}",
+        report.render(Severity::Info)
+    );
+    assert!(report.fixpoint.converged);
+    // The divider midpoint is exactly computable: 0.5 V within the pad.
+    let b = report.bound_for("out").expect("out bound");
+    assert!(b.lo <= 0.5 && 0.5 <= b.hi, "out: [{}, {}]", b.lo, b.hi);
+    assert!(b.hi - b.lo < 0.1, "out box too wide: [{}, {}]", b.lo, b.hi);
+}
+
+#[test]
+fn a001_unmodeled_element() {
+    let mut ckt = divider();
+    let out = ckt.node("out");
+    let vin = ckt.node("in");
+    let x = ckt.node("x");
+    ckt.add(Vccs::new("G1", x, Circuit::GROUND, vin, out, 1e-3));
+    ckt.add(Resistor::new("R3", x, Circuit::GROUND, 1e3));
+    let report = assert_only(&ckt, AnalyzeCode::UnmodeledElement);
+    assert_eq!(report.findings[0].element.as_deref(), Some("G1"));
+}
+
+#[test]
+fn a002_predicted_cutoff() {
+    // Common-source NMOS with its gate provably far below vth: the gate
+    // divider tops out at 0.2 V while vth0 ≈ 0.5 V.
+    let pdk = cml_pdk::Pdk018::typical();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    ckt.add(Vsource::dc("VDD", vdd, Circuit::GROUND, 1.8));
+    ckt.add(Resistor::new("RG1", vdd, g, 8e3));
+    ckt.add(Resistor::new("RG2", g, Circuit::GROUND, 1e3));
+    ckt.add(Resistor::new("RD", vdd, d, 1e3));
+    ckt.add(Mosfet::new(
+        "M1",
+        d,
+        g,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        pdk.nmos(2e-6, 0.18e-6),
+    ));
+    let report = assert_only(&ckt, AnalyzeCode::PredictedCutoff);
+    assert_eq!(report.findings[0].element.as_deref(), Some("M1"));
+    let m = &report.mosfets[0];
+    assert!(m.definite_cutoff, "prediction: {m:?}");
+}
+
+#[test]
+fn a003_row_scale_imbalance() {
+    // A node mixing a 1 mΩ and a 100 MΩ conductance: row magnitudes span
+    // 1e11, past the 1e10 limit, while every resistor stays inside the
+    // L009 plausible band.
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let mid = ckt.node("mid");
+    let out = ckt.node("out");
+    ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 1.0));
+    ckt.add(Resistor::new("R1", vin, mid, 1e-3));
+    ckt.add(Resistor::new("R2", mid, out, 1e8));
+    ckt.add(Resistor::new("R3", out, Circuit::GROUND, 1e8));
+    assert!(
+        !lint(&ckt).has_errors(),
+        "fixture should be lint-clean of errors"
+    );
+    assert_only(&ckt, AnalyzeCode::RowScaleImbalance);
+}
+
+#[test]
+fn a004_empty_row() {
+    // A node held only by a capacitor: at DC the capacitor stamps
+    // nothing, so the node's row is numerically empty at every sampled
+    // corner — the unknown is held by gmin alone.
+    let mut ckt = Circuit::new();
+    let x = ckt.node("x");
+    let y = ckt.node("y");
+    ckt.add(Vsource::dc("V1", x, Circuit::GROUND, 1.0));
+    ckt.add(Resistor::new("R1", x, Circuit::GROUND, 1e3));
+    ckt.add(Capacitor::new("C1", x, y, 1e-12));
+    assert_only(&ckt, AnalyzeCode::EmptyRow);
+}
+
+#[test]
+fn a005_stiff_spectrum() {
+    // Two RC poles seven decades apart: 1 kΩ‖1 pF (1 ns) versus
+    // 1 kΩ‖10 µF (10 ms).
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let fast = ckt.node("fast");
+    let slow = ckt.node("slow");
+    ckt.add(Vsource::dc("V1", vin, Circuit::GROUND, 1.0));
+    ckt.add(Resistor::new("R1", vin, fast, 1e3));
+    ckt.add(Capacitor::new("C1", fast, Circuit::GROUND, 1e-12));
+    ckt.add(Resistor::new("R2", vin, slow, 1e3));
+    ckt.add(Capacitor::new("C2", slow, Circuit::GROUND, 1e-5));
+    let report = assert_only(&ckt, AnalyzeCode::StiffSpectrum);
+    let s = report.stiffness.as_ref().expect("stiffness summary");
+    assert!(
+        s.stiffness_ratio > 1e6,
+        "ratio {:.3e} should exceed the limit",
+        s.stiffness_ratio
+    );
+}
+
+#[test]
+fn a006_prediction_violation() {
+    // A006 only comes from the closed-loop check: feed `check_op` an
+    // operating point that provably lies outside the analyzed bounds —
+    // here, the op of a 9:1 divider (out = 0.9 V) checked against the
+    // analysis of the 1:1 divider (out ∈ ~[0.5, 0.5]). Both circuits
+    // share the same node layout, so the op is structurally compatible.
+    let ckt = divider();
+    let report = analyze::analyze(&ckt);
+    assert!(report.is_clean());
+
+    let mut skewed = Circuit::new();
+    let vin = skewed.node("in");
+    let out = skewed.node("out");
+    skewed.add(Vsource::dc("V1", vin, Circuit::GROUND, 1.0));
+    skewed.add(Resistor::new("R1", vin, out, 1e3));
+    skewed.add(Resistor::new("R2", out, Circuit::GROUND, 9e3));
+    let op = op::solve(&skewed).expect("op");
+
+    let violations = analyze::check_op(&ckt, &report, &op);
+    assert_eq!(violations.len(), 1, "one violated bound");
+    assert_eq!(violations[0].code, AnalyzeCode::PredictionViolation);
+}
+
+// --- L009 unit-aware regression fixtures -------------------------------
+
+/// All distinct lint codes fired by `ckt`.
+fn lint_codes(ckt: &Circuit) -> Vec<LintCode> {
+    let mut codes: Vec<LintCode> = lint(ckt).diagnostics.iter().map(|d| d.code).collect();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn l009_femtofarad_parasitic_is_clean() {
+    let mut ckt = divider();
+    let out = ckt.node("out");
+    ckt.add(Capacitor::new("Cp", out, Circuit::GROUND, 1e-15)); // 1 fF
+    assert!(
+        lint(&ckt).is_clean(),
+        "1 fF parasitic must not fire L009:\n{}",
+        lint(&ckt).render(Severity::Info)
+    );
+}
+
+#[test]
+fn l009_femtoohm_resistor_fires() {
+    let mut ckt = divider();
+    let out = ckt.node("out");
+    ckt.add(Resistor::new("Rt", out, Circuit::GROUND, 1e-15)); // 1 fΩ typo
+    assert!(lint_codes(&ckt).contains(&LintCode::ExtremeParameter));
+}
+
+#[test]
+fn l009_zeptofarad_capacitor_fires() {
+    let mut ckt = divider();
+    let out = ckt.node("out");
+    ckt.add(Capacitor::new("Cz", out, Circuit::GROUND, 1e-21));
+    assert!(lint_codes(&ckt).contains(&LintCode::ExtremeParameter));
+}
+
+#[test]
+fn l009_attohenry_inductor_fires() {
+    let mut ckt = divider();
+    let out = ckt.node("out");
+    ckt.add(Inductor::new("Lz", out, Circuit::GROUND, 1e-18));
+    assert!(lint_codes(&ckt).contains(&LintCode::ExtremeParameter));
+}

@@ -26,7 +26,7 @@ fn check_grid(xs: &[f64], ys: &[f64]) -> Result<(), NumericError> {
 
 /// Index of the interval `[xs[i], xs[i+1]]` containing `x` (clamped to ends).
 fn bracket(xs: &[f64], x: f64) -> usize {
-    match xs.binary_search_by(|v| v.partial_cmp(&x).expect("NaN in abscissae")) {
+    match xs.binary_search_by(|v| v.total_cmp(&x)) {
         Ok(i) => i.min(xs.len().saturating_sub(2)),
         Err(0) => 0,
         Err(i) if i >= xs.len() => xs.len() - 2,

@@ -1,0 +1,387 @@
+//! Directed-rounding-safe interval arithmetic.
+//!
+//! The analyzer (`cml_spice::analyze`) proves facts of the form "the converged
+//! DC operating point lies inside this box". For those proofs to survive
+//! floating-point evaluation, every arithmetic operation must round *outward*:
+//! lower bounds toward -inf, upper bounds toward +inf. Rust's default float
+//! ops round to nearest, so after each operation we nudge the endpoints by one
+//! ulp in the conservative direction (`next_down`/`next_up` implemented via
+//! bit manipulation — no unstable std APIs, no platform rounding-mode games).
+//!
+//! The resulting intervals are at most a few ulps wider than the exact hull,
+//! which is far below the widths the abstract interpretation itself produces,
+//! and the containment guarantee is what the closed-loop soundness checks in
+//! `cml_spice::analyze` rely on.
+
+/// A closed interval `[lo, hi]` of f64 values.
+///
+/// Invariant: `lo <= hi` (or the interval is [`Interval::EMPTY`]). Endpoints
+/// may be infinite; `[-inf, +inf]` is the "know nothing" top element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+/// Next representable f64 strictly above `x` (toward +inf).
+#[inline]
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::MIN_POSITIVE * f64::EPSILON; // smallest positive subnormal
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// Next representable f64 strictly below `x` (toward -inf).
+#[inline]
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+// The inherent `add`/`sub`/`neg`/`mul`/`div` deliberately shadow the
+// `std::ops` names: they take `self` by value, return outward-rounded
+// results, and keep call sites explicit about interval (not float)
+// arithmetic. Operator overloads would hide the rounding semantics.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The empty interval (used as the bottom element of intersection).
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+
+    /// The whole real line: the top element, "no information".
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Degenerate interval containing exactly `x`.
+    #[inline]
+    pub fn point(x: f64) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Interval from explicit bounds; swaps if given out of order.
+    #[inline]
+    pub fn new(a: f64, b: f64) -> Interval {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// Symmetric interval `[-r, r]`.
+    #[inline]
+    pub fn symmetric(r: f64) -> Interval {
+        let r = r.abs();
+        Interval { lo: -r, hi: r }
+    }
+
+    /// Whether the interval contains no points (`lo > hi`).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True when either endpoint is infinite (the bound carries no usable
+    /// magnitude information in that direction).
+    #[inline]
+    pub fn is_unbounded(self) -> bool {
+        self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    #[inline]
+    pub fn contains(self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` lies entirely inside this interval.
+    #[inline]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Width `hi - lo` (0 for points, +inf for unbounded, negative never).
+    #[inline]
+    pub fn width(self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Midpoint; finite intervals only give finite results. For unbounded
+    /// intervals returns 0.0 (the neutral Newton starting guess).
+    #[inline]
+    pub fn midpoint(self) -> f64 {
+        if self.is_empty() || self.is_unbounded() {
+            return 0.0;
+        }
+        let m = 0.5 * (self.lo + self.hi);
+        if m.is_finite() {
+            m
+        } else {
+            // lo + hi overflowed; halve first.
+            0.5 * self.lo + 0.5 * self.hi
+        }
+    }
+
+    /// Largest absolute value contained in the interval.
+    #[inline]
+    pub fn mag(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Outward-round both endpoints by one ulp.
+    #[inline]
+    fn widen(self) -> Interval {
+        Interval {
+            lo: next_down(self.lo),
+            hi: next_up(self.hi),
+        }
+    }
+
+    /// Convex hull of two intervals.
+    #[inline]
+    pub fn hull(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection; may be [`Interval::EMPTY`].
+    #[inline]
+    pub fn intersect(self, other: Interval) -> Interval {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        Interval { lo, hi }
+    }
+
+    /// Outward-rounded sum.
+    #[inline]
+    pub fn add(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+        .widen()
+    }
+
+    /// Outward-rounded difference.
+    #[inline]
+    pub fn sub(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
+        }
+        .widen()
+    }
+
+    /// Negation (exact, no widening needed).
+    #[inline]
+    pub fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// Outward-rounded product (corner evaluation).
+    pub fn mul(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        // 0 * inf is NaN; treat as 0 (the exact product of the endpoint 0
+        // with any finite member of the other interval is 0, and the other
+        // corners cover the unbounded directions).
+        let p = |a: f64, b: f64| {
+            let v = a * b;
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        };
+        let c = [
+            p(self.lo, other.lo),
+            p(self.lo, other.hi),
+            p(self.hi, other.lo),
+            p(self.hi, other.hi),
+        ];
+        let mut lo = c[0];
+        let mut hi = c[0];
+        for &v in &c[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Interval { lo, hi }.widen()
+    }
+
+    /// Outward-rounded scalar multiple.
+    #[inline]
+    pub fn scale(self, k: f64) -> Interval {
+        self.mul(Interval::point(k))
+    }
+
+    /// Outward-rounded quotient. If the divisor contains zero the result is
+    /// [`Interval::TOP`] (we make no attempt at multi-interval division; the
+    /// analyzer treats "divide by something possibly zero" as "no bound").
+    pub fn div(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if other.contains(0.0) {
+            return Interval::TOP;
+        }
+        let q = |a: f64, b: f64| {
+            let v = a / b;
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        };
+        let c = [
+            q(self.lo, other.lo),
+            q(self.lo, other.hi),
+            q(self.hi, other.lo),
+            q(self.hi, other.hi),
+        ];
+        let mut lo = c[0];
+        let mut hi = c[0];
+        for &v in &c[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Interval { lo, hi }.widen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_contains() {
+        let i = Interval::point(1.5);
+        assert!(i.contains(1.5));
+        assert!(!i.contains(1.5000001));
+        assert_eq!(i.width(), 0.0);
+        assert_eq!(i.midpoint(), 1.5);
+    }
+
+    #[test]
+    fn add_is_outward() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        let s = a.add(b);
+        // 0.1 + 0.2 is inexact; the true real sum 0.3 must be inside.
+        assert!(s.lo < 0.3 && 0.3 < s.hi || s.contains(0.3));
+        assert!(s.contains(0.1 + 0.2));
+        assert!(s.width() > 0.0);
+    }
+
+    #[test]
+    fn mul_corners() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        let m = a.mul(b);
+        assert!(m.contains(-8.0)); // -2 * 4
+        assert!(m.contains(12.0)); // 3 * 4
+        assert!(m.contains(2.0)); // -2 * -1
+        assert!(m.lo <= -8.0 && m.hi >= 12.0);
+    }
+
+    #[test]
+    fn div_by_zero_crossing_is_top() {
+        let a = Interval::point(1.0);
+        let b = Interval::new(-1.0, 1.0);
+        assert_eq!(a.div(b), Interval::TOP);
+    }
+
+    #[test]
+    fn div_positive() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(2.0, 4.0);
+        let d = a.div(b);
+        assert!(d.contains(0.25));
+        assert!(d.contains(1.0));
+        assert!(d.lo <= 0.25 && d.hi >= 1.0);
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        let i = a.intersect(b);
+        assert_eq!(i, Interval::new(1.0, 2.0));
+        let h = a.hull(b);
+        assert_eq!(h, Interval::new(0.0, 3.0));
+        let disjoint = Interval::new(5.0, 6.0);
+        assert!(a.intersect(disjoint).is_empty());
+    }
+
+    #[test]
+    fn next_up_down_monotone() {
+        for &x in &[0.0, 1.0, -1.0, 1e-300, -1e300, 1.8] {
+            assert!(next_up(x) > x, "next_up({x})");
+            assert!(next_down(x) < x, "next_down({x})");
+        }
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let a = Interval::new(1.0, 2.0);
+        let s = a.scale(-3.0);
+        assert!(s.contains(-6.0) && s.contains(-3.0));
+        assert_eq!(a.neg(), Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn unbounded_midpoint_is_zero() {
+        assert_eq!(Interval::TOP.midpoint(), 0.0);
+        assert!(Interval::TOP.is_unbounded());
+        assert!(Interval::TOP.contains(1e308));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Interval::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.contains(0.0));
+        assert_eq!(e.hull(Interval::point(1.0)), Interval::point(1.0));
+        assert!(e.add(Interval::point(1.0)).is_empty());
+    }
+}

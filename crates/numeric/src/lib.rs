@@ -54,6 +54,7 @@ mod dense;
 mod error;
 pub mod fft;
 pub mod interp;
+pub mod interval;
 pub mod lanes;
 pub mod matching;
 mod scalar;
@@ -64,6 +65,7 @@ pub mod stats;
 pub use complex::Complex64;
 pub use dense::{lu, ComplexMatrix, DenseMatrix, LaneLu, LuFactors};
 pub use error::NumericError;
+pub use interval::Interval;
 pub use lanes::{F64s, F64x2, F64x4, F64x8};
 pub use scalar::{LaneScalar, Scalar};
 pub use sparse_lu::{RefactorOutcome, SparseLu};

@@ -121,7 +121,10 @@ pub struct SparseLu<T: Scalar = f64> {
 /// appending the reverse postorder to `xi[..top]` from the back.
 /// Children of node `i` are the below-diagonal rows of L's column
 /// `pinv[i]`; non-pivotal nodes are leaves.
-#[allow(clippy::too_many_arguments)]
+// `pstack` mirrors `stack` push-for-push, so `last`/`last_mut` cannot
+// fail while the loop runs; an Option dance here would only obscure the
+// lockstep invariant.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn dfs(
     root: usize,
     lp: &[usize],

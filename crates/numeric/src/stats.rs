@@ -84,7 +84,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64, NumericError> {
     }
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -198,12 +198,7 @@ impl Histogram {
         if self.total() == 0 {
             return None;
         }
-        let (idx, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .expect("non-empty counts");
+        let (idx, _) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
         Some(self.bin_center(idx))
     }
 }

@@ -19,6 +19,7 @@ use cml_numeric::{interp, stats};
 ///
 /// Panics if the waveform has no crossings of its midlevel.
 #[must_use]
+#[allow(clippy::expect_used)] // documented panic contract above
 pub fn tie(wave: &UniformWave, ui: f64) -> Vec<f64> {
     let samples = wave.samples();
     let lo = stats::percentile(samples, 5.0).expect("non-empty");
@@ -68,6 +69,7 @@ pub struct JitterDecomposition {
 ///
 /// Panics on an empty TIE set.
 #[must_use]
+#[allow(clippy::expect_used)] // the assert below guards every expect
 pub fn decompose(tie_samples: &[f64]) -> JitterDecomposition {
     assert!(!tie_samples.is_empty(), "empty TIE population");
     let tj_pp = stats::peak_to_peak(tie_samples).expect("non-empty");

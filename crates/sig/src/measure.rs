@@ -156,6 +156,7 @@ impl Bode {
     /// Magnitude in dB at an arbitrary frequency (log-frequency linear
     /// interpolation, clamped to the sweep range).
     #[must_use]
+    #[allow(clippy::expect_used)] // sweep grid validated at construction
     pub fn gain_db_at(&self, freq: f64) -> f64 {
         let logf: Vec<f64> = self.freqs.iter().map(|f| f.log10()).collect();
         let mags = self.magnitude_db();
@@ -194,11 +195,11 @@ impl Bode {
     #[must_use]
     pub fn peak_freq(&self) -> f64 {
         let mags = self.magnitude_db();
-        let (idx, _) = mags
+        let idx = mags
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gains"))
-            .expect("non-empty");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         self.freqs[idx]
     }
 }

@@ -145,7 +145,7 @@ impl NrzConfig {
                     from + (to - from) * s
                 }
             } else {
-                level(*bits.last().expect("non-empty"))
+                level(bits[bits.len() - 1])
             };
             data.push(v);
         }

@@ -83,13 +83,13 @@ impl Psd {
     /// Frequency of the strongest non-DC bin, Hz.
     #[must_use]
     pub fn peak_freq(&self) -> f64 {
-        let (idx, _) = self
+        let idx = self
             .power
             .iter()
             .enumerate()
             .skip(1)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite power"))
-            .expect("non-empty");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         self.freqs[idx]
     }
 }

@@ -40,6 +40,7 @@ impl UniformWave {
     ///
     /// Panics if the series is empty, unsorted, or `dt <= 0`.
     #[must_use]
+    #[allow(clippy::expect_used)] // documented panic contract above
     pub fn from_series(times: &[f64], values: &[f64], dt: f64) -> Self {
         assert!(!times.is_empty(), "empty series");
         assert!(dt > 0.0, "dt must be positive");

@@ -61,6 +61,10 @@ pub struct NewtonOptions {
     /// set, else 50. Set to `usize::MAX` to force dense, to 1 to force
     /// sparse.
     pub sparse_threshold: usize,
+    /// Start Newton from the interval-analysis midpoint vector instead of
+    /// all-zeros (see [`crate::analyze::dc_bounds`]). Opt-in; also gated by
+    /// the `CML_ANALYZE` environment variable.
+    pub warm_start_from_analysis: bool,
 }
 
 impl Default for NewtonOptions {
@@ -73,6 +77,7 @@ impl Default for NewtonOptions {
             max_step: 0.5,
             gmin: 1e-12,
             sparse_threshold: default_sparse_threshold(),
+            warm_start_from_analysis: false,
         }
     }
 }
@@ -251,6 +256,10 @@ impl<'a> System<'a> {
             branch_names,
             has_nonlinear,
         }
+    }
+
+    pub(crate) fn circuit(&self) -> &'a Circuit {
+        self.ckt
     }
 
     pub(crate) fn dim(&self) -> usize {

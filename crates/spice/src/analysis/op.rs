@@ -135,7 +135,11 @@ pub(crate) fn solve_system(
     tel: &Telemetry,
 ) -> Result<Vec<f64>, SpiceError> {
     let dim = sys.dim();
-    let x0 = vec![0.0; dim];
+    let x0 = if opts.warm_start_from_analysis && crate::analyze::enabled() {
+        crate::analyze::warm_start_vector(sys.circuit(), opts.gmin, dim, tel)
+    } else {
+        vec![0.0; dim]
+    };
     let state: Vec<f64> = Vec::new();
     let mode = |scale: f64| StampMode::Dc {
         source_scale: scale,

@@ -12,7 +12,9 @@
 
 use super::DeviceCap;
 use crate::circuit::NodeId;
-use crate::element::{AcStamper, DcCoupling, Element, ElementKind, StampCtx, StampMode, Stamper};
+use crate::element::{
+    AcStamper, DcCoupling, DcTransfer, Element, ElementKind, StampCtx, StampMode, Stamper,
+};
 use crate::lint::LintCode;
 use std::fmt;
 
@@ -407,6 +409,15 @@ impl Element for Mosfet {
         // Only the channel conducts at DC: the gate is an open circuit
         // and the bulk junctions are modelled as capacitances only.
         vec![DcCoupling::Conductive(self.d, self.s)]
+    }
+
+    fn dc_transfer(&self) -> DcTransfer {
+        DcTransfer::MosChannel {
+            d: self.d,
+            g: self.g,
+            s: self.s,
+            params: self.params.clone(),
+        }
     }
 
     fn lint_self(&self) -> Vec<(LintCode, String)> {

@@ -2,7 +2,8 @@
 
 use crate::circuit::NodeId;
 use crate::element::{
-    AcStamper, DcCoupling, Element, ElementKind, Integration, StampCtx, StampMode, Stamper,
+    AcStamper, DcCoupling, DcTransfer, Element, ElementKind, Integration, StampCtx, StampMode,
+    Stamper,
 };
 use crate::lint::LintCode;
 use cml_numeric::Complex64;
@@ -75,6 +76,14 @@ impl Element for Resistor {
         vec![DcCoupling::Conductive(self.a, self.b)]
     }
 
+    fn dc_transfer(&self) -> DcTransfer {
+        DcTransfer::Conductance {
+            a: self.a,
+            b: self.b,
+            g: 1.0 / self.ohms,
+        }
+    }
+
     fn lint_self(&self) -> Vec<(LintCode, String)> {
         let mut out = Vec::new();
         if self.a == self.b {
@@ -86,14 +95,8 @@ impl Element for Resistor {
                 ),
             ));
         }
-        if self.ohms > 1e9 || self.ohms < 1e-3 {
-            out.push((
-                LintCode::ExtremeParameter,
-                format!(
-                    "resistance {:.3e} ohm is outside [1 mohm, 1 Gohm]",
-                    self.ohms
-                ),
-            ));
+        if let Some(msg) = crate::lint::extreme_value("resistance", self.ohms, self.kind()) {
+            out.push((LintCode::ExtremeParameter, msg));
         }
         out
     }
@@ -212,6 +215,10 @@ impl Element for Capacitor {
         Vec::new() // open at DC
     }
 
+    fn dc_transfer(&self) -> DcTransfer {
+        DcTransfer::Open
+    }
+
     fn lint_self(&self) -> Vec<(LintCode, String)> {
         let mut out = Vec::new();
         if self.a == self.b {
@@ -223,11 +230,8 @@ impl Element for Capacitor {
                 ),
             ));
         }
-        if self.farads > 1e-3 {
-            out.push((
-                LintCode::ExtremeParameter,
-                format!("capacitance {:.3e} F exceeds 1 mF", self.farads),
-            ));
+        if let Some(msg) = crate::lint::extreme_value("capacitance", self.farads, self.kind()) {
+            out.push((LintCode::ExtremeParameter, msg));
         }
         out
     }
@@ -361,6 +365,14 @@ impl Element for Inductor {
         vec![DcCoupling::VoltageDefined(self.a, self.b)] // DC short
     }
 
+    fn dc_transfer(&self) -> DcTransfer {
+        DcTransfer::VoltageDefined {
+            a: self.a,
+            b: self.b,
+            v: 0.0,
+        }
+    }
+
     fn lint_self(&self) -> Vec<(LintCode, String)> {
         let mut out = Vec::new();
         if self.a == self.b {
@@ -372,11 +384,8 @@ impl Element for Inductor {
                 ),
             ));
         }
-        if self.henries > 1.0 {
-            out.push((
-                LintCode::ExtremeParameter,
-                format!("inductance {:.3e} H exceeds 1 H", self.henries),
-            ));
+        if let Some(msg) = crate::lint::extreme_value("inductance", self.henries, self.kind()) {
+            out.push((LintCode::ExtremeParameter, msg));
         }
         out
     }

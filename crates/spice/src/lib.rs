@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod analyze;
 pub mod circuit;
 pub mod devices;
 pub mod element;
@@ -77,6 +78,7 @@ pub mod prelude {
     };
     pub use crate::analysis::spill::{SpillReader, SpillSink};
     pub use crate::analysis::tran::{self, TranConfig, TranResult};
+    pub use crate::analyze::{self, AnalysisReport, AnalyzeCode, Finding as AnalyzeFinding};
     pub use crate::circuit::{Circuit, NodeId};
     pub use crate::devices::diode::{Diode, DiodeParams};
     pub use crate::devices::mosfet::{MosParams, MosType, Mosfet};

@@ -370,6 +370,36 @@ pub fn precheck(ckt: &Circuit) -> Result<(), SpiceError> {
     Ok(())
 }
 
+/// Unit-aware plausible magnitude band `(min, max, unit)` for a passive
+/// element kind. The bands are per-kind on purpose: a 1 fF capacitor is
+/// a perfectly ordinary parasitic, while a 1 fΩ "resistor" is a typo —
+/// one global magnitude band cannot express both. `None` for kinds with
+/// no meaningful single-parameter band.
+#[must_use]
+pub fn plausible_band(kind: ElementKind) -> Option<(f64, f64, &'static str)> {
+    match kind {
+        ElementKind::Resistor => Some((1e-3, 1e9, "ohm")),
+        ElementKind::Capacitor => Some((1e-18, 1e-3, "F")),
+        ElementKind::Inductor => Some((1e-15, 1.0, "H")),
+        _ => None,
+    }
+}
+
+/// L009 helper: renders the extreme-parameter message when `value` falls
+/// outside the [`plausible_band`] of `kind`, `None` when plausible (or
+/// when the kind has no band).
+#[must_use]
+pub fn extreme_value(quantity: &str, value: f64, kind: ElementKind) -> Option<String> {
+    let (min, max, unit) = plausible_band(kind)?;
+    if value < min || value > max {
+        Some(format!(
+            "{quantity} {value:.3e} {unit} is outside the plausible band [{min:.0e}, {max:.0e}] {unit}"
+        ))
+    } else {
+        None
+    }
+}
+
 /// Names of elements that appear more than once (helper for cell-builder
 /// debug assertions in `cml-core`, which lint partial circuits where the
 /// full connectivity passes would falsely fire).
@@ -728,7 +758,7 @@ fn lint_impl(ckt: &Circuit, errors_only: bool) -> LintReport {
 /// the pattern is exactly what the elements write. Returns
 /// `(dim, n_nodes, positions, branch_owner)` where `branch_owner[k]` is
 /// the element owning branch unknown `k`.
-fn stamp_pattern(
+pub(crate) fn stamp_pattern(
     ckt: &Circuit,
     elems: &[&dyn Element],
 ) -> (usize, usize, Vec<(usize, usize)>, Vec<String>) {
@@ -760,7 +790,12 @@ fn stamp_pattern(
 }
 
 /// Human name of MNA unknown `i`: a node voltage or a branch current.
-fn unknown_name(ckt: &Circuit, i: usize, n_nodes: usize, branch_owner: &[String]) -> String {
+pub(crate) fn unknown_name(
+    ckt: &Circuit,
+    i: usize,
+    n_nodes: usize,
+    branch_owner: &[String],
+) -> String {
     if i < n_nodes {
         format!("v({})", ckt.node_name(NodeId::from_raw(i as u32 + 1)))
     } else {

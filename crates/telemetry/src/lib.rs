@@ -172,6 +172,17 @@ pub struct Counters {
     /// Variants evicted from a batch (pivot death, divergence, or
     /// non-convergence) and re-solved on the scalar path.
     pub lane_fallbacks: u64,
+    /// Static-analysis runs (`cml_spice::analyze` full pass sweeps,
+    /// including the interval-only pass behind Newton warm-starts).
+    pub analyze_runs: u64,
+    /// Closed-loop prediction cross-checks executed: each comparison of
+    /// an `AnalysisReport` claim against a converged solution or the
+    /// runtime counters.
+    pub prediction_checks: u64,
+    /// Prediction cross-checks that failed (an A006 prediction-violation
+    /// finding was emitted). Must stay 0 on healthy circuits — the
+    /// analyzer's soundness contract.
+    pub prediction_violations: u64,
     /// Histogram of accepted-step sizes as log₂(dt / dt_nominal),
     /// bucket [`DT_BUCKET_ZERO`] = nominal (see [`DT_BUCKETS`]).
     pub dt_histogram: [u64; DT_BUCKETS],
@@ -209,6 +220,9 @@ impl Default for Counters {
             batch_lane_slots: 0,
             batch_lanes_active: 0,
             lane_fallbacks: 0,
+            analyze_runs: 0,
+            prediction_checks: 0,
+            prediction_violations: 0,
             dt_histogram: [0; DT_BUCKETS],
         }
     }
@@ -247,6 +261,9 @@ impl Counters {
         self.batch_lane_slots += other.batch_lane_slots;
         self.batch_lanes_active += other.batch_lanes_active;
         self.lane_fallbacks += other.lane_fallbacks;
+        self.analyze_runs += other.analyze_runs;
+        self.prediction_checks += other.prediction_checks;
+        self.prediction_violations += other.prediction_violations;
         for (a, b) in self.dt_histogram.iter_mut().zip(&other.dt_histogram) {
             *a += b;
         }
@@ -363,6 +380,12 @@ impl Counters {
             ("batch_lane_slots".into(), num(self.batch_lane_slots)),
             ("batch_lanes_active".into(), num(self.batch_lanes_active)),
             ("lane_fallbacks".into(), num(self.lane_fallbacks)),
+            ("analyze_runs".into(), num(self.analyze_runs)),
+            ("prediction_checks".into(), num(self.prediction_checks)),
+            (
+                "prediction_violations".into(),
+                num(self.prediction_violations),
+            ),
             (
                 "dt_histogram".into(),
                 Value::Arr(self.dt_histogram.iter().map(|&n| num(n)).collect()),
@@ -400,10 +423,13 @@ pub enum Phase {
     /// factorization and per-lane convergence bookkeeping of one batch
     /// (coarse — one span per batch, not per iteration).
     BatchSolve,
+    /// Static-analysis passes (`cml_spice::analyze`): interval fixpoint,
+    /// conditioning envelope, stiffness spectrum and prediction checks.
+    Analyze,
 }
 
 /// Number of [`Phase`] variants (array backing for [`Timings`]).
-pub const N_PHASES: usize = 7;
+pub const N_PHASES: usize = 8;
 
 impl Phase {
     /// Stable index into [`Timings`] arrays.
@@ -417,6 +443,7 @@ impl Phase {
             Phase::Refactor => 4,
             Phase::BackSubstitute => 5,
             Phase::BatchSolve => 6,
+            Phase::Analyze => 7,
         }
     }
 
@@ -431,6 +458,7 @@ impl Phase {
             Phase::Refactor => "refactor",
             Phase::BackSubstitute => "back_substitute",
             Phase::BatchSolve => "batch_solve",
+            Phase::Analyze => "analyze",
         }
     }
 
@@ -443,6 +471,7 @@ impl Phase {
         Phase::Refactor,
         Phase::BackSubstitute,
         Phase::BatchSolve,
+        Phase::Analyze,
     ];
 }
 

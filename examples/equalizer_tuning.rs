@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --release --example equalizer_tuning`
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_channel::Backplane;
 use cml_core::behav::{Block, Equalizer, InputInterface, OutputInterface};
 use cml_sig::nrz::NrzConfig;

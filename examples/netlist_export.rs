@@ -5,6 +5,10 @@
 //! Run with: `cargo run --release --example netlist_export [block]`
 //! where block is one of: buffer (default), equalizer, bmvr, la.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::cells::{
     add_diff_drive, add_supply, bmvr, cml_buffer, equalizer, limiting_amp, DiffPort,
 };

@@ -1,7 +1,7 @@
 # Development task runner. Same gates as .github/workflows/ci.yml.
 
 # Run every CI gate locally.
-ci: fmt-check clippy test lint-circuits bench-smoke
+ci: fmt-check clippy test lint-circuits analyze-circuits bench-smoke
 
 # Formatting gate.
 fmt-check:
@@ -55,6 +55,18 @@ bench-pr7:
 lint-circuits:
     cargo run --release -p cml-lint --bin cml-lint -- --builtin all
 
+# Abstract-interpretation static analysis over every generated circuit
+# block: interval operating-point bounds, conditioning prediction and
+# the stiffness spectrum (fails on any error-level finding;
+# `cml-lint analyze --codes` documents the A-code table).
+analyze-circuits:
+    cargo run --release -p cml-lint --bin cml-lint -- analyze --builtin all
+
+# Regenerate the static-analyzer benchmark artifact (analyzer cost vs a
+# dense transient, warm-start Newton savings, closed-loop soundness).
+bench-pr8:
+    cargo run --release -p cml-bench --bin bench_pr8
+
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
 # dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
 # parallel AC sweep is bit-identical to the serial one, telemetry
@@ -62,9 +74,13 @@ lint-circuits:
 # streaming eye matches the dense fold under a flat peak-memory budget,
 # and the batched yield engine beats scalar >= 3x while agreeing with
 # it to <= 1e-9 at fixed thread-count-independent estimates).
+# The bench_pr8 leg closes the analyzer's soundness loop: every
+# builtin's converged op must land inside its predicted interval bounds
+# with zero prediction-violation findings.
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
     CML_TELEMETRY=json:/tmp/cml_telemetry_smoke.json cargo run --release -p cml-bench --bin bench_pr5 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr6 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr7 -- --smoke
+    cargo run --release -p cml-bench --bin bench_pr8 -- --smoke

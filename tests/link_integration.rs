@@ -3,6 +3,10 @@
 //! (`cml-core::cells` on `cml-spice`/`cml-pdk`) and the behavioural link
 //! models, checked against each other.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_channel::Backplane;
 use cml_core::behav::{self, Block};
 use cml_core::cells::{add_diff_drive, add_supply, cml_buffer, DiffPort};

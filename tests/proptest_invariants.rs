@@ -1,5 +1,9 @@
 //! Property-based tests on cross-crate invariants.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_numeric::{fft, Complex64, DenseMatrix};
 use cml_sig::nrz::NrzConfig;
 use cml_sig::prbs::Prbs;

@@ -8,6 +8,10 @@
 //! nonlinear (MOSFET) circuits, where split linear/nonlinear stamping
 //! reorders floating-point additions.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::cells::cml_buffer::{self, CmlBufferConfig};
 use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
 use cml_pdk::Pdk018;

@@ -9,6 +9,10 @@
 //! bit-identical results to the same accumulator fed the dense record
 //! in one call.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::cells::input_interface::InputInterfaceConfig;
 use cml_core::cells::{add_diff_drive, add_supply, input_interface, DiffPort};
 use cml_core::stream::EyeSink;

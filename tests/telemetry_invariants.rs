@@ -13,6 +13,10 @@
 //! All tests serialize on one mutex: the allocation counter is global,
 //! so the zero-allocation test must not race sibling tests' allocations.
 
+// Driver-style target: aborting on a malformed result with a message
+// is the intended failure mode, so expect/unwrap are fine here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use cml_core::cells::equalizer::{self, EqualizerConfig};
 use cml_core::cells::{add_diff_drive, add_supply, DiffPort};
 use cml_numeric::logspace;

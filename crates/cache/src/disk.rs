@@ -1,0 +1,522 @@
+//! Tier 2: the opt-in on-disk artifact store.
+//!
+//! Activated by `CML_CACHE_DIR` (or [`crate::set_disk_dir`]). Each
+//! artifact lives in its own file, named `{kind}-{hash:016x}.cmlc`,
+//! written with the tmp+rename idiom so a crash mid-write can never
+//! leave a half-visible entry. The on-disk format is versioned and
+//! checksummed; `load` re-validates every header field plus an FNV-1a
+//! digest of the payload and **deletes** any file that fails, counting
+//! a validation failure. Consumers additionally re-validate decoded
+//! payload semantics (dimensions, pivot-order sanity) before use — a
+//! stale or corrupt entry must never change results, only cost a cold
+//! derivation.
+//!
+//! The store is size-capped (`CML_CACHE_MAX_MB`, default 256 MB) with
+//! modification-time LRU eviction; successful loads touch the file's
+//! mtime so hot entries survive.
+
+use crate::{ArtifactKind, Fnv64, Key};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// File magic: "CMLC" (CML cache).
+pub const MAGIC: [u8; 4] = *b"CMLC";
+
+/// On-disk schema version. Bump on any layout change to a payload —
+/// old-version files are rejected (and removed) on load, which is the
+/// whole invalidation story: no migration, just cold re-derivation.
+pub const VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + kind + key hash + payload len
+/// + payload checksum.
+const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8 + 8;
+
+/// File extension for cache entries.
+const EXT: &str = "cmlc";
+
+fn file_name(key: Key) -> String {
+    format!("{}-{:016x}.{EXT}", key.kind.label(), key.hash)
+}
+
+/// Path an entry for `key` would occupy under `dir`.
+#[must_use]
+pub fn entry_path(dir: &Path, key: Key) -> PathBuf {
+    dir.join(file_name(key))
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    for &b in payload {
+        h.write_u8(b);
+    }
+    h.finish()
+}
+
+fn encode_entry(key: Key, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(key.kind.as_u8());
+    out.extend_from_slice(&key.hash.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn decode_entry(key: Key, bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+        return None;
+    }
+    let u32_at = |o: usize| {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&bytes[o..o + 4]);
+        u32::from_le_bytes(b)
+    };
+    let u64_at = |o: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[o..o + 8]);
+        u64::from_le_bytes(b)
+    };
+    if u32_at(4) != VERSION {
+        return None;
+    }
+    if ArtifactKind::from_u8(bytes[8]) != Some(key.kind) {
+        return None;
+    }
+    if u64_at(9) != key.hash {
+        return None;
+    }
+    let payload_len = usize::try_from(u64_at(17)).ok()?;
+    if bytes.len() != HEADER_LEN + payload_len {
+        return None;
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if u64_at(25) != checksum(payload) {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+/// Atomically stores `payload` for `key` under the configured cache
+/// dir. A no-op (returning `false`) when no disk dir is configured or
+/// any I/O step fails — disk-store failures are silent by design, the
+/// cache is purely advisory.
+pub fn store(key: Key, payload: &[u8]) -> bool {
+    let Some(dir) = crate::disk_dir() else {
+        return false;
+    };
+    if fs::create_dir_all(&dir).is_err() {
+        return false;
+    }
+    let bytes = encode_entry(key, payload);
+    // Unique tmp name per process so concurrent writers never clobber
+    // each other's in-flight file; rename is atomic on POSIX.
+    let tmp = dir.join(format!(".{}.{}.tmp", file_name(key), std::process::id()));
+    let write_ok = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()
+    })();
+    if write_ok.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    if fs::rename(&tmp, entry_path(&dir, key)).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    crate::note_disk_store();
+    evict_to_cap(&dir, crate::config().max_disk_bytes);
+    true
+}
+
+/// Outcome of a disk probe, distinguishing "no entry" from "entry
+/// rejected" — consumers count the two differently in telemetry.
+#[derive(Debug)]
+pub enum DiskLoad {
+    /// Entry present and header/checksum-valid; decoded payload.
+    Data(Vec<u8>),
+    /// No entry on disk (or no disk tier configured): a plain miss.
+    Absent,
+    /// Entry present but corrupt; it was deleted and a validation
+    /// failure counted.
+    Rejected,
+}
+
+/// Loads and header-validates the payload for `key`. On any mismatch
+/// (bad magic/version/kind/hash/length/checksum) the file is deleted,
+/// a validation failure is counted, and [`DiskLoad::Rejected`] is
+/// returned so the caller derives cold. On success the file's mtime is
+/// refreshed (LRU touch) and a disk load is counted.
+#[must_use]
+pub fn load_detailed(key: Key) -> DiskLoad {
+    let Some(dir) = crate::disk_dir() else {
+        return DiskLoad::Absent;
+    };
+    let path = entry_path(&dir, key);
+    let mut bytes = Vec::new();
+    match fs::File::open(&path) {
+        Ok(mut f) => {
+            if f.read_to_end(&mut bytes).is_err() {
+                return DiskLoad::Absent;
+            }
+        }
+        Err(_) => return DiskLoad::Absent, // absent: a plain miss, not a failure
+    }
+    match decode_entry(key, &bytes) {
+        Some(payload) => {
+            touch(&path);
+            crate::note_disk_load();
+            DiskLoad::Data(payload)
+        }
+        None => {
+            let _ = fs::remove_file(&path);
+            crate::note_validation_failure();
+            DiskLoad::Rejected
+        }
+    }
+}
+
+/// [`load_detailed`] flattened: `Some` payload on a valid entry, `None`
+/// for both absent and rejected.
+#[must_use]
+pub fn load(key: Key) -> Option<Vec<u8>> {
+    match load_detailed(key) {
+        DiskLoad::Data(payload) => Some(payload),
+        DiskLoad::Absent | DiskLoad::Rejected => None,
+    }
+}
+
+/// Deletes the entry for `key`, if present. Used when a header-valid
+/// payload fails *semantic* re-validation against the live circuit —
+/// the file would otherwise fail the same way on every future load.
+pub fn remove(key: Key) -> bool {
+    let Some(dir) = crate::disk_dir() else {
+        return false;
+    };
+    fs::remove_file(entry_path(&dir, key)).is_ok()
+}
+
+fn touch(path: &Path) {
+    if let Ok(f) = fs::File::options().append(true).open(path) {
+        let _ = f.set_modified(SystemTime::now());
+    }
+}
+
+fn cache_files(dir: &Path) -> Vec<(PathBuf, u64, SystemTime)> {
+    let Ok(rd) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        out.push((path, meta.len(), mtime));
+    }
+    out
+}
+
+fn evict_to_cap(dir: &Path, max_bytes: u64) {
+    let mut files = cache_files(dir);
+    let mut total: u64 = files.iter().map(|f| f.1).sum();
+    if total <= max_bytes {
+        return;
+    }
+    // Oldest mtime first = least recently used first.
+    files.sort_by_key(|f| f.2);
+    for (path, len, _) in files {
+        if total <= max_bytes {
+            break;
+        }
+        if fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+            crate::note_eviction();
+        }
+    }
+}
+
+/// Summary of the on-disk store, for `cml-lint cache stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Configured cache directory, if any.
+    pub dir: Option<PathBuf>,
+    /// Number of `.cmlc` entries present.
+    pub entries: usize,
+    /// Total bytes across entries.
+    pub total_bytes: u64,
+    /// Entry count per artifact kind label.
+    pub per_kind: Vec<(&'static str, usize)>,
+}
+
+/// Scans the configured cache dir (cheap: metadata only).
+#[must_use]
+pub fn disk_stats() -> DiskStats {
+    let Some(dir) = crate::disk_dir() else {
+        return DiskStats::default();
+    };
+    let files = cache_files(&dir);
+    let mut per_kind: Vec<(&'static str, usize)> = ArtifactKind::ALL
+        .iter()
+        .map(|k| (k.label(), 0usize))
+        .collect();
+    for (path, _, _) in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        for slot in &mut per_kind {
+            if name.starts_with(slot.0) {
+                slot.1 += 1;
+                break;
+            }
+        }
+    }
+    DiskStats {
+        entries: files.len(),
+        total_bytes: files.iter().map(|f| f.1).sum(),
+        per_kind,
+        dir: Some(dir),
+    }
+}
+
+/// Removes every cache entry in the configured dir. Returns the number
+/// of files removed. Only `.cmlc` files are touched — a misconfigured
+/// `CML_CACHE_DIR` pointing at real data loses nothing else.
+pub fn clear() -> usize {
+    let Some(dir) = crate::disk_dir() else {
+        return 0;
+    };
+    let mut removed = 0;
+    for (path, _, _) in cache_files(&dir) {
+        if fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Outcome of a full-store integrity scan, for `cml-lint cache verify`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Entries whose header + checksum validated.
+    pub ok: usize,
+    /// Corrupt entries found (and removed).
+    pub corrupt: usize,
+    /// File names of the corrupt entries.
+    pub corrupt_files: Vec<String>,
+}
+
+/// Re-validates every entry in the configured dir, deleting any that
+/// fail (same policy as `load`). Entries whose file name doesn't parse
+/// back to a key are treated as corrupt.
+#[must_use]
+pub fn verify() -> VerifyReport {
+    let Some(dir) = crate::disk_dir() else {
+        return VerifyReport::default();
+    };
+    let mut report = VerifyReport::default();
+    for (path, _, _) in cache_files(&dir) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        let valid = key_from_name(&name).is_some_and(|key| {
+            fs::read(&path)
+                .ok()
+                .and_then(|bytes| decode_entry(key, &bytes))
+                .is_some()
+        });
+        if valid {
+            report.ok += 1;
+        } else {
+            let _ = fs::remove_file(&path);
+            crate::note_validation_failure();
+            report.corrupt += 1;
+            report.corrupt_files.push(name);
+        }
+    }
+    report.corrupt_files.sort();
+    report
+}
+
+fn key_from_name(name: &str) -> Option<Key> {
+    let stem = name.strip_suffix(&format!(".{EXT}"))?;
+    let (label, hex) = stem.rsplit_once('-')?;
+    let kind = ArtifactKind::ALL.iter().find(|k| k.label() == label)?;
+    let hash = u64::from_str_radix(hex, 16).ok()?;
+    Some(Key::new(*kind, hash))
+}
+
+#[cfg(test)]
+#[allow(clippy::expect_used, clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cml-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn with_dir<R>(tag: &str, f: impl FnOnce(&Path) -> R) -> R {
+        let _g = crate::test_guard();
+        let dir = temp_dir(tag);
+        crate::set_enabled(true);
+        crate::set_disk_dir(Some(dir.clone()));
+        crate::set_max_disk_bytes(crate::DEFAULT_MAX_DISK_MB * 1024 * 1024);
+        let r = f(&dir);
+        crate::set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        with_dir("roundtrip", |_| {
+            let key = Key::new(ArtifactKind::DcPattern, 0xabc0_0001);
+            let payload = vec![1u8, 2, 3, 255, 0, 42];
+            assert!(store(key, &payload));
+            assert_eq!(load(key), Some(payload));
+        });
+    }
+
+    #[test]
+    fn absent_entry_is_plain_miss() {
+        with_dir("absent", |_| {
+            let before = crate::stats().validation_failures;
+            assert_eq!(load(Key::new(ArtifactKind::AcPattern, 0xabc0_0002)), None);
+            assert_eq!(crate::stats().validation_failures, before);
+        });
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_and_removed() {
+        with_dir("trunc", |dir| {
+            let key = Key::new(ArtifactKind::TranPattern, 0xabc0_0003);
+            assert!(store(key, &[9u8; 64]));
+            let path = entry_path(dir, key);
+            let bytes = fs::read(&path).expect("read back");
+            fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
+            let before = crate::stats().validation_failures;
+            assert_eq!(load(key), None);
+            assert_eq!(crate::stats().validation_failures, before + 1);
+            assert!(!path.exists(), "corrupt file must be deleted");
+        });
+    }
+
+    #[test]
+    fn bitflip_fails_checksum() {
+        with_dir("bitflip", |dir| {
+            let key = Key::new(ArtifactKind::AcFactor, 0xabc0_0004);
+            assert!(store(key, &[7u8; 128]));
+            let path = entry_path(dir, key);
+            let mut bytes = fs::read(&path).expect("read back");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x10; // flip one payload bit
+            fs::write(&path, &bytes).expect("rewrite");
+            assert_eq!(load(key), None);
+            assert!(!path.exists());
+        });
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        with_dir("version", |dir| {
+            let key = Key::new(ArtifactKind::LintVerdict, 0xabc0_0005);
+            assert!(store(key, &[1u8; 16]));
+            let path = entry_path(dir, key);
+            let mut bytes = fs::read(&path).expect("read back");
+            bytes[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+            fs::write(&path, &bytes).expect("rewrite");
+            assert_eq!(load(key), None);
+        });
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        with_dir("lru", |dir| {
+            // Entries are ~64 bytes payload + 33 header; cap at ~3 files.
+            crate::set_max_disk_bytes(3 * (HEADER_LEN as u64 + 64));
+            for i in 0..6u64 {
+                let key = Key::new(ArtifactKind::DcPattern, 0xe000 + i);
+                assert!(store(key, &[i as u8; 64]));
+                // Distinct mtimes even on coarse filesystem clocks.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            let files = cache_files(dir);
+            assert!(files.len() <= 3, "cap must hold, got {}", files.len());
+            // The newest entry always survives.
+            assert!(entry_path(dir, Key::new(ArtifactKind::DcPattern, 0xe005)).exists());
+        });
+    }
+
+    #[test]
+    fn verify_reports_and_removes_corrupt() {
+        with_dir("verify", |dir| {
+            let good = Key::new(ArtifactKind::DcPattern, 0xabc0_0006);
+            let bad = Key::new(ArtifactKind::AcPattern, 0xabc0_0007);
+            assert!(store(good, &[1u8; 32]));
+            assert!(store(bad, &[2u8; 32]));
+            let bad_path = entry_path(dir, bad);
+            let mut bytes = fs::read(&bad_path).expect("read back");
+            bytes[HEADER_LEN] ^= 0xff;
+            fs::write(&bad_path, &bytes).expect("rewrite");
+            let report = verify();
+            assert_eq!(report.ok, 1);
+            assert_eq!(report.corrupt, 1);
+            assert!(!bad_path.exists());
+            assert!(entry_path(dir, good).exists());
+        });
+    }
+
+    #[test]
+    fn clear_removes_only_cmlc_files() {
+        with_dir("clear", |dir| {
+            assert!(store(
+                Key::new(ArtifactKind::WarmStart, 0xabc0_0008),
+                &[3u8; 8]
+            ));
+            let bystander = dir.join("notes.txt");
+            fs::write(&bystander, b"keep me").expect("write bystander");
+            assert_eq!(clear(), 1);
+            assert!(bystander.exists());
+            assert_eq!(disk_stats().entries, 0);
+        });
+    }
+
+    #[test]
+    fn stats_count_per_kind() {
+        with_dir("stats", |_| {
+            assert!(store(Key::new(ArtifactKind::DcPattern, 1), &[0u8; 4]));
+            assert!(store(Key::new(ArtifactKind::DcPattern, 2), &[0u8; 4]));
+            assert!(store(Key::new(ArtifactKind::LintVerdict, 3), &[0u8; 4]));
+            let stats = disk_stats();
+            assert_eq!(stats.entries, 3);
+            let dc = stats
+                .per_kind
+                .iter()
+                .find(|(label, _)| *label == "dcpat")
+                .expect("dcpat bucket");
+            assert_eq!(dc.1, 2);
+        });
+    }
+
+    #[test]
+    fn key_from_name_roundtrip() {
+        for kind in ArtifactKind::ALL {
+            let key = Key::new(kind, 0x0123_4567_89ab_cdef);
+            assert_eq!(key_from_name(&file_name(key)), Some(key));
+        }
+        assert_eq!(key_from_name("garbage.cmlc"), None);
+        assert_eq!(key_from_name("dcpat-zzzz.cmlc"), None);
+    }
+}

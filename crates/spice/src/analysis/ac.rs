@@ -21,7 +21,7 @@
 //! point only — the self-heal ladder of the DC/transient sparse path,
 //! specialized to a sweep of independent solves.
 
-use super::{AcSparseState, NewtonOptions, System};
+use super::{cache, AcSparseState, NewtonOptions, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::SpiceError;
 use cml_numeric::{Complex64, ComplexMatrix};
@@ -141,7 +141,7 @@ pub fn sweep_traced(
 ) -> Result<AcResult, SpiceError> {
     {
         let _t = tel.timer(Phase::LintPrecheck);
-        crate::lint::precheck(ckt)?;
+        cache::lint_precheck_cached(ckt, opts.cache_enabled(), tel)?;
     }
     tel.count(|c| c.lint_prechecks += 1);
     sweep_prechecked(ckt, x_op, freqs, opts, threads, tel)
@@ -219,7 +219,11 @@ fn sweep_prechecked(
     let want_sparse = dim > 0 && dim >= opts.sparse_threshold && !freqs.is_empty();
     let reference: Option<AcSparseState> = if want_sparse {
         let _t = tel.timer(Phase::PatternDiscovery);
-        prepare_ac_sparse(&sys, x_op, freqs[0], gmin)
+        if opts.cache_enabled() {
+            cache::prepare_ac_sparse_cached(&sys, x_op, freqs[0], gmin, tel)
+        } else {
+            prepare_ac_sparse(&sys, x_op, freqs[0], gmin)
+        }
     } else {
         None
     };

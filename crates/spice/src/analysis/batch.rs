@@ -38,7 +38,7 @@
 //! as `lane_occupancy` / `lane_fallback_rate` in the solver report.
 
 use super::op::solve_system;
-use super::{AttemptError, ModeKind, NewtonOptions, NewtonWorkspace, SparseState, System};
+use super::{cache, AttemptError, ModeKind, NewtonOptions, NewtonWorkspace, SparseState, System};
 use crate::analysis::tran::TranConfig;
 use crate::circuit::{Circuit, NodeId};
 use crate::element::StampMode;
@@ -518,7 +518,7 @@ impl<T: LaneScalar> BatchKernel<T> {
         let threshold = opts.sparse_threshold.min(batch_sparse_threshold());
         let want_sparse = !self.sparse_disabled && dim > 0 && dim >= threshold;
         if want_sparse && self.sparse.is_none() {
-            self.build_sparse_state(&systems[0], &xs[0], &states[0], mode, tel);
+            self.build_sparse_state(&systems[0], &xs[0], &states[0], mode, opts, tel);
         }
         let run_sparse = want_sparse && self.sparse.is_some();
 
@@ -604,14 +604,19 @@ impl<T: LaneScalar> BatchKernel<T> {
         Ok(outcome)
     }
 
-    /// Discovers the sparsity pattern from lane 0 and builds the
-    /// lane-packed CSR mirror. On failure the kernel stays dense.
+    /// Discovers the sparsity pattern from lane 0 (served from the
+    /// topology cache when enabled, so a whole batch — and every batch
+    /// after it — derives the symbolic analysis at most once) and
+    /// builds the lane-packed CSR mirror. On failure the kernel stays
+    /// dense.
+    #[allow(clippy::too_many_arguments)]
     fn build_sparse_state(
         &mut self,
         sys: &System<'_>,
         x0: &[f64],
         state: &[f64],
         mode: StampMode,
+        opts: &NewtonOptions,
         tel: &Telemetry,
     ) {
         let _t = tel.timer(Phase::PatternDiscovery);
@@ -624,7 +629,12 @@ impl<T: LaneScalar> BatchKernel<T> {
                  not be built; this batch kernel stays on the dense path",
             );
         };
-        let Some(sp) = sys.build_sparse(x0, state, mode) else {
+        let built = if opts.cache_enabled() {
+            cache::sparse_state_cached(sys, x0, state, mode, tel)
+        } else {
+            sys.build_sparse(x0, state, mode)
+        };
+        let Some(sp) = built else {
             disable(self, tel);
             return;
         };
@@ -815,7 +825,7 @@ fn op_batch_generic<T: LaneScalar>(
     // them per parameter set would dominate small-circuit sweeps.
     if let Some(first) = ckts.first() {
         let _t = tel.timer(Phase::LintPrecheck);
-        crate::lint::precheck(first)?;
+        cache::lint_precheck_cached(first, opts.cache_enabled(), tel)?;
         tel.count(|c| c.lint_prechecks += 1);
     }
     if ckts.is_empty() {
@@ -904,7 +914,7 @@ fn tran_batch_generic<T: LaneScalar>(
     // them per parameter set would dominate small-circuit sweeps.
     if let Some(first) = ckts.first() {
         let _t = tel.timer(Phase::LintPrecheck);
-        crate::lint::precheck(first)?;
+        cache::lint_precheck_cached(first, config.newton.cache_enabled(), tel)?;
         tel.count(|c| c.lint_prechecks += 1);
     }
     if ckts.is_empty() {

@@ -6,6 +6,7 @@
 
 pub mod ac;
 pub mod batch;
+pub mod cache;
 pub mod dc;
 pub mod op;
 pub mod sink;
@@ -65,6 +66,13 @@ pub struct NewtonOptions {
     /// all-zeros (see [`crate::analyze::dc_bounds`]). Opt-in; also gated by
     /// the `CML_ANALYZE` environment variable.
     pub warm_start_from_analysis: bool,
+    /// Use the content-addressed topology artifact cache (`cml-cache`)
+    /// for stamp patterns, symbolic LU analyses, frozen AC pivot
+    /// orders, lint verdicts and warm-start vectors. Defaults on; also
+    /// gated process-wide by the `CML_CACHE` environment variable (off
+    /// there wins over on here). The cache is advisory — disabling it
+    /// changes cost, never results.
+    pub cache: bool,
 }
 
 impl Default for NewtonOptions {
@@ -78,7 +86,17 @@ impl Default for NewtonOptions {
             gmin: 1e-12,
             sparse_threshold: default_sparse_threshold(),
             warm_start_from_analysis: false,
+            cache: true,
         }
+    }
+}
+
+impl NewtonOptions {
+    /// Whether cache lookups should run for this solve: the per-options
+    /// flag AND the process-wide `CML_CACHE` gate.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache && cml_cache::enabled()
     }
 }
 
@@ -111,7 +129,7 @@ impl ModeKind {
 /// CSR Jacobian, its LU (symbolic analysis + pivot order frozen after
 /// the first factorization), the cached linear-element values, and one
 /// stamp-pointer cache per assembly-pass shape.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SparseState {
     /// Fixed-pattern Jacobian; only `vals` change between solves.
     mat: CsrMatrix,
@@ -189,6 +207,10 @@ pub(crate) struct NewtonWorkspace {
     /// Whether the previous solve ran sparse; a flip invalidates the
     /// linear-stamp caches (they live in different buffers per path).
     last_solve_sparse: Option<bool>,
+    /// Set after a pattern miss: this workspace stops trusting the
+    /// topology cache's interned pattern (which just missed) and derives
+    /// fresh patterns from its own guesses instead.
+    sparse_cache_bypass: bool,
 }
 
 impl NewtonWorkspace {
@@ -206,6 +228,7 @@ impl NewtonWorkspace {
             sparse: None,
             sparse_disabled: false,
             last_solve_sparse: None,
+            sparse_cache_bypass: false,
         }
     }
 }
@@ -581,10 +604,13 @@ impl<'a> System<'a> {
                     // An element stamped a position absent from the cached
                     // pattern. Rebuild once from the current guess; a
                     // second miss means the pattern is guess-dependent in
-                    // a way discovery can't capture — stay dense.
+                    // a way discovery can't capture — stay dense. The
+                    // topology cache is bypassed from here on: serving the
+                    // interned pattern again would just miss again.
                     ws.sparse = None;
                     ws.lin_key = None;
                     ws.factored_key = None;
+                    ws.sparse_cache_bypass = true;
                     rebuilds += 1;
                     tel.count(|c| c.pattern_rebuilds += 1);
                     if rebuilds >= 2 {
@@ -628,7 +654,11 @@ impl<'a> System<'a> {
                 Some(sp) if sp.kind == ModeKind::of(mode) && sp.mat.rows() == dim);
             if !fresh {
                 let _t = tel.timer(Phase::PatternDiscovery);
-                ws.sparse = self.build_sparse(x0, state, mode);
+                ws.sparse = if opts.cache_enabled() && !ws.sparse_cache_bypass {
+                    cache::sparse_state_cached(self, x0, state, mode, tel)
+                } else {
+                    self.build_sparse(x0, state, mode)
+                };
                 ws.lin_key = None;
                 ws.factored_key = None;
                 if ws.sparse.is_none() {

@@ -116,7 +116,7 @@ pub fn solve_traced(
     let _span = tel.span("analysis", "op");
     {
         let _t = tel.timer(Phase::LintPrecheck);
-        crate::lint::precheck(ckt)?;
+        super::cache::lint_precheck_cached(ckt, opts.cache_enabled(), tel)?;
     }
     tel.count(|c| c.lint_prechecks += 1);
     let sys = System::new(ckt);
@@ -136,7 +136,11 @@ pub(crate) fn solve_system(
 ) -> Result<Vec<f64>, SpiceError> {
     let dim = sys.dim();
     let x0 = if opts.warm_start_from_analysis && crate::analyze::enabled() {
-        crate::analyze::warm_start_vector(sys.circuit(), opts.gmin, dim, tel)
+        if opts.cache_enabled() {
+            super::cache::warm_start_cached(sys, opts.gmin, dim, tel)
+        } else {
+            crate::analyze::warm_start_vector(sys.circuit(), opts.gmin, dim, tel)
+        }
     } else {
         vec![0.0; dim]
     };

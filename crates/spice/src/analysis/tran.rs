@@ -310,7 +310,7 @@ fn run_streaming_inner(
     }
     {
         let _t = tel.timer(Phase::LintPrecheck);
-        crate::lint::precheck(ckt)?;
+        super::cache::lint_precheck_cached(ckt, config.newton.cache_enabled(), tel)?;
     }
     tel.count(|c| c.lint_prechecks += 1);
     let sys = System::new(ckt);

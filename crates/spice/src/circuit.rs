@@ -5,8 +5,10 @@
 //! analyses in [`crate::analysis`] treat the circuit as immutable.
 
 use crate::element::Element;
+use cml_cache::Fnv64;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a circuit node.
 ///
@@ -71,6 +73,10 @@ pub struct Circuit {
     node_names: Vec<String>,
     node_map: HashMap<String, NodeId>,
     elements: Vec<Box<dyn Element>>,
+    /// Lazily computed structural digest; reset on any mutation.
+    topo_hash: OnceLock<u64>,
+    /// Lazily computed structure+values digest; reset on any mutation.
+    content_hash: OnceLock<u64>,
 }
 
 impl Circuit {
@@ -86,7 +92,14 @@ impl Circuit {
             node_names: vec!["0".to_string()],
             node_map,
             elements: Vec::new(),
+            topo_hash: OnceLock::new(),
+            content_hash: OnceLock::new(),
         }
+    }
+
+    fn invalidate_hashes(&mut self) {
+        self.topo_hash = OnceLock::new();
+        self.content_hash = OnceLock::new();
     }
 
     /// Returns the node with the given name, creating it if necessary.
@@ -101,6 +114,7 @@ impl Circuit {
         let id = NodeId(self.node_names.len() as u32);
         self.node_names.push(name.to_string());
         self.node_map.insert(name.to_string(), id);
+        self.invalidate_hashes();
         id
     }
 
@@ -151,11 +165,13 @@ impl Circuit {
     /// Adds an element to the netlist.
     pub fn add(&mut self, element: impl Element + 'static) {
         self.elements.push(Box::new(element));
+        self.invalidate_hashes();
     }
 
     /// Adds a boxed element (for generated netlists).
     pub fn add_boxed(&mut self, element: Box<dyn Element>) {
         self.elements.push(element);
+        self.invalidate_hashes();
     }
 
     /// Number of elements.
@@ -209,6 +225,61 @@ impl Circuit {
             .filter(|(_, &u)| !u)
             .map(|(i, _)| self.node_names[i].clone())
             .collect()
+    }
+
+    /// Deterministic digest of the circuit's **structure**: node names,
+    /// element kinds/names/connectivity/branch counts — everything that
+    /// determines the MNA sparsity pattern, the symbolic LU analysis,
+    /// and the structural lint verdict, and nothing that doesn't.
+    /// Two circuits with equal topology hashes have interchangeable
+    /// stamp patterns and symbolic analyses even when their component
+    /// values differ (a Monte-Carlo variant fleet, a corner sweep).
+    ///
+    /// Computed lazily and cached; any mutation ([`node`](Self::node),
+    /// [`add`](Self::add), [`add_boxed`](Self::add_boxed)) invalidates
+    /// the cache. FNV-1a over length-prefixed fields, so the digest is
+    /// stable across processes — it doubles as the on-disk cache key.
+    #[must_use]
+    pub fn topology_hash(&self) -> u64 {
+        *self.topo_hash.get_or_init(|| {
+            let mut h = Fnv64::new();
+            h.write_usize(self.node_names.len());
+            for name in &self.node_names {
+                h.write_str(name);
+            }
+            h.write_usize(self.elements.len());
+            for e in self.elements() {
+                h.write_str(&format!("{:?}", e.kind()));
+                h.write_str(e.name());
+                let nodes = e.nodes();
+                h.write_usize(nodes.len());
+                for n in nodes {
+                    h.write_u64(u64::from(n.raw()));
+                }
+                h.write_usize(e.num_branches());
+                h.write_u8(u8::from(e.is_nonlinear()));
+            }
+            h.finish()
+        })
+    }
+
+    /// Deterministic digest of structure **and** element parameter
+    /// values, via each element's full `Debug` rendering (derived for
+    /// every builtin element, so `f64` fields print with lossless
+    /// shortest-roundtrip formatting). Folds in
+    /// [`topology_hash`](Self::topology_hash). Used to key artifacts
+    /// that depend on values, like analysis warm-start vectors; two
+    /// circuits with equal content hashes are the same netlist.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        *self.content_hash.get_or_init(|| {
+            let mut h = Fnv64::new();
+            h.write_u64(self.topology_hash());
+            for e in self.elements() {
+                h.write_str(&format!("{e:?}"));
+            }
+            h.finish()
+        })
     }
 }
 
@@ -265,6 +336,44 @@ mod tests {
         let _orphan = ckt.node("orphan");
         ckt.add(Resistor::new("R1", a, Circuit::GROUND, 1.0));
         assert_eq!(ckt.floating_nodes(), vec!["orphan".to_string()]);
+    }
+
+    #[test]
+    fn topology_hash_ignores_values_content_hash_does_not() {
+        let build = |r: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            ckt.add(Resistor::new("R1", a, Circuit::GROUND, r));
+            ckt
+        };
+        let c1 = build(50.0);
+        let c2 = build(50.0);
+        let c3 = build(75.0);
+        assert_eq!(c1.topology_hash(), c2.topology_hash());
+        assert_eq!(c1.topology_hash(), c3.topology_hash());
+        assert_eq!(c1.content_hash(), c2.content_hash());
+        assert_ne!(c1.content_hash(), c3.content_hash());
+    }
+
+    #[test]
+    fn topology_hash_sees_structure() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Resistor::new("R1", a, Circuit::GROUND, 1.0));
+        let h1 = ckt.topology_hash();
+        // Mutation invalidates the cached digest.
+        let b = ckt.node("b");
+        ckt.add(Resistor::new("R2", a, b, 1.0));
+        assert_ne!(ckt.topology_hash(), h1);
+        // Different element name, same everything else: different hash
+        // (names are structural — duplicate names are a lint error).
+        let mut other = Circuit::new();
+        let oa = other.node("a");
+        other.add(Resistor::new("Rx", oa, Circuit::GROUND, 1.0));
+        let mut named = Circuit::new();
+        let na = named.node("a");
+        named.add(Resistor::new("R1", na, Circuit::GROUND, 1.0));
+        assert_ne!(other.topology_hash(), named.topology_hash());
     }
 
     #[test]

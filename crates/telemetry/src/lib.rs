@@ -183,6 +183,22 @@ pub struct Counters {
     /// finding was emitted). Must stay 0 on healthy circuits — the
     /// analyzer's soundness contract.
     pub prediction_violations: u64,
+    /// Topology-cache artifacts served from the in-memory interner
+    /// (tier 1 of `cml-cache`): a symbolic analysis, stamp pattern,
+    /// frozen AC factorization, or lint verdict was reused instead of
+    /// re-derived. Counted at the single-compute-per-key call sites, so
+    /// the total is thread-count-invariant.
+    pub cache_hits: u64,
+    /// Topology-cache lookups that required a cold derivation (neither
+    /// the interner nor the disk tier had a usable artifact).
+    pub cache_misses: u64,
+    /// Artifacts loaded from the on-disk tier and accepted by both
+    /// header and semantic validation.
+    pub cache_disk_loads: u64,
+    /// Cache loads rejected by validation (corrupt file, version or
+    /// dimension mismatch, pivot-order insanity) and healed by a cold
+    /// derivation. Nonzero values never change results — only cost.
+    pub cache_validation_failures: u64,
     /// Histogram of accepted-step sizes as log₂(dt / dt_nominal),
     /// bucket [`DT_BUCKET_ZERO`] = nominal (see [`DT_BUCKETS`]).
     pub dt_histogram: [u64; DT_BUCKETS],
@@ -223,6 +239,10 @@ impl Default for Counters {
             analyze_runs: 0,
             prediction_checks: 0,
             prediction_violations: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_disk_loads: 0,
+            cache_validation_failures: 0,
             dt_histogram: [0; DT_BUCKETS],
         }
     }
@@ -264,6 +284,10 @@ impl Counters {
         self.analyze_runs += other.analyze_runs;
         self.prediction_checks += other.prediction_checks;
         self.prediction_violations += other.prediction_violations;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_disk_loads += other.cache_disk_loads;
+        self.cache_validation_failures += other.cache_validation_failures;
         for (a, b) in self.dt_histogram.iter_mut().zip(&other.dt_histogram) {
             *a += b;
         }
@@ -385,6 +409,13 @@ impl Counters {
             (
                 "prediction_violations".into(),
                 num(self.prediction_violations),
+            ),
+            ("cache_hits".into(), num(self.cache_hits)),
+            ("cache_misses".into(), num(self.cache_misses)),
+            ("cache_disk_loads".into(), num(self.cache_disk_loads)),
+            (
+                "cache_validation_failures".into(),
+                num(self.cache_validation_failures),
             ),
             (
                 "dt_histogram".into(),

@@ -67,6 +67,12 @@ analyze-circuits:
 bench-pr8:
     cargo run --release -p cml-bench --bin bench_pr8
 
+# Regenerate the topology-artifact-cache benchmark artifact (cold vs
+# warm vs disk-rehydrated repeated-topology workload; asserts >= 1.3x
+# warm speedup with bit-identical results across all three legs).
+bench-pr9:
+    cargo run --release -p cml-bench --bin bench_pr9
+
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
 # dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
 # parallel AC sweep is bit-identical to the serial one, telemetry
@@ -76,7 +82,9 @@ bench-pr8:
 # it to <= 1e-9 at fixed thread-count-independent estimates).
 # The bench_pr8 leg closes the analyzer's soundness loop: every
 # builtin's converged op must land inside its predicted interval bounds
-# with zero prediction-violation findings.
+# with zero prediction-violation findings. The bench_pr9 leg gates the
+# topology artifact cache: warm must beat cold with bit-identical
+# solutions and zero validation failures.
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
@@ -84,3 +92,4 @@ bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr6 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr7 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr8 -- --smoke
+    cargo run --release -p cml-bench --bin bench_pr9 -- --smoke

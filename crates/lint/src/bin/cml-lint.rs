@@ -6,6 +6,7 @@
 //!          [--builtin buffer|equalizer|bmvr|la|all] [--codes]
 //!          [FILES... | -]
 //! cml-lint cache stats|clear|verify [--format text|json]
+//! cml-lint forensics BUNDLE... [--format text|json] [--replay]
 //! ```
 //!
 //! The default mode runs the structural netlist linter (`L` codes). The
@@ -15,7 +16,10 @@
 //! inspects and manages the on-disk topology artifact store
 //! (`CML_CACHE_DIR`): `stats` summarizes it, `clear` empties it, and
 //! `verify` re-validates every entry's header and checksum, deleting
-//! any corrupt file.
+//! any corrupt file. The `forensics` subcommand validates and inspects
+//! the `CMLF` flight bundles the solver dumps on failure
+//! (`CML_FLIGHT_DIR`); with `--replay` it re-runs the recorded failure
+//! and checks the residual trajectory reproduces bit-for-bit.
 //!
 //! Each positional argument is a netlist file in the dialect emitted by
 //! `Circuit::netlist()` (`-` reads stdin). Exit status: 0 when every
@@ -23,10 +27,11 @@
 //! errors, 2 on usage or parse failure.
 
 use cml_lint::{
-    analysis_to_json, builtin_circuit, lint, parse_netlist, report_to_json, sarif, LintCode,
-    LintReport, Severity, BUILTIN_NAMES,
+    analysis_to_json, builtin_circuit, forensics, lint, parse_netlist, report_to_json, sarif,
+    LintCode, LintReport, Severity, BUILTIN_NAMES,
 };
 use cml_spice::analyze::{self, AnalysisReport, AnalyzeCode};
+use cml_spice::flight::FlightBundle;
 use cml_spice::Circuit;
 use serde::Value;
 use std::io::Read;
@@ -212,6 +217,140 @@ fn print_json(v: &Value) -> Result<(), ExitCode> {
     }
 }
 
+/// `cml-lint forensics BUNDLE... [--format text|json] [--replay]`.
+///
+/// Validates each `CMLF` flight bundle (magic, version, checksum,
+/// content fingerprint) and prints its contents; with `--replay`, also
+/// re-runs the recorded failure and checks the residual trajectory
+/// reproduces bit-for-bit. Exit status: 0 when every bundle validates
+/// (and, with `--replay`, reproduces), 1 when any check fails, 2 on
+/// usage errors.
+fn forensics_main(args: &[String]) -> ExitCode {
+    const FORENSICS_USAGE: &str =
+        "usage: cml-lint forensics BUNDLE... [--format text|json] [--replay]";
+    let mut json = false;
+    let mut replay = false;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "cml-lint: --format expects text|json, got {other:?}\n{FORENSICS_USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--replay" => replay = true,
+            "--help" | "-h" => {
+                println!("{FORENSICS_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => files.push(arg),
+            other => {
+                eprintln!("cml-lint: unknown forensics argument '{other}'\n{FORENSICS_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("cml-lint: forensics needs at least one bundle file\n{FORENSICS_USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut any_bad = false;
+    let mut rendered = Vec::new();
+    for path in files {
+        let bundle = match FlightBundle::read(std::path::Path::new(path)) {
+            Ok(b) => b,
+            Err(e) => {
+                any_bad = true;
+                if json {
+                    rendered.push(Value::Obj(vec![
+                        ("file".to_string(), Value::Str(path.clone())),
+                        ("valid".to_string(), Value::Bool(false)),
+                        ("error".to_string(), Value::Str(e.to_string())),
+                    ]));
+                } else {
+                    println!("{path}: INVALID — {e}");
+                }
+                continue;
+            }
+        };
+        let replay_report = if replay {
+            match forensics::replay_check(&bundle) {
+                Ok(r) => {
+                    any_bad |= !r.ok();
+                    Some(r)
+                }
+                Err(msg) => {
+                    any_bad = true;
+                    if !json {
+                        println!("{path}: replay failed — {msg}");
+                    }
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if json {
+            let mut obj = vec![
+                ("file".to_string(), Value::Str(path.clone())),
+                ("valid".to_string(), Value::Bool(true)),
+                ("bundle".to_string(), bundle.to_value()),
+            ];
+            if let Some(r) = &replay_report {
+                obj.push(("replay".to_string(), r.to_value()));
+            }
+            rendered.push(Value::Obj(obj));
+        } else {
+            let error = bundle
+                .error
+                .as_ref()
+                .map_or("none (snapshot)".to_string(), |(_, msg)| msg.clone());
+            println!("{path}: VALID (cml-flight-v{})", bundle.version);
+            println!("  analysis:    {}", bundle.analysis);
+            println!("  content:     {:016x}", bundle.content_hash);
+            println!("  topology:    {:016x}", bundle.topology_hash);
+            println!("  error:       {error}");
+            println!(
+                "  trajectory:  {} iterations, {} events held ({} dropped)",
+                bundle.trajectory.len(),
+                bundle.events.len(),
+                bundle.events_dropped
+            );
+            if let Some(r) = &replay_report {
+                println!(
+                    "  replay:      {}",
+                    if !r.supported {
+                        "not supported for this analysis".to_string()
+                    } else if r.ok() {
+                        "reproduced (trajectory bit-exact)".to_string()
+                    } else {
+                        format!(
+                            "MISMATCH (error_reproduced={}, trajectory_match={})",
+                            r.error_reproduced, r.trajectory_match
+                        )
+                    }
+                );
+            }
+        }
+    }
+    if json {
+        if let Err(code) = print_json(&Value::Arr(rendered)) {
+            return code;
+        }
+    }
+    if any_bad {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `cml-lint cache stats|clear|verify [--format text|json]`.
 fn cache_main(args: &[String]) -> ExitCode {
     const CACHE_USAGE: &str = "usage: cml-lint cache stats|clear|verify [--format text|json]";
@@ -348,6 +487,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("cache") {
         return cache_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("forensics") {
+        return forensics_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,

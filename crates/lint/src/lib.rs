@@ -45,6 +45,7 @@ pub use cml_spice::lint::{
     duplicate_element_names, lint, precheck, Diagnostic, LintCode, LintReport, Severity,
 };
 
+pub mod forensics;
 pub mod sarif;
 
 /// Error from [`parse_netlist`]: the offending line and what went wrong.

@@ -115,6 +115,11 @@ pub struct SparseLu<T: Scalar = f64> {
     mark_gen: u64,
     work: Vec<T>,
     factored: bool,
+    /// `(column, |pivot|)` of the most recent frozen pivot that died
+    /// during a replay and forced a re-pivoting heal — the forensic
+    /// detail behind a [`RefactorOutcome::PivotFallback`]. Sticky until
+    /// the next fallback; never consulted by the solve itself.
+    last_dead_pivot: Option<(usize, f64)>,
 }
 
 /// Iterative depth-first search from `root` over the graph of `L`,
@@ -243,6 +248,7 @@ impl<T: Scalar> SparseLu<T> {
             mark_gen: 0,
             work: vec![T::ZERO; n],
             factored: false,
+            last_dead_pivot: None,
         })
     }
 
@@ -413,11 +419,23 @@ impl<T: Scalar> SparseLu<T> {
         self.check_values(a)?;
         match self.replay(a) {
             Ok(()) => Ok(RefactorOutcome::Replayed),
-            Err(_) => {
+            Err(e) => {
+                if let NumericError::SingularMatrix { column, pivot } = e {
+                    self.last_dead_pivot = Some((column, pivot));
+                }
                 self.factor(a)?;
                 Ok(RefactorOutcome::PivotFallback)
             }
         }
+    }
+
+    /// `(column, |pivot|)` of the most recent frozen pivot whose death
+    /// forced a [`RefactorOutcome::PivotFallback`] heal; `None` until
+    /// the first fallback. Telemetry reads this to attach the numeric
+    /// detail to pivot-death events.
+    #[must_use]
+    pub fn last_dead_pivot(&self) -> Option<(usize, f64)> {
+        self.last_dead_pivot
     }
 
     /// Like [`refactor`](Self::refactor), but **never** falls back to a
@@ -805,6 +823,7 @@ impl<T: Scalar> SparseLu<T> {
             mark_gen: 0,
             work: vec![T::ZERO; n],
             factored: true,
+            last_dead_pivot: None,
         })
     }
 }

@@ -25,7 +25,7 @@ use super::{cache, AcSparseState, NewtonOptions, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::SpiceError;
 use cml_numeric::{Complex64, ComplexMatrix};
-use cml_telemetry::{warn_once, Phase, Telemetry};
+use cml_telemetry::{Phase, Telemetry};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
@@ -197,7 +197,24 @@ pub fn sweep_auto_traced(
 }
 
 /// The sweep engine, entered after the lint precheck has already run.
+/// Any failure dumps an `"ac"` forensic flight bundle (see
+/// [`crate::flight`]).
 fn sweep_prechecked(
+    ckt: &Circuit,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &NewtonOptions,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<AcResult, SpiceError> {
+    let res = sweep_prechecked_impl(ckt, x_op, freqs, opts, threads, tel);
+    if let Err(e) = &res {
+        crate::flight::record_failure(ckt, opts, "ac", e, tel);
+    }
+    res
+}
+
+fn sweep_prechecked_impl(
     ckt: &Circuit,
     x_op: &[f64],
     freqs: &[f64],
@@ -232,7 +249,7 @@ fn sweep_prechecked(
             tel.count(|c| c.pattern_builds += 1);
         } else {
             tel.count(|c| c.dense_fallbacks += 1);
-            warn_once(
+            tel.degradation(
                 "ac-sparse-reference",
                 "AC sweep requested the sparse path but the reference \
                  pattern/factorization could not be built; the whole sweep \
@@ -334,7 +351,7 @@ fn solve_chunk(
         });
         if !solved_sparse {
             if sp.is_some() {
-                warn_once(
+                tel.degradation(
                     "ac-point-fallback",
                     "an AC point's frozen-pivot replay failed (pattern miss \
                      or pivot death); that point was solved dense",

@@ -45,7 +45,7 @@ use crate::element::StampMode;
 use crate::SpiceError;
 use cml_numeric::sparse::CsrMatrix;
 use cml_numeric::{DenseMatrix, F64x2, F64x4, F64x8, LaneLu, LaneScalar, SparseLu};
-use cml_telemetry::{warn_once, Phase, Telemetry};
+use cml_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -328,12 +328,18 @@ pub fn op_batch_with_lanes(
     lanes: usize,
     tel: &Telemetry,
 ) -> Result<BatchOpResult, SpiceError> {
-    match lanes {
+    let res = match lanes {
         1 => op_batch_generic::<f64>(ckts, opts, warm, tel),
         2 => op_batch_generic::<F64x2>(ckts, opts, warm, tel),
         4 => op_batch_generic::<F64x4>(ckts, opts, warm, tel),
         _ => op_batch_generic::<F64x8>(ckts, opts, warm, tel),
+    };
+    if let (Err(e), Some(ckt)) = (&res, ckts.first()) {
+        // The first variant stands in for the batch: all variants share
+        // one topology, and the netlist is what replay needs.
+        crate::flight::record_failure(ckt, opts, "op_batch", e, tel);
     }
+    res
 }
 
 /// Batched fixed-grid transient over K same-topology variants with the
@@ -379,12 +385,16 @@ pub fn tran_batch_with_lanes(
     lanes: usize,
     tel: &Telemetry,
 ) -> Result<BatchTranResult, SpiceError> {
-    match lanes {
+    let res = match lanes {
         1 => tran_batch_generic::<f64>(ckts, config, tel),
         2 => tran_batch_generic::<F64x2>(ckts, config, tel),
         4 => tran_batch_generic::<F64x4>(ckts, config, tel),
         _ => tran_batch_generic::<F64x8>(ckts, config, tel),
+    };
+    if let (Err(e), Some(ckt)) = (&res, ckts.first()) {
+        crate::flight::record_failure(ckt, &config.newton, "tran_batch", e, tel);
     }
+    res
 }
 
 /// Verifies that every variant shares one MNA topology: same unknown
@@ -549,7 +559,7 @@ impl<T: LaneScalar> BatchKernel<T> {
                     if self.sparse_misses >= 2 {
                         self.sparse_disabled = true;
                         tel.count(|c| c.dense_fallbacks += 1);
-                        warn_once(
+                        tel.degradation(
                             "batch-sparse-dense-fallback",
                             "batched sparse solve pattern missed twice; this batch \
                              kernel permanently falls back to the dense path",
@@ -623,7 +633,7 @@ impl<T: LaneScalar> BatchKernel<T> {
         let disable = |kernel: &mut Self, tel: &Telemetry| {
             kernel.sparse_disabled = true;
             tel.count(|c| c.dense_fallbacks += 1);
-            warn_once(
+            tel.degradation(
                 "batch-sparse-pattern-unbuildable",
                 "batched sparse solve requested but the Jacobian pattern could \
                  not be built; this batch kernel stays on the dense path",
@@ -795,7 +805,7 @@ impl<T: LaneScalar> BatchKernel<T> {
             match res {
                 Ok(oc) => {
                     bs.factored = true;
-                    super::note_refactor(tel, oc);
+                    super::note_refactor(tel, oc, bs.lu.last_dead_pivot());
                     0
                 }
                 Err(_) => return Err(StepFail::GroupDead),
@@ -1076,6 +1086,7 @@ fn scalar_advance(
                         return Err(e);
                     }
                     tel.count(|c| c.newton_retries += 1);
+                    tel.event(|| EventKind::NewtonRetry { t, dt });
                     dt /= 2.0;
                 }
             }

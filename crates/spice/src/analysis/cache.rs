@@ -50,7 +50,7 @@ use cml_cache::disk::{self, DiskLoad};
 use cml_cache::{intern, ArtifactKind, Fnv64, Key};
 use cml_numeric::sparse::CsrMatrix;
 use cml_numeric::{Complex64, FrozenLu, Scalar, SparseLu};
-use cml_telemetry::Telemetry;
+use cml_telemetry::{EventKind, Telemetry};
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -63,8 +63,10 @@ enum Fill {
     Cold,
 }
 
-/// Records the telemetry outcome of one interner round trip.
-fn count_outcome(tel: &Telemetry, was_hit: bool, fill: Fill, rejected: bool) {
+/// Records the telemetry outcome of one interner round trip. `kind`
+/// names the artifact family in the structured [`EventKind::CacheRejected`]
+/// event logged when a validation layer rejected a stored payload.
+fn count_outcome(tel: &Telemetry, was_hit: bool, fill: Fill, rejected: bool, kind: &'static str) {
     tel.count(|c| {
         if was_hit {
             c.cache_hits += 1;
@@ -78,6 +80,9 @@ fn count_outcome(tel: &Telemetry, was_hit: bool, fill: Fill, rejected: bool) {
             }
         }
     });
+    if !was_hit && rejected {
+        tel.event(|| EventKind::CacheRejected { kind: kind.into() });
+    }
 }
 
 /// Topology-level key: circuit structure hash folded with the MNA
@@ -224,7 +229,7 @@ pub(super) fn sparse_state_cached(
         disk::store(key, &encode_pattern(&sp.mat));
         Some(Arc::new(sp))
     })?;
-    count_outcome(tel, was_hit, fill.get(), rejected.get());
+    count_outcome(tel, was_hit, fill.get(), rejected.get(), "jacobian-pattern");
     Some(arc.as_ref().clone())
 }
 
@@ -386,7 +391,7 @@ pub(super) fn prepare_ac_sparse_cached(
         disk::store(pat_key, &encode_pattern(&sp.mat));
         Some(Arc::new(sp))
     })?;
-    count_outcome(tel, was_hit, fill.get(), rejected.get());
+    count_outcome(tel, was_hit, fill.get(), rejected.get(), "ac-pattern");
     let mut sp: AcSparseState = arc.as_ref().clone();
 
     // Reference assembly at f0, always fresh (values are never cached).
@@ -396,6 +401,9 @@ pub(super) fn prepare_ac_sparse_cached(
         // only happen on a topology-hash abstraction failure): reject
         // it, rebuild fresh, and re-intern the good pattern.
         tel.count(|c| c.cache_validation_failures += 1);
+        tel.event(|| EventKind::CacheRejected {
+            kind: "ac-pattern-stamp".into(),
+        });
         cml_cache::note_validation_failure();
         let fresh = sys.build_ac_sparse(x_op, omega0)?;
         intern::insert(pat_key, Arc::new(fresh.clone()));
@@ -465,6 +473,11 @@ pub(super) fn prepare_ac_sparse_cached(
             c.cache_validation_failures += 1;
         }
     });
+    if factor_rejected {
+        tel.event(|| EventKind::CacheRejected {
+            kind: "ac-factor".into(),
+        });
+    }
     if let Some(frozen) = sp.lu.export_frozen() {
         let art = Arc::new(AcFactorArtifact { bits, frozen });
         disk::store(fac_key, &encode_ac_factor(&art));
@@ -508,7 +521,7 @@ pub(crate) fn lint_precheck_cached(
     });
     match got {
         Some((_ok, was_hit)) => {
-            count_outcome(tel, was_hit, Fill::Cold, false);
+            count_outcome(tel, was_hit, Fill::Cold, false, "lint-verdict");
             Ok(())
         }
         None => {
@@ -556,7 +569,7 @@ pub(super) fn warm_start_cached(
     });
     match got {
         Some((arc, was_hit)) if arc.len() == dim => {
-            count_outcome(tel, was_hit, Fill::Cold, false);
+            count_outcome(tel, was_hit, Fill::Cold, false, "warm-start");
             arc.as_ref().clone()
         }
         // Length mismatch can only mean a key collision; derive fresh.
@@ -564,6 +577,9 @@ pub(super) fn warm_start_cached(
             tel.count(|c| {
                 c.cache_misses += 1;
                 c.cache_validation_failures += 1;
+            });
+            tel.event(|| EventKind::CacheRejected {
+                kind: "warm-start".into(),
             });
             crate::analyze::warm_start_vector(sys.circuit(), gmin, dim, tel)
         }

@@ -120,7 +120,16 @@ pub fn sweep_traced(
     let mut ops = Vec::with_capacity(values.len());
     for &v in values {
         let ckt = build(v);
-        ops.push(op::solve_traced(&ckt, opts, None, tel)?);
+        match op::solve_traced(&ckt, opts, None, tel) {
+            Ok(op) => ops.push(op),
+            Err(e) => {
+                // The failing rung already dumped an "op" bundle; this
+                // one adds the sweep-level context (which swept value
+                // built the failing circuit is only known here).
+                crate::flight::record_failure(&ckt, opts, "dc", &e, tel);
+                return Err(e);
+            }
+        }
     }
     Ok(DcSweepResult {
         values: values.to_vec(),

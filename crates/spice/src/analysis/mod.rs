@@ -18,7 +18,7 @@ use crate::element::{AcStamper, Element, Integration, StampCtx, StampMode, Stamp
 use crate::SpiceError;
 use cml_numeric::sparse::CsrMatrix;
 use cml_numeric::{Complex64, ComplexMatrix, DenseMatrix, LuFactors, RefactorOutcome, SparseLu};
-use cml_telemetry::{warn_once, Phase, Telemetry};
+use cml_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -41,7 +41,7 @@ fn default_sparse_threshold() -> usize {
 }
 
 /// Newton iteration limits and tolerances (SPICE-like defaults).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NewtonOptions {
     /// Maximum iterations per solve.
     pub max_iter: usize,
@@ -616,7 +616,7 @@ impl<'a> System<'a> {
                     if rebuilds >= 2 {
                         ws.sparse_disabled = true;
                         tel.count(|c| c.dense_fallbacks += 1);
-                        warn_once(
+                        tel.degradation(
                             "sparse-dense-fallback",
                             "sparse solve pattern missed twice; this workspace \
                              permanently falls back to the dense path",
@@ -664,7 +664,7 @@ impl<'a> System<'a> {
                 if ws.sparse.is_none() {
                     ws.sparse_disabled = true;
                     tel.count(|c| c.dense_fallbacks += 1);
-                    warn_once(
+                    tel.degradation(
                         "sparse-pattern-unbuildable",
                         "sparse solve requested but the Jacobian pattern could \
                          not be built; this workspace stays on the dense path",
@@ -715,8 +715,12 @@ impl<'a> System<'a> {
 
         ws.x.clear();
         ws.x.extend_from_slice(x0);
+        // Per-attempt residual trajectory: a flight bundle records the
+        // *last* attempt's convergence history, not a concatenation of
+        // every homotopy rung tried before it.
+        tel.trajectory_reset();
         let mut worst = f64::INFINITY;
-        for _iter in 0..opts.max_iter {
+        for iter in 0..opts.max_iter {
             tel.count(|c| c.newton_iterations += 1);
             if run_sparse {
                 let Some(sp) = ws.sparse.as_mut() else {
@@ -735,7 +739,7 @@ impl<'a> System<'a> {
                                 let _t = tel.timer_fine(Phase::Refactor);
                                 sp.lu.refactor(&sp.mat)?
                             };
-                            note_refactor(tel, oc);
+                            note_refactor(tel, oc, sp.lu.last_dead_pivot());
                             ws.factored_key = Some(k);
                         }
                         let _t = tel.timer_fine(Phase::BackSubstitute);
@@ -751,7 +755,7 @@ impl<'a> System<'a> {
                             let _t = tel.timer_fine(Phase::Refactor);
                             sp.lu.refactor(&sp.mat)?
                         };
-                        note_refactor(tel, oc);
+                        note_refactor(tel, oc, sp.lu.last_dead_pivot());
                         let _t = tel.timer_fine(Phase::BackSubstitute);
                         sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
                         tel.count(|c| c.sparse_solves += 1);
@@ -762,7 +766,7 @@ impl<'a> System<'a> {
                             let _t = tel.timer_fine(Phase::Refactor);
                             sp.lu.refactor(&sp.mat)?
                         };
-                        note_refactor(tel, oc);
+                        note_refactor(tel, oc, sp.lu.last_dead_pivot());
                         let _t = tel.timer_fine(Phase::BackSubstitute);
                         sp.lu.solve_into(&ws.rhs, &mut ws.x_new)?;
                         tel.count(|c| c.sparse_solves += 1);
@@ -835,7 +839,24 @@ impl<'a> System<'a> {
                 }
                 ws.x[i] = next;
             }
+            tel.trajectory_push(worst);
+            // Fine-gated: one event per Newton iteration means one
+            // clock read per iteration, which in coarse mode would eat
+            // the < 2 % overhead budget (see the timer note above). The
+            // flight recorder still gets every residual via the cheap
+            // `trajectory_push` — no clock, no ring traffic.
+            tel.event_fine(|| EventKind::NewtonIteration {
+                analysis: analysis.into(),
+                iteration: iter as u32,
+                residual: worst,
+                damped: !undamped,
+            });
             if !ws.x.iter().all(|v| v.is_finite()) {
+                tel.event(|| EventKind::NewtonDiverged {
+                    analysis: analysis.into(),
+                    iterations: (iter + 1) as u32,
+                    residual: f64::INFINITY,
+                });
                 return Err(SpiceError::NoConvergence {
                     analysis,
                     iterations: opts.max_iter,
@@ -847,6 +868,11 @@ impl<'a> System<'a> {
                 return Ok(ws.x.clone());
             }
         }
+        tel.event(|| EventKind::NewtonDiverged {
+            analysis: analysis.into(),
+            iterations: opts.max_iter as u32,
+            residual: worst,
+        });
         Err(SpiceError::NoConvergence {
             analysis,
             iterations: opts.max_iter,
@@ -1017,8 +1043,12 @@ pub(crate) fn voltage_from(x: &[f64], node: NodeId) -> f64 {
 
 /// Records a sparse refactorization outcome into the solver counters. A
 /// pivot fallback is also a full factorization (the heal re-runs the
-/// pivot search), so it increments both counters.
-fn note_refactor(tel: &Telemetry, outcome: RefactorOutcome) {
+/// pivot search), so it increments both counters — and, since a pivot
+/// death is exactly the "numerics drifted off the frozen order" signal
+/// a forensic bundle wants, it additionally logs a structured
+/// [`EventKind::PivotFallback`] event carrying the dead column and the
+/// pivot magnitude the replay saw there.
+fn note_refactor(tel: &Telemetry, outcome: RefactorOutcome, dead_pivot: Option<(usize, f64)>) {
     tel.count(|c| match outcome {
         RefactorOutcome::Replayed => c.refactorizations += 1,
         RefactorOutcome::FullFactor => c.full_factorizations += 1,
@@ -1027,6 +1057,13 @@ fn note_refactor(tel: &Telemetry, outcome: RefactorOutcome) {
             c.full_factorizations += 1;
         }
     });
+    if matches!(outcome, RefactorOutcome::PivotFallback) {
+        let (column, pivot) = dead_pivot.unwrap_or((0, 0.0));
+        tel.event(|| EventKind::PivotFallback {
+            column: column as u64,
+            pivot,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::StampMode;
 use crate::SpiceError;
-use cml_telemetry::{Phase, Telemetry};
+use cml_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::HashMap;
 
 /// Result of an operating-point solve.
@@ -113,10 +113,31 @@ pub fn solve_traced(
     at_time: Option<f64>,
     tel: &Telemetry,
 ) -> Result<OpResult, SpiceError> {
+    let res = solve_traced_impl(ckt, opts, at_time, tel);
+    if let Err(e) = &res {
+        // Forensic dump on the failure path only; a no-op unless a
+        // flight directory is configured (see `crate::flight`).
+        crate::flight::record_failure(ckt, opts, "op", e, tel);
+    }
+    res
+}
+
+fn solve_traced_impl(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    at_time: Option<f64>,
+    tel: &Telemetry,
+) -> Result<OpResult, SpiceError> {
     let _span = tel.span("analysis", "op");
     {
         let _t = tel.timer(Phase::LintPrecheck);
-        super::cache::lint_precheck_cached(ckt, opts.cache_enabled(), tel)?;
+        if let Err(e) = super::cache::lint_precheck_cached(ckt, opts.cache_enabled(), tel) {
+            if let SpiceError::LintRejected { diagnostics } = &e {
+                let errors = diagnostics.len() as u32;
+                tel.event(|| EventKind::LintRejected { errors });
+            }
+            return Err(e);
+        }
     }
     tel.count(|c| c.lint_prechecks += 1);
     let sys = System::new(ckt);

@@ -30,7 +30,7 @@ use super::{NewtonOptions, NewtonWorkspace, System};
 use crate::circuit::{Circuit, NodeId};
 use crate::element::{Integration, StampMode};
 use crate::SpiceError;
-use cml_telemetry::{Phase, Telemetry};
+use cml_telemetry::{EventKind, Phase, Telemetry};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -294,8 +294,23 @@ pub fn run_streaming_traced(
 
 /// Shared driver behind the dense and streaming entry points; returns
 /// the branch-name map alongside the stats so [`run_traced`] can build a
-/// [`TranResult`] without assembling the system twice.
+/// [`TranResult`] without assembling the system twice. Any failure
+/// dumps a `"tran"` forensic flight bundle (see [`crate::flight`]).
 fn run_streaming_inner(
+    ckt: &Circuit,
+    config: &TranConfig,
+    probes: &TranProbes,
+    sink: &mut dyn WaveSink,
+    tel: &Telemetry,
+) -> Result<(TranStats, HashMap<String, usize>), SpiceError> {
+    let res = run_streaming_impl(ckt, config, probes, sink, tel);
+    if let Err(e) = &res {
+        crate::flight::record_failure(ckt, &config.newton, "tran", e, tel);
+    }
+    res
+}
+
+fn run_streaming_impl(
     ckt: &Circuit,
     config: &TranConfig,
     probes: &TranProbes,
@@ -396,6 +411,7 @@ fn fixed_loop(
                         return Err(e);
                     }
                     tel.count(|c| c.newton_retries += 1);
+                    tel.event(|| EventKind::NewtonRetry { t, dt });
                     dt /= 2.0;
                 }
             }
@@ -561,6 +577,7 @@ fn adaptive_loop(
                             rejected = true;
                             lands_on_bp = false;
                             tel.count(|c| c.lte_rejects += 1);
+                            tel.event(|| EventKind::LteReject { t, dt: dt_step });
                             dt_step = (dt_step / 2.0).max(dt_min);
                             continue;
                         }
@@ -597,6 +614,7 @@ fn adaptive_loop(
                         return Err(e);
                     }
                     tel.count(|c| c.newton_retries += 1);
+                    tel.event(|| EventKind::NewtonRetry { t, dt: dt_step });
                     rejected = true;
                     lands_on_bp = false;
                     dt_step /= 2.0;

@@ -56,6 +56,7 @@ pub mod devices;
 pub mod element;
 pub mod elements;
 mod error;
+pub mod flight;
 pub mod lint;
 pub mod waveform;
 

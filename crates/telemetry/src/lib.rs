@@ -25,11 +25,21 @@
 //!    order ([`Telemetry::absorb`]), and integer addition is
 //!    order-independent. Timings and per-worker load live *outside*
 //!    [`Counters`] because they are not deterministic.
-//! 3. **Three sinks.** An in-memory [`SolverReport`] (typed, queryable
+//! 3. **Four sinks.** An in-memory [`SolverReport`] (typed, queryable
 //!    from tests and bench binaries), JSON via `CML_TELEMETRY=json:<path>`,
-//!    and the Chrome trace-event format (loadable in `chrome://tracing`
+//!    the Chrome trace-event format (loadable in `chrome://tracing`
 //!    and [ui.perfetto.dev](https://ui.perfetto.dev)) via
-//!    `CML_TELEMETRY=trace:<path>`.
+//!    `CML_TELEMETRY=trace:<path>`, and the Prometheus text exposition
+//!    via `CML_TELEMETRY=prom:<path>` (see [`SolverReport::prometheus`]).
+//!
+//! PR 10 adds the **structured event log** (see [`events`]): typed,
+//! timestamped [`Event`] records of discrete solver happenings (Newton
+//! iteration residuals, LTE rejections, pivot deaths, cache rejections,
+//! lint rejections, degradations) in a bounded keep-newest ring per
+//! handle, merged thread-invariantly like counters, plus the
+//! per-attempt Newton residual trajectory
+//! ([`Telemetry::trajectory_push`]) the flight recorder
+//! (`cml_spice::flight`) bundles on failure.
 //!
 //! # Span granularity
 //!
@@ -45,6 +55,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+mod prom;
+
+pub use events::{Event, EventKind, EventRing, DEFAULT_EVENT_CAPACITY};
+
 use serde::Value;
 use std::cell::RefCell;
 use std::io;
@@ -53,10 +68,10 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Environment variable configuring telemetry sinks: a comma-separated
-/// list of `json:<path>`, `trace:<path>` and the bare token `fine`
-/// (enable per-solve spans and per-factorization timers). Any non-empty
-/// value enables recording; `json:`/`trace:` entries additionally select
-/// where [`Telemetry::flush`] writes.
+/// list of `json:<path>`, `trace:<path>`, `prom:<path>` and the bare
+/// token `fine` (enable per-solve spans and per-factorization timers).
+/// Any non-empty value enables recording; `json:`/`trace:`/`prom:`
+/// entries additionally select where [`Telemetry::flush`] writes.
 pub const TELEMETRY_ENV: &str = "CML_TELEMETRY";
 
 /// Environment variable suppressing the one-line degradation warnings
@@ -199,6 +214,20 @@ pub struct Counters {
     /// dimension mismatch, pivot-order insanity) and healed by a cold
     /// derivation. Nonzero values never change results — only cost.
     pub cache_validation_failures: u64,
+    /// Structured events emitted into the event log ([`Telemetry::event`]
+    /// and [`Telemetry::degradation`]). Every emission site is a
+    /// per-occurrence event (one per Newton iteration, rejection,
+    /// fallback…), so the total is thread-invariant; ring overflow drops
+    /// stored events but never this count.
+    pub events_emitted: u64,
+    /// Silent-degradation warnings routed through
+    /// [`Telemetry::degradation`]. Unlike the stderr line (once per code
+    /// per process, silenced by `CML_QUIET`), this counts every
+    /// degradation occurrence and is never silenced.
+    pub degradation_warnings: u64,
+    /// Flight-recorder bundles written (`cml_spice::flight`): one per
+    /// dumped `SpiceError` or on-demand snapshot.
+    pub flight_dumps: u64,
     /// Histogram of accepted-step sizes as log₂(dt / dt_nominal),
     /// bucket [`DT_BUCKET_ZERO`] = nominal (see [`DT_BUCKETS`]).
     pub dt_histogram: [u64; DT_BUCKETS],
@@ -243,6 +272,9 @@ impl Default for Counters {
             cache_misses: 0,
             cache_disk_loads: 0,
             cache_validation_failures: 0,
+            events_emitted: 0,
+            degradation_warnings: 0,
+            flight_dumps: 0,
             dt_histogram: [0; DT_BUCKETS],
         }
     }
@@ -288,6 +320,9 @@ impl Counters {
         self.cache_misses += other.cache_misses;
         self.cache_disk_loads += other.cache_disk_loads;
         self.cache_validation_failures += other.cache_validation_failures;
+        self.events_emitted += other.events_emitted;
+        self.degradation_warnings += other.degradation_warnings;
+        self.flight_dumps += other.flight_dumps;
         for (a, b) in self.dt_histogram.iter_mut().zip(&other.dt_histogram) {
             *a += b;
         }
@@ -417,6 +452,12 @@ impl Counters {
                 "cache_validation_failures".into(),
                 num(self.cache_validation_failures),
             ),
+            ("events_emitted".into(), num(self.events_emitted)),
+            (
+                "degradation_warnings".into(),
+                num(self.degradation_warnings),
+            ),
+            ("flight_dumps".into(), num(self.flight_dumps)),
             (
                 "dt_histogram".into(),
                 Value::Arr(self.dt_histogram.iter().map(|&n| num(n)).collect()),
@@ -583,6 +624,13 @@ struct Recorder {
     worker_items: Vec<u64>,
     /// Last span-event timestamp issued on this timeline.
     last_tick_ns: u64,
+    /// Bounded keep-newest structured event log.
+    events: EventRing,
+    /// Per-iteration Newton residuals (`max |Δx|`) of the most recent
+    /// solve attempt recorded on *this* handle. Reset at every attempt
+    /// start; deliberately not merged through [`Parts`] — it is a
+    /// per-solve forensic trace, not a mergeable total.
+    trajectory: Vec<f64>,
 }
 
 impl Recorder {
@@ -604,6 +652,7 @@ pub struct Parts {
     counters: Counters,
     timings: Timings,
     spans: Vec<SpanRecord>,
+    events: EventRing,
 }
 
 // ---------------------------------------------------------------------
@@ -615,6 +664,7 @@ pub struct Parts {
 enum Sink {
     Json(PathBuf),
     Trace(PathBuf),
+    Prom(PathBuf),
 }
 
 /// The instrumentation handle analyses thread through the solver.
@@ -697,7 +747,8 @@ impl Telemetry {
         }
     }
 
-    /// Applies a `json:<path>,trace:<path>,fine` spec to this handle.
+    /// Applies a `json:<path>,trace:<path>,prom:<path>,fine` spec to
+    /// this handle.
     #[must_use]
     fn with_env_spec(mut self, spec: &str) -> Self {
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -705,6 +756,8 @@ impl Telemetry {
                 self.sinks.push(Sink::Json(PathBuf::from(path)));
             } else if let Some(path) = token.strip_prefix("trace:") {
                 self.sinks.push(Sink::Trace(PathBuf::from(path)));
+            } else if let Some(path) = token.strip_prefix("prom:") {
+                self.sinks.push(Sink::Prom(PathBuf::from(path)));
             } else if token == "fine" {
                 self.fine = true;
             } else if token != "1" && token != "on" {
@@ -735,6 +788,123 @@ impl Telemetry {
         if let Some(rec) = &self.rec {
             f(&mut rec.borrow_mut().counters);
         }
+    }
+
+    /// Emits a structured event into the bounded ring. Takes a closure
+    /// so a disabled handle never constructs the [`EventKind`] (same
+    /// zero-cost contract as [`Telemetry::count`]). Increments
+    /// [`Counters::events_emitted`].
+    #[inline]
+    pub fn event(&self, make: impl FnOnce() -> EventKind) {
+        if let Some(rec) = &self.rec {
+            let mut r = rec.borrow_mut();
+            let t = r.tick();
+            r.counters.events_emitted += 1;
+            let kind = make();
+            let tid = self.tid;
+            r.events.push(kind, t, tid);
+        }
+    }
+
+    /// Emits a structured event only in fine mode. High-rate events
+    /// that fire once per Newton iteration go through here: each
+    /// [`Telemetry::event`] costs a clock read, and one Newton solve
+    /// per transient step would spend the coarse mode's < 2 % overhead
+    /// budget on timestamps alone (same reasoning as
+    /// [`Telemetry::timer_fine`]). Rare, diagnosis-critical events
+    /// (divergence, LTE rejects, pivot fallbacks, degradations) stay on
+    /// the coarse [`Telemetry::event`] path.
+    #[inline]
+    pub fn event_fine(&self, make: impl FnOnce() -> EventKind) {
+        if self.is_fine() {
+            self.event(make);
+        }
+    }
+
+    /// Routes a silent-degradation warning through both channels: the
+    /// once-per-process stderr line ([`warn_once`], silenced by
+    /// `CML_QUIET`) and — when this handle records — a
+    /// [`EventKind::Degradation`] event plus the
+    /// [`Counters::degradation_warnings`] counter, which `CML_QUIET`
+    /// never silences.
+    pub fn degradation(&self, code: &'static str, message: &str) {
+        warn_once(code, message);
+        if let Some(rec) = &self.rec {
+            let mut r = rec.borrow_mut();
+            let t = r.tick();
+            r.counters.events_emitted += 1;
+            r.counters.degradation_warnings += 1;
+            let tid = self.tid;
+            r.events
+                .push(EventKind::Degradation { code: code.into() }, t, tid);
+        }
+    }
+
+    /// Clears the per-attempt Newton residual trajectory (called at the
+    /// start of every solve attempt).
+    #[inline]
+    pub fn trajectory_reset(&self) {
+        if let Some(rec) = &self.rec {
+            rec.borrow_mut().trajectory.clear();
+        }
+    }
+
+    /// Appends one iteration's convergence residual (`max |Δx|`) to the
+    /// trajectory of the current solve attempt.
+    #[inline]
+    pub fn trajectory_push(&self, residual: f64) {
+        if let Some(rec) = &self.rec {
+            rec.borrow_mut().trajectory.push(residual);
+        }
+    }
+
+    /// The residual trajectory of the most recent solve attempt recorded
+    /// on this handle (empty when disabled or nothing solved yet).
+    #[must_use]
+    pub fn residual_trajectory(&self) -> Vec<f64> {
+        match &self.rec {
+            Some(rec) => rec.borrow().trajectory.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the events currently held by the ring, oldest first.
+    #[must_use]
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        match &self.rec {
+            Some(rec) => rec.borrow().events.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted from this handle's ring by overflow (including
+    /// evictions while absorbing worker rings). Deliberately *not* a
+    /// [`Counters`] field: per-worker rings drop scheduling-dependent
+    /// subsets, so the total is not thread-invariant.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        match &self.rec {
+            Some(rec) => rec.borrow().events.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Replaces this handle's event ring with an empty one of `capacity`
+    /// slots (builder-style; for tests and long-lived service handles —
+    /// forked worker handles keep [`DEFAULT_EVENT_CAPACITY`]).
+    #[must_use]
+    pub fn with_event_capacity(self, capacity: usize) -> Self {
+        if let Some(rec) = &self.rec {
+            rec.borrow_mut().events = EventRing::with_capacity(capacity);
+        }
+        self
+    }
+
+    /// Renders the current state in the Prometheus text exposition
+    /// format (shorthand for `report().prometheus()`).
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.report().prometheus()
     }
 
     /// Opens a coarse span; the returned guard records it when dropped.
@@ -818,6 +988,7 @@ impl Telemetry {
                 counters: r.counters,
                 timings: r.timings,
                 spans: r.spans,
+                events: r.events,
             }
         })
     }
@@ -833,6 +1004,7 @@ impl Telemetry {
         r.counters.merge(&p.counters);
         r.timings.merge(&p.timings);
         r.spans.extend(p.spans);
+        r.events.absorb(p.events);
     }
 
     /// Records the per-worker item counts of an instrumented `par_map`
@@ -856,7 +1028,10 @@ impl Telemetry {
                     spans: r.spans.clone(),
                     open_spans: r.open_spans,
                     worker_items: r.worker_items.clone(),
-                    peak_rss_bytes: peak_rss_bytes(),
+                    peak_rss: peak_rss(),
+                    events: r.events.snapshot(),
+                    events_dropped: r.events.dropped(),
+                    residual_trajectory: r.trajectory.clone(),
                 }
             }
             None => SolverReport::default(),
@@ -879,9 +1054,10 @@ impl Telemetry {
             match sink {
                 Sink::Json(path) => report.write_json(path)?,
                 Sink::Trace(path) => report.write_chrome_trace(path)?,
+                Sink::Prom(path) => report.write_prometheus(path)?,
             }
             written.push(match sink {
-                Sink::Json(p) | Sink::Trace(p) => p.clone(),
+                Sink::Json(p) | Sink::Trace(p) | Sink::Prom(p) => p.clone(),
             });
         }
         Ok(written)
@@ -998,11 +1174,22 @@ pub struct SolverReport {
     /// Items processed per worker in the most recent instrumented
     /// fan-out (scheduling-dependent).
     pub worker_items: Vec<u64>,
-    /// Peak resident-set size of the process at snapshot time, bytes
-    /// (Linux `VmHWM`; `None` where unavailable). A gauge, not a
-    /// counter: non-deterministic and process-wide, which is exactly
-    /// what the flat-memory benchmarks need to assert against.
-    pub peak_rss_bytes: Option<u64>,
+    /// Peak resident-set size of the process at snapshot time (Linux
+    /// `VmHWM`), with a typed [`PeakRss::Unavailable`] marker on
+    /// platforms without it — a silent 0 would read as "flat memory".
+    /// A gauge, not a counter: non-deterministic and process-wide,
+    /// which is exactly what the flat-memory benchmarks need to assert
+    /// against.
+    pub peak_rss: PeakRss,
+    /// Events held by the ring at snapshot time, oldest first (the
+    /// newest N emitted; see [`EventRing`]).
+    pub events: Vec<Event>,
+    /// Events evicted from the ring by overflow. Scheduling-dependent
+    /// under parallel merges, hence outside [`Counters`].
+    pub events_dropped: u64,
+    /// Per-iteration Newton residuals of the most recent solve attempt
+    /// recorded on the snapshotted handle.
+    pub residual_trajectory: Vec<f64>,
 }
 
 impl SolverReport {
@@ -1100,12 +1287,23 @@ impl SolverReport {
                         .collect(),
                 ),
             ),
+            ("peak_rss_bytes".into(), self.peak_rss.to_value()),
             (
-                "peak_rss_bytes".into(),
-                match self.peak_rss_bytes {
-                    Some(b) => Value::Num(b as f64),
-                    None => Value::Null,
-                },
+                "events".into(),
+                Value::Arr(self.events.iter().map(Event::to_value).collect()),
+            ),
+            (
+                "events_dropped".into(),
+                Value::Num(self.events_dropped as f64),
+            ),
+            (
+                "residual_trajectory".into(),
+                Value::Arr(
+                    self.residual_trajectory
+                        .iter()
+                        .map(|&r| Value::Num(r))
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -1194,21 +1392,69 @@ impl SolverReport {
 // Process gauges
 // ---------------------------------------------------------------------
 
-/// Peak resident-set size of the current process in bytes, read from
-/// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
-/// procfs or if the field is missing/unparsable. This is a high-water
-/// mark: it only ever grows, so "peak memory stayed flat" is asserted
-/// by sampling it before and after the workload and bounding the delta.
-#[must_use]
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
+/// Peak resident-set size reading, with a typed marker for platforms
+/// that cannot report one. The distinction matters to consumers: a
+/// flat-memory assertion against a silent `0` would pass vacuously,
+/// and a metrics scraper must be able to tell "small" from "unknown".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeakRss {
+    /// `VmHWM` in bytes.
+    Bytes(u64),
+    /// No readable high-water mark on this platform (no procfs, or the
+    /// field is missing/unparsable).
+    #[default]
+    Unavailable,
+}
+
+impl PeakRss {
+    /// The reading in bytes, or `None` when unavailable.
+    #[must_use]
+    pub fn bytes(self) -> Option<u64> {
+        match self {
+            PeakRss::Bytes(b) => Some(b),
+            PeakRss::Unavailable => None,
         }
     }
-    None
+
+    /// JSON rendering: a number, or the string `"unavailable"` (typed
+    /// marker — deliberately not `0` and not `null`, so schema checks
+    /// can distinguish the platform gap from a missing field).
+    #[must_use]
+    pub fn to_value(self) -> Value {
+        match self {
+            PeakRss::Bytes(b) => Value::Num(b as f64),
+            PeakRss::Unavailable => Value::Str("unavailable".into()),
+        }
+    }
+}
+
+/// Peak resident-set size of the current process, read from
+/// `/proc/self/status` (`VmHWM`). Returns [`PeakRss::Unavailable`] on
+/// platforms without procfs or if the field is missing/unparsable. This
+/// is a high-water mark: it only ever grows, so "peak memory stayed
+/// flat" is asserted by sampling it before and after the workload and
+/// bounding the delta.
+#[must_use]
+pub fn peak_rss() -> PeakRss {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return PeakRss::Unavailable;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let Ok(kb) = rest.trim().trim_end_matches("kB").trim().parse::<u64>() else {
+                return PeakRss::Unavailable;
+            };
+            return PeakRss::Bytes(kb * 1024);
+        }
+    }
+    PeakRss::Unavailable
+}
+
+/// [`peak_rss`] flattened to an `Option` (compatibility shim for the
+/// flat-memory benches; prefer the typed [`PeakRss`]).
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    peak_rss().bytes()
 }
 
 // ---------------------------------------------------------------------
@@ -1483,15 +1729,132 @@ mod tests {
 
     #[test]
     fn env_spec_parsing() {
-        let tel = Telemetry::enabled().with_env_spec("json:/tmp/a.json, trace:/tmp/b.json ,fine");
+        let tel = Telemetry::enabled()
+            .with_env_spec("json:/tmp/a.json, trace:/tmp/b.json ,prom:/tmp/c.prom ,fine");
         assert!(tel.is_fine());
         assert_eq!(
             tel.sinks,
             vec![
                 Sink::Json(PathBuf::from("/tmp/a.json")),
                 Sink::Trace(PathBuf::from("/tmp/b.json")),
+                Sink::Prom(PathBuf::from("/tmp/c.prom")),
             ]
         );
+    }
+
+    #[test]
+    fn disabled_handle_skips_event_construction() {
+        let tel = Telemetry::disabled();
+        tel.event(|| panic!("EventKind must not be constructed on a disabled handle"));
+        tel.trajectory_push(1.0);
+        assert!(tel.events_snapshot().is_empty());
+        assert!(tel.residual_trajectory().is_empty());
+        assert_eq!(tel.events_dropped(), 0);
+    }
+
+    #[test]
+    fn events_count_and_snapshot() {
+        let tel = Telemetry::enabled();
+        tel.event(|| EventKind::LintRejected { errors: 2 });
+        tel.event(|| EventKind::LteReject { t: 1e-9, dt: 1e-12 });
+        let report = tel.report();
+        assert_eq!(report.counters.events_emitted, 2);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].kind.name(), "lint_rejected");
+        assert_eq!(report.events[1].seq, 1);
+        // Timestamps strictly increase on one handle's timeline.
+        assert!(report.events[1].t_ns > report.events[0].t_ns);
+    }
+
+    #[test]
+    fn degradation_counts_and_logs() {
+        let tel = Telemetry::enabled();
+        tel.degradation("test-degradation-a", "a thing fell back");
+        tel.degradation("test-degradation-a", "a thing fell back");
+        let report = tel.report();
+        assert_eq!(report.counters.degradation_warnings, 2);
+        assert_eq!(report.counters.events_emitted, 2);
+        assert!(matches!(
+            &report.events[0].kind,
+            EventKind::Degradation { code } if code == "test-degradation-a"
+        ));
+    }
+
+    #[test]
+    fn absorb_merges_events_thread_invariantly() {
+        // The same 12 per-point events split over 1, 2 and 4 workers
+        // must produce identical counter totals and event multisets.
+        let totals: Vec<(u64, Vec<&'static str>)> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                let tel = Telemetry::enabled();
+                let probe = tel.probe();
+                let parts: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let worker = probe.fork(w as u32 + 1);
+                        for _ in 0..12 / workers {
+                            worker.event(|| EventKind::LteReject { t: 0.0, dt: 1e-12 });
+                        }
+                        worker.into_parts()
+                    })
+                    .collect();
+                for p in parts {
+                    tel.absorb(p);
+                }
+                let r = tel.report();
+                (
+                    r.counters.events_emitted,
+                    r.events.iter().map(|e| e.kind.name()).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+        assert_eq!(totals[0].0, 12);
+    }
+
+    #[test]
+    fn trajectory_resets_per_attempt() {
+        let tel = Telemetry::enabled();
+        tel.trajectory_reset();
+        tel.trajectory_push(1.0);
+        tel.trajectory_push(0.1);
+        assert_eq!(tel.residual_trajectory(), vec![1.0, 0.1]);
+        tel.trajectory_reset();
+        tel.trajectory_push(7.0);
+        assert_eq!(tel.residual_trajectory(), vec![7.0]);
+        assert_eq!(tel.report().residual_trajectory, vec![7.0]);
+    }
+
+    #[test]
+    fn report_json_carries_events_and_peak_rss_marker() {
+        let tel = Telemetry::enabled();
+        tel.event(|| EventKind::PivotFallback {
+            column: 3,
+            pivot: 1e-320,
+        });
+        let json = serde_json::to_string_pretty(&tel.report().to_value()).unwrap();
+        let parsed: Value = serde_json::from_str(&json).unwrap();
+        let Value::Obj(fields) = &parsed else {
+            panic!("report must be an object")
+        };
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&Value::Null)
+        };
+        assert!(matches!(get("events"), Value::Arr(a) if a.len() == 1));
+        assert!(matches!(get("events_dropped"), Value::Num(_)));
+        assert!(matches!(get("residual_trajectory"), Value::Arr(_)));
+        // The gauge is either a number (Linux) or the typed marker —
+        // never null, never a silent zero for the unavailable case.
+        match get("peak_rss_bytes") {
+            Value::Num(b) => assert!(*b > 0.0),
+            Value::Str(s) => assert_eq!(s, "unavailable"),
+            other => panic!("peak_rss_bytes must be number or marker, got {other:?}"),
+        }
     }
 
     #[test]

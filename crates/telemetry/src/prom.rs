@@ -1,0 +1,260 @@
+//! Prometheus text-exposition rendering of a [`SolverReport`] — the
+//! scrape surface a `cml-serve` daemon mounts.
+//!
+//! Format: the [Prometheus text exposition format], version 0.0.4 — one
+//! `# TYPE` line per metric family followed by `name{labels} value`
+//! sample lines. Counter families are derived *mechanically* from
+//! [`Counters::to_value`], so a counter added to [`Counters`] appears
+//! in the exposition without touching this module:
+//!
+//! * every numeric counter field `x` becomes `cml_x_total`,
+//! * the `dt_histogram` array becomes
+//!   `cml_dt_steps_total{log2_ratio="k"}` labelled samples,
+//! * phase timings become `cml_phase_ns_total{phase="…"}` /
+//!   `cml_phase_calls_total{phase="…"}`,
+//! * derived rates and process gauges (peak RSS with its typed
+//!   availability marker, span/event bookkeeping) become gauges.
+//!
+//! [Prometheus text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::{Counters, PeakRss, Phase, SolverReport, DT_BUCKET_ZERO};
+use serde::Value;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Metric name prefix for every exposed family.
+const PREFIX: &str = "cml";
+
+/// Formats one float the way Prometheus expects (`1`, `0.75`, `NaN`).
+fn fmt_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+    let _ = writeln!(out, "# TYPE {PREFIX}_{name} counter");
+    let _ = writeln!(out, "{PREFIX}_{name} {}", fmt_num(value));
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+    let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
+    let _ = writeln!(out, "{PREFIX}_{name} {}", fmt_num(value));
+}
+
+/// Renders the counters block: one `cml_<field>_total` counter per
+/// numeric field (mechanically, off the JSON rendering, so new counters
+/// auto-appear) and the labelled `cml_dt_steps_total` family for the
+/// step-size histogram.
+fn render_counters(out: &mut String, counters: &Counters) {
+    let Value::Obj(fields) = counters.to_value() else {
+        return;
+    };
+    for (name, value) in fields {
+        match value {
+            Value::Num(v) => counter(out, &format!("{name}_total"), "solver event count", v),
+            Value::Arr(buckets) if name == "dt_histogram" => {
+                let _ = writeln!(
+                    out,
+                    "# HELP {PREFIX}_dt_steps_total accepted steps by log2(dt/dt_nominal)"
+                );
+                let _ = writeln!(out, "# TYPE {PREFIX}_dt_steps_total counter");
+                for (i, b) in buckets.iter().enumerate() {
+                    let Value::Num(v) = b else { continue };
+                    let log2 = i as i64 - DT_BUCKET_ZERO as i64;
+                    let _ = writeln!(
+                        out,
+                        "{PREFIX}_dt_steps_total{{log2_ratio=\"{log2}\"}} {}",
+                        fmt_num(*v)
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl SolverReport {
+    /// Renders the report in the Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# {} prometheus exposition", crate::REPORT_SCHEMA);
+        gauge(
+            &mut out,
+            "telemetry_enabled",
+            "whether the producing handle was recording",
+            if self.enabled { 1.0 } else { 0.0 },
+        );
+        render_counters(&mut out, &self.counters);
+        // Derived rates (gauges: ratios, not monotone counts).
+        gauge(
+            &mut out,
+            "reuse_hit_rate",
+            "fraction of solve iterations served by a cached factorization",
+            self.counters.reuse_hit_rate(),
+        );
+        gauge(
+            &mut out,
+            "lte_reject_ratio",
+            "LTE rejections over adaptive step attempts",
+            self.counters.lte_reject_ratio(),
+        );
+        gauge(
+            &mut out,
+            "ac_sparse_fraction",
+            "AC points solved by sparse replay",
+            self.counters.ac_sparse_fraction(),
+        );
+        gauge(
+            &mut out,
+            "lane_occupancy",
+            "batched lane slots carrying live variants",
+            self.counters.lane_occupancy(),
+        );
+        gauge(
+            &mut out,
+            "lane_fallback_rate",
+            "Monte-Carlo trials that fell off the batch",
+            self.counters.lane_fallback_rate(),
+        );
+        // Phase timers.
+        let _ = writeln!(
+            out,
+            "# HELP {PREFIX}_phase_ns_total accumulated wall-clock per solver phase"
+        );
+        let _ = writeln!(out, "# TYPE {PREFIX}_phase_ns_total counter");
+        for p in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "{PREFIX}_phase_ns_total{{phase=\"{}\"}} {}",
+                p.name(),
+                self.timings.ns[p.index()]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP {PREFIX}_phase_calls_total timed calls per solver phase"
+        );
+        let _ = writeln!(out, "# TYPE {PREFIX}_phase_calls_total counter");
+        for p in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "{PREFIX}_phase_calls_total{{phase=\"{}\"}} {}",
+                p.name(),
+                self.timings.calls[p.index()]
+            );
+        }
+        // Span / event-log bookkeeping.
+        gauge(
+            &mut out,
+            "spans_recorded",
+            "closed spans held by the report",
+            self.spans.len() as f64,
+        );
+        gauge(
+            &mut out,
+            "open_spans",
+            "spans still open at snapshot time",
+            self.open_spans as f64,
+        );
+        counter(
+            &mut out,
+            "events_dropped_total",
+            "events evicted from the bounded ring",
+            self.events_dropped as f64,
+        );
+        gauge(
+            &mut out,
+            "events_held",
+            "events currently held by the ring",
+            self.events.len() as f64,
+        );
+        // Peak RSS with a typed availability marker: scrapers must be
+        // able to tell "flat memory" from "platform cannot say".
+        gauge(
+            &mut out,
+            "peak_rss_available",
+            "1 when VmHWM is readable on this platform, else 0",
+            match self.peak_rss {
+                PeakRss::Bytes(_) => 1.0,
+                PeakRss::Unavailable => 0.0,
+            },
+        );
+        if let PeakRss::Bytes(b) = self.peak_rss {
+            gauge(
+                &mut out,
+                "peak_rss_bytes",
+                "process peak resident-set size (VmHWM)",
+                b as f64,
+            );
+        }
+        out
+    }
+
+    /// Writes the Prometheus exposition to `path` (the
+    /// `CML_TELEMETRY=prom:<path>` sink).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_prometheus(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.prometheus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn exposition_is_line_oriented_and_typed() {
+        let tel = Telemetry::enabled();
+        tel.count(|c| {
+            c.newton_solves = 3;
+            c.dt_histogram[DT_BUCKET_ZERO] = 7;
+        });
+        let text = tel.report().prometheus();
+        assert!(text.contains("# TYPE cml_newton_solves_total counter"));
+        assert!(text.contains("cml_newton_solves_total 3"));
+        assert!(text.contains("cml_dt_steps_total{log2_ratio=\"0\"} 7"));
+        assert!(text.contains("# TYPE cml_reuse_hit_rate gauge"));
+        assert!(text.contains("cml_telemetry_enabled 1"));
+        assert!(text.contains("cml_peak_rss_available"));
+        // Every sample line parses as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(name.starts_with("cml_"), "bad metric name in {line}");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN",
+                "bad value in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_counter_field_is_exposed() {
+        let tel = Telemetry::enabled();
+        let text = tel.report().prometheus();
+        let Value::Obj(fields) = Counters::default().to_value() else {
+            panic!("counters must render as an object")
+        };
+        for (name, v) in fields {
+            if matches!(v, Value::Num(_)) {
+                assert!(
+                    text.contains(&format!("cml_{name}_total ")),
+                    "counter {name} missing from exposition"
+                );
+            }
+        }
+    }
+}

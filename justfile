@@ -73,6 +73,12 @@ bench-pr8:
 bench-pr9:
     cargo run --release -p cml-bench --bin bench_pr9
 
+# Regenerate the observability benchmark artifact (event-log overhead
+# on the PRBS-7 eye vs the < 2 % coarse budget, flight-dump cost on a
+# forced divergence, bundle round-trip + bit-exact forensics replay).
+bench-pr10:
+    cargo run --release -p cml-bench --bin bench_pr10
+
 # Quick benchmark sanity gate (tiny workloads; asserts the sparse and
 # dense solvers agree to <= 1e-9, the adaptive eye stays honest, the
 # parallel AC sweep is bit-identical to the serial one, telemetry
@@ -84,7 +90,10 @@ bench-pr9:
 # builtin's converged op must land inside its predicted interval bounds
 # with zero prediction-violation findings. The bench_pr9 leg gates the
 # topology artifact cache: warm must beat cold with bit-identical
-# solutions and zero validation failures.
+# solutions and zero validation failures. The bench_pr10 leg dumps a
+# flight bundle on a forced divergence, round-trips it, replays it
+# bit-exactly, and renders the prometheus exposition; `cml-lint
+# forensics` then re-validates the preserved bundle through the CLI.
 bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr2 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr4 -- --smoke
@@ -93,3 +102,5 @@ bench-smoke:
     cargo run --release -p cml-bench --bin bench_pr7 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr8 -- --smoke
     cargo run --release -p cml-bench --bin bench_pr9 -- --smoke
+    CML_TELEMETRY=prom:/tmp/cml_telemetry_smoke.prom cargo run --release -p cml-bench --bin bench_pr10 -- --smoke
+    cargo run --release -p cml-lint --bin cml-lint -- forensics BENCH_pr10.cmlf --replay
